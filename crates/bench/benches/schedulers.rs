@@ -1,0 +1,63 @@
+//! Criterion benches of the three schedulers (the Fig. 6 companion):
+//! scheduling time on the Indriya topology as the traffic load grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsan_core::NetworkModel;
+use wsan_expr::Algorithm;
+use wsan_flow::{FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, Prr, Topology};
+
+fn workload(topo: &Topology, flows: usize, seed: u64) -> Option<(FlowSet, NetworkModel)> {
+    let channels = ChannelId::all().take(5);
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(topo, &channels);
+    let cfg = FlowSetConfig::new(
+        flows,
+        PeriodRange::new(0, 2).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(seed).generate(&comm, &cfg).ok()?;
+    Some((set, model))
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let topo = testbeds::indriya(1);
+    let mut group = c.benchmark_group("schedule");
+    for flows in [40usize, 80, 120] {
+        let Some((set, model)) = workload(&topo, flows, 42) else {
+            continue;
+        };
+        for algo in Algorithm::paper_suite() {
+            let scheduler = algo.build();
+            // skip algorithm/load combos that are unschedulable; the bench
+            // measures successful schedule construction
+            if scheduler.schedule(&set, &model).is_err() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), flows),
+                &flows,
+                |b, _| b.iter(|| scheduler.schedule(&set, &model).expect("schedulable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_network_model(c: &mut Criterion) {
+    let topo = testbeds::indriya(1);
+    let channels = ChannelId::all().take(5);
+    c.bench_function("network_model/indriya-5ch", |b| {
+        b.iter(|| NetworkModel::new(&topo, &channels))
+    });
+    c.bench_function("comm_graph/indriya-5ch", |b| {
+        b.iter(|| topo.comm_graph(&channels, Prr::new(0.9).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers, bench_network_model
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches of the TSCH simulator and the statistics substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsan_core::NetworkModel;
+use wsan_expr::Algorithm;
+use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, Prr};
+use wsan_sim::{SimConfig, Simulator};
+use wsan_stats::ks::two_sample;
+
+fn bench_simulator(c: &mut Criterion) {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg = FlowSetConfig::new(
+        40,
+        PeriodRange::new(-1, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(7).generate(&comm, &cfg).expect("generation");
+    let schedule = Algorithm::Ra { rho: 2 }.build().schedule(&set, &model).expect("schedulable");
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    c.bench_function("simulate/wustl-40flows-100reps", |b| {
+        b.iter(|| sim.run(&SimConfig { repetitions: 100, ..SimConfig::default() }))
+    });
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let a: Vec<f64> = (0..18).map(|i| 0.9 + 0.005 * (i % 7) as f64).collect();
+    let d: Vec<f64> = (0..18).map(|i| 0.6 + 0.01 * (i % 5) as f64).collect();
+    c.bench_function("ks/two_sample-18x18", |b| b.iter(|| two_sample(&a, &d).unwrap()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulator, bench_ks
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! One-shot reproduction entry point: runs every figure binary in sequence
+//! and collects their console output under `results/logs/`.
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin all_figures [-- --quick --seed 1]
+//! ```
+
+use std::process::Command;
+use wsan_bench::{results_dir, RunOptions};
+
+const FIGURES: &[&str] =
+    &["fig1_2_3", "fig4_5", "fig6", "fig7", "fig8_9", "fig10_11", "ablation", "orchestra_cmp", "coexistence"];
+
+fn main() {
+    let opts = RunOptions::parse(100);
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let log_dir = results_dir().join("logs");
+    std::fs::create_dir_all(&log_dir).expect("create log dir");
+    let mut failures = Vec::new();
+    for figure in FIGURES {
+        let mut cmd = Command::new(exe_dir.join(figure));
+        cmd.arg("--seed").arg(opts.seed.to_string());
+        if opts.quick {
+            cmd.arg("--quick");
+        }
+        println!("running {figure} …");
+        match cmd.output() {
+            Ok(output) => {
+                let log = log_dir.join(format!("{figure}.txt"));
+                let mut body = output.stdout;
+                body.extend_from_slice(&output.stderr);
+                std::fs::write(&log, &body).expect("write log");
+                if output.status.success() {
+                    println!("  ok → {}", log.display());
+                } else {
+                    println!("  FAILED (status {:?}) → {}", output.status.code(), log.display());
+                    failures.push(*figure);
+                }
+            }
+            Err(e) => {
+                println!("  could not launch ({e}); build the workspace in release first");
+                failures.push(*figure);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall figures regenerated; see EXPERIMENTS.md for paper-vs-measured notes");
+    } else {
+        println!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

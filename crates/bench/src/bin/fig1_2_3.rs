@@ -1,0 +1,118 @@
+//! Figures 1, 2, 3 — schedulable ratios of NR / RA / RC.
+//!
+//! * Fig. 1: centralized traffic on the Indriya topology —
+//!   (a) channels 3–8 at `P=[2^0,2^2]`, (b) channels 3–8 at `P=[2^-1,2^3]`,
+//!   (c) flows at 4 channels.
+//! * Fig. 2: the same three panels under peer-to-peer traffic.
+//! * Fig. 3: peer-to-peer on the WUSTL topology — (a) channels, (b) flows.
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin fig1_2_3 [-- --sets 100 --quick]
+//! ```
+
+use wsan_bench::{results_dir, RunOptions};
+use wsan_expr::schedulable::{sweep_channels, sweep_flows, RatioPoint, WorkloadConfig};
+use wsan_expr::table;
+use wsan_expr::Algorithm;
+use wsan_flow::{PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, Topology};
+
+fn print_points(title: &str, points: &[RatioPoint], x_label: &str) {
+    println!("\n== {title} ==");
+    let headers: Vec<&str> = std::iter::once(x_label)
+        .chain(points[0].ratios.iter().map(|(name, _)| name.as_str()))
+        .collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            std::iter::once(p.x.to_string())
+                .chain(p.ratios.iter().map(|(_, r)| table::pct(*r)))
+                .collect()
+        })
+        .collect();
+    print!("{}", table::render(&headers, &rows));
+}
+
+struct Panel {
+    name: &'static str,
+    title: String,
+    points: Vec<RatioPoint>,
+    x_label: &'static str,
+}
+
+fn channel_panel(
+    name: &'static str,
+    topo: &Topology,
+    pattern: TrafficPattern,
+    periods: PeriodRange,
+    flows: usize,
+    opts: &RunOptions,
+) -> Panel {
+    let cfg = WorkloadConfig {
+        flow_sets: opts.sets,
+        seed: opts.seed,
+        ..WorkloadConfig::new(flows, periods, pattern)
+    };
+    let channels = [3, 4, 5, 6, 7, 8];
+    Panel {
+        name,
+        title: format!(
+            "{name}: {} flows, {pattern:?}, P={periods}, topology {}",
+            flows,
+            topo.name()
+        ),
+        points: sweep_channels(topo, &channels, &Algorithm::paper_suite(), &cfg),
+        x_label: "#ch",
+    }
+}
+
+fn flow_panel(
+    name: &'static str,
+    topo: &Topology,
+    pattern: TrafficPattern,
+    periods: PeriodRange,
+    m: usize,
+    flow_counts: &[usize],
+    opts: &RunOptions,
+) -> Panel {
+    let cfg = WorkloadConfig {
+        flow_sets: opts.sets,
+        seed: opts.seed,
+        ..WorkloadConfig::new(0, periods, pattern)
+    };
+    Panel {
+        name,
+        title: format!("{name}: {m} channels, {pattern:?}, P={periods}, topology {}", topo.name()),
+        points: sweep_flows(topo, m, flow_counts, &Algorithm::paper_suite(), &cfg),
+        x_label: "#flows",
+    }
+}
+
+fn main() {
+    let opts = RunOptions::parse(100);
+    let indriya = testbeds::indriya(1);
+    let wustl = testbeds::wustl(1);
+    let p_short = PeriodRange::new(0, 2).expect("valid");
+    let p_wide = PeriodRange::new(-1, 3).expect("valid");
+
+    let cen = TrafficPattern::Centralized;
+    let p2p = TrafficPattern::PeerToPeer;
+
+    let panels = vec![
+        channel_panel("fig1a", &indriya, cen, p_short, 60, &opts),
+        channel_panel("fig1b", &indriya, cen, p_wide, 55, &opts),
+        flow_panel("fig1c", &indriya, cen, p_short, 4, &[30, 40, 50, 60, 70, 80], &opts),
+        channel_panel("fig2a", &indriya, p2p, p_short, 90, &opts),
+        channel_panel("fig2b", &indriya, p2p, p_wide, 100, &opts),
+        flow_panel("fig2c", &indriya, p2p, p_short, 4, &[40, 60, 80, 100, 120, 140], &opts),
+        channel_panel("fig3a", &wustl, p2p, p_short, 130, &opts),
+        flow_panel("fig3b", &wustl, p2p, p_short, 4, &[60, 90, 120, 150, 180], &opts),
+    ];
+
+    for panel in &panels {
+        print_points(&panel.title, &panel.points, panel.x_label);
+        let path = results_dir().join(format!("{}.json", panel.name));
+        table::write_json(&path, &panel.points).expect("write results JSON");
+    }
+    println!("\nresults written under {}", results_dir().display());
+}

@@ -1,0 +1,90 @@
+//! Figures 4 and 5 — algorithm efficiency on the Indriya topology.
+//!
+//! * Fig. 4: distribution of the number of transmissions per (occupied)
+//!   channel cell under RA and RC, for centralized (a) and peer-to-peer (b)
+//!   traffic, channels 3–8.
+//! * Fig. 5: distribution of the minimum channel-reuse hop count of shared
+//!   cells, peer-to-peer (a) and centralized (b).
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin fig4_5 [-- --sets 100 --quick]
+//! ```
+
+use serde::Serialize;
+use wsan_bench::{results_dir, RunOptions};
+use wsan_expr::efficiency::evaluate;
+use wsan_expr::schedulable::WorkloadConfig;
+use wsan_expr::{table, Algorithm};
+use wsan_flow::{PeriodRange, TrafficPattern};
+use wsan_net::testbeds;
+
+#[derive(Serialize)]
+struct EfficiencyRow {
+    pattern: String,
+    channels: usize,
+    algorithm: String,
+    schedulable_sets: usize,
+    /// proportions for 1, 2, 3, 4+ transmissions per channel
+    tx_per_channel: Vec<f64>,
+    /// proportions for reuse hop counts 2, 3, 4+ (index 0 ↔ 2 hops)
+    reuse_hops: Vec<f64>,
+}
+
+fn main() {
+    let opts = RunOptions::parse(100);
+    let topo = testbeds::indriya(1);
+    let algos = [Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }];
+    let mut all_rows: Vec<EfficiencyRow> = Vec::new();
+
+    for (pattern, flows) in
+        [(TrafficPattern::Centralized, 16), (TrafficPattern::PeerToPeer, 60)]
+    {
+        let cfg = WorkloadConfig {
+            flow_sets: opts.sets,
+            seed: opts.seed,
+            ..WorkloadConfig::new(flows, PeriodRange::new(0, 2).expect("valid"), pattern)
+        };
+        println!("\n== {pattern:?} traffic, {flows} flows, Indriya ==");
+        let headers = [
+            "#ch", "algo", "sets", "1 Tx", "2 Tx", "3 Tx", "4+ Tx", "2 hops", "3 hops", "4+ hops",
+        ];
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for m in [3usize, 4, 5, 6, 7, 8] {
+            for result in evaluate(&topo, m, &algos, &cfg) {
+                let tx = result.metrics.tx_per_channel.proportions_with_tail(4);
+                let hop_hist = &result.metrics.reuse_hop_count;
+                let hops_total = hop_hist.total();
+                let hop_props: Vec<f64> = if hops_total == 0 {
+                    vec![0.0; 3]
+                } else {
+                    let p = hop_hist.proportions_with_tail(4);
+                    vec![p[2], p[3], p[4]]
+                };
+                rows.push(vec![
+                    m.to_string(),
+                    result.algorithm.to_string(),
+                    result.schedulable_sets.to_string(),
+                    table::pct(tx[1]),
+                    table::pct(tx[2]),
+                    table::pct(tx[3]),
+                    table::pct(tx[4]),
+                    table::pct(hop_props[0]),
+                    table::pct(hop_props[1]),
+                    table::pct(hop_props[2]),
+                ]);
+                all_rows.push(EfficiencyRow {
+                    pattern: format!("{pattern:?}"),
+                    channels: m,
+                    algorithm: result.algorithm.to_string(),
+                    schedulable_sets: result.schedulable_sets,
+                    tx_per_channel: tx[1..].to_vec(),
+                    reuse_hops: hop_props,
+                });
+            }
+        }
+        print!("{}", table::render(&headers, &rows));
+        println!("(Tx columns: share of occupied cells; hop columns: share of shared cells)");
+    }
+    table::write_json(results_dir().join("fig4_5.json"), &all_rows).expect("write results JSON");
+    println!("\nresults written under {}", results_dir().display());
+}

@@ -1,0 +1,51 @@
+//! Figure 6 — scheduler execution time vs. traffic load.
+//!
+//! Peer-to-peer traffic, 5 channels, `P = [2^0, 2^2]`, flow counts 40–160,
+//! Indriya topology. Absolute milliseconds are host-dependent; the paper's
+//! shape to reproduce is NR fastest (and failing beyond ~120 flows),
+//! RC cheaper than RA, and both growing steeply with load.
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin fig6 [-- --sets 20 --quick]
+//! ```
+
+use wsan_bench::{results_dir, RunOptions};
+use wsan_expr::exectime::measure;
+use wsan_expr::schedulable::WorkloadConfig;
+use wsan_expr::{table, Algorithm};
+use wsan_flow::{PeriodRange, TrafficPattern};
+use wsan_net::testbeds;
+
+fn main() {
+    let opts = RunOptions::parse(20);
+    let topo = testbeds::indriya(1);
+    let cfg = WorkloadConfig {
+        flow_sets: opts.sets,
+        seed: opts.seed,
+        ..WorkloadConfig::new(
+            0,
+            PeriodRange::new(0, 2).expect("valid"),
+            TrafficPattern::PeerToPeer,
+        )
+    };
+    let flow_counts = [40, 60, 80, 100, 120, 140, 160];
+    let points = measure(&topo, 5, &flow_counts, &Algorithm::paper_suite(), &cfg);
+
+    println!("== fig6: execution time (ms), p2p, 5 channels, Indriya ==");
+    let headers = ["#flows", "NR ms", "NR ok", "RA ms", "RA ok", "RC ms", "RC ok"];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.flows.to_string()];
+            for a in &p.algorithms {
+                row.push(a.mean_ms.map_or("-".to_string(), |ms| format!("{ms:.2}")));
+                row.push(table::pct(a.schedulable_ratio));
+            }
+            row
+        })
+        .collect();
+    print!("{}", table::render(&headers, &rows));
+    println!("('-' = no schedulable run at that load; timings over {} sets/point)", opts.sets);
+    table::write_json(results_dir().join("fig6.json"), &points).expect("write results JSON");
+    println!("results written under {}", results_dir().display());
+}

@@ -1,0 +1,89 @@
+//! Figure 7 — the WUSTL testbed topology when channels 11–14 are used.
+//!
+//! The paper's figure is a drawing of the testbed graph; this binary prints
+//! the structural statistics of our synthetic stand-in and exports the
+//! communication graph as Graphviz DOT (positions included) so it can be
+//! rendered with `neato -n2`.
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin fig7 [-- --seed 1]
+//! ```
+
+use std::fmt::Write as _;
+use wsan_bench::{results_dir, RunOptions};
+use wsan_expr::table;
+use wsan_net::{testbeds, ChannelId, Prr};
+
+fn main() {
+    let opts = RunOptions::parse(1);
+    let topo = testbeds::wustl(opts.seed);
+    let channels = ChannelId::range(11, 14).expect("valid");
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
+    let reuse = topo.reuse_graph(&channels);
+
+    println!("== fig7: WUSTL topology on channels 11-14 (seed {}) ==", opts.seed);
+    let model = topo.propagation_model().expect("synthetic topologies carry a model");
+    let mut per_floor = std::collections::BTreeMap::<i64, usize>::new();
+    for node in topo.nodes() {
+        *per_floor
+            .entry((topo.position(node).z / model.floor_height_m).round() as i64)
+            .or_default() += 1;
+    }
+    for (floor, count) in &per_floor {
+        println!("floor {floor}: {count} nodes");
+    }
+    let headers = ["graph", "edges", "diameter", "min deg", "max deg", "connected"];
+    let degree_range = |g: &dyn Fn(usize) -> usize| {
+        let ds: Vec<usize> = (0..topo.node_count()).map(g).collect();
+        (ds.iter().min().copied().unwrap_or(0), ds.iter().max().copied().unwrap_or(0))
+    };
+    let (comm_min, comm_max) = degree_range(&|i| comm.degree(wsan_net::NodeId::new(i)));
+    let (reuse_min, reuse_max) = degree_range(&|i| reuse.degree(wsan_net::NodeId::new(i)));
+    let rows = vec![
+        vec![
+            "communication".to_string(),
+            comm.edge_count().to_string(),
+            comm.diameter().to_string(),
+            comm_min.to_string(),
+            comm_max.to_string(),
+            comm.is_connected().to_string(),
+        ],
+        vec![
+            "channel reuse".to_string(),
+            reuse.edge_count().to_string(),
+            reuse.diameter().to_string(),
+            reuse_min.to_string(),
+            reuse_max.to_string(),
+            reuse.is_connected().to_string(),
+        ],
+    ];
+    print!("{}", table::render(&headers, &rows));
+    let aps = comm.select_access_points(2);
+    println!("access points (highest degree): {} and {}", aps[0], aps[1]);
+
+    // DOT export with physical positions (scaled to points)
+    let mut dot = String::from("graph wustl {\n  node [shape=point, width=0.12];\n");
+    for node in topo.nodes() {
+        let p = topo.position(node);
+        let _ = writeln!(
+            dot,
+            "  {} [pos=\"{:.0},{:.0}\", color=\"{}\"];",
+            node.index(),
+            p.x * 10.0,
+            p.y * 10.0 + p.z * 80.0,
+            if aps.contains(&node) { "red" } else { "black" }
+        );
+    }
+    for a in topo.nodes() {
+        for b in topo.nodes() {
+            if a < b && comm.has_edge(a, b) {
+                let _ = writeln!(dot, "  {} -- {};", a.index(), b.index());
+            }
+        }
+    }
+    dot.push_str("}\n");
+    let path = results_dir().join("fig7_wustl.dot");
+    std::fs::create_dir_all(results_dir()).expect("create results dir");
+    std::fs::write(&path, dot).expect("write DOT");
+    println!("communication graph exported to {} (render: neato -n2 -Tpdf)", path.display());
+}

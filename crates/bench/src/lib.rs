@@ -1,0 +1,82 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Each `src/bin/figN*.rs` binary reproduces one or more figures of the
+//! paper's evaluation: it prints the same series the figure plots and dumps
+//! a machine-readable copy under `results/`. All binaries accept:
+//!
+//! * `--sets N` — flow sets per configuration point (default: the paper's
+//!   100; lower it for a quick pass),
+//! * `--seed S` — base seed (default 1),
+//! * `--quick` — shorthand for a fast smoke-scale run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Flow sets (or repetitions) per configuration point.
+    pub sets: usize,
+    /// Base seed for workload generation.
+    pub seed: u64,
+    /// Quick mode: shrink the heaviest dimensions.
+    pub quick: bool,
+}
+
+impl RunOptions {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_sets: usize) -> Self {
+        let mut options = RunOptions { sets: default_sets, seed: 1, quick: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--sets" => {
+                    let v = args.next().expect("--sets needs a value");
+                    options.sets = v.parse().expect("--sets expects an integer");
+                }
+                "--seed" => {
+                    let v = args.next().expect("--seed needs a value");
+                    options.seed = v.parse().expect("--seed expects an integer");
+                }
+                "--quick" => {
+                    options.quick = true;
+                    options.sets = options.sets.min(10);
+                }
+                other => panic!("unknown argument {other}; supported: --sets N --seed S --quick"),
+            }
+        }
+        options
+    }
+}
+
+/// The directory figure outputs are written to.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("WSAN_RESULTS_DIR").unwrap_or_else(|_| "results".to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_args() {
+        // parse() reads process args; under `cargo test` extra args exist,
+        // so only check the plain constructor semantics here.
+        let o = RunOptions { sets: 100, seed: 1, quick: false };
+        assert_eq!(o.sets, 100);
+    }
+
+    #[test]
+    fn results_dir_honours_env() {
+        std::env::set_var("WSAN_RESULTS_DIR", "/tmp/wsan-results-test");
+        assert_eq!(results_dir(), std::path::PathBuf::from("/tmp/wsan-results-test"));
+        std::env::remove_var("WSAN_RESULTS_DIR");
+        assert_eq!(results_dir(), std::path::PathBuf::from("results"));
+    }
+}

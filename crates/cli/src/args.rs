@@ -1,0 +1,136 @@
+//! Minimal flag parsing for the `wsan` binary (kept dependency-free).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional subcommand plus `--key value` options
+/// (`--flag` without a value stores an empty string).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for options not starting with `--`.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut options = BTreeMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}' (options start with --)"));
+            };
+            let value = match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    v.clone()
+                }
+                _ => String::new(),
+            };
+            options.insert(key.to_string(), value);
+            i += 1;
+        }
+        Ok(Args { options })
+    }
+
+    /// Whether `--key` was present at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parses `--key` as `T`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} expects a {}, got '{raw}'", std::any::type_name::<T>())),
+        }
+    }
+
+    /// Parses `--channels a-b` into an inclusive range, default `11-14`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed ranges.
+    pub fn channel_range(&self) -> Result<(u8, u8), String> {
+        let raw = self.get("channels").unwrap_or("11-14");
+        let (a, b) = raw
+            .split_once('-')
+            .ok_or_else(|| format!("--channels expects 'a-b', got '{raw}'"))?;
+        let first: u8 = a.parse().map_err(|_| format!("bad channel '{a}'"))?;
+        let last: u8 = b.parse().map_err(|_| format!("bad channel '{b}'"))?;
+        Ok((first, last))
+    }
+
+    /// Unknown-option check: every provided option must be in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown option.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown option --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = parse(&["--flows", "40", "--wifi", "--seed", "7"]);
+        assert_eq!(a.get("flows"), Some("40"));
+        assert!(a.has("wifi"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(a.get_or("missing", 3usize).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = Args::parse(&["stray".to_string()]).unwrap_err();
+        assert!(err.contains("stray"));
+    }
+
+    #[test]
+    fn channel_ranges() {
+        assert_eq!(parse(&[]).channel_range().unwrap(), (11, 14));
+        assert_eq!(parse(&["--channels", "12-16"]).channel_range().unwrap(), (12, 16));
+        assert!(parse(&["--channels", "x"]).channel_range().is_err());
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = parse(&["--flows", "40", "--bogus", "1"]);
+        assert!(a.ensure_known(&["flows"]).is_err());
+        assert!(a.ensure_known(&["flows", "bogus"]).is_ok());
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let a = parse(&["--flows", "many"]);
+        let err = a.get_or("flows", 0usize).unwrap_err();
+        assert!(err.contains("many"));
+    }
+}

@@ -1,0 +1,465 @@
+//! The `wsan` subcommands.
+
+use crate::args::Args;
+use wsan_core::{metrics, repair, NetworkModel};
+use wsan_detect::LinkVerdict;
+use wsan_expr::detection::{evaluate as detection, DetectionConfig};
+use wsan_expr::Algorithm;
+use wsan_flow::{FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, ChannelSet, Prr, Topology};
+use wsan_sim::{SimConfig, Simulator, WifiInterferer};
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  wsan topology --testbed <indriya|wustl> [--seed N] [--channels a-b] [--dot FILE]
+  wsan schedule --testbed <indriya|wustl> --flows N [--algo nr|ra|rc|rc-lite]
+                [--pattern p2p|centralized] [--channels a-b] [--seed N]
+                [--periods x,y] [--rho N]
+  wsan simulate (schedule options) [--reps N] [--wifi] [--autonomous L]
+  wsan export   (schedule options) --out FILE     # CSV slotframe
+  wsan detect   --testbed <indriya|wustl> --flows N [--epochs N] [--seed N]
+                [--channels a-b] [--algo ra|rc] [--repair]";
+
+/// Dispatches a full argv (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on any misuse or failure.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Err("missing subcommand".to_string());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "topology" => cmd_topology(&args),
+        "schedule" => cmd_schedule(&args),
+        "simulate" => cmd_simulate(&args),
+        "export" => cmd_export(&args),
+        "detect" => cmd_detect(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_testbed(args: &Args) -> Result<Topology, String> {
+    if let Some(path) = args.get("load") {
+        return Topology::load(path).map_err(|e| format!("cannot load {path}: {e}"));
+    }
+    let seed: u64 = args.get_or("seed", 1)?;
+    match args.get("testbed") {
+        Some("indriya") => Ok(testbeds::indriya(seed)),
+        Some("wustl") => Ok(testbeds::wustl(seed)),
+        Some(other) => Err(format!("unknown testbed '{other}' (indriya|wustl)")),
+        None => Err("--testbed is required (or --load FILE)".to_string()),
+    }
+}
+
+fn channels_of(args: &Args) -> Result<ChannelSet, String> {
+    let (a, b) = args.channel_range()?;
+    ChannelId::range(a, b).map_err(|e| e.to_string())
+}
+
+fn algorithm_of(args: &Args, default: Algorithm) -> Result<Algorithm, String> {
+    let rho: u32 = args.get_or("rho", 2)?;
+    match args.get("algo") {
+        None => Ok(default),
+        Some("nr") => Ok(Algorithm::Nr),
+        Some("ra") => Ok(Algorithm::Ra { rho }),
+        Some("rc") => Ok(Algorithm::Rc { rho_t: rho }),
+        Some("rc-lite") => Ok(Algorithm::RcLite { rho_t: rho }),
+        Some(other) => Err(format!("unknown algorithm '{other}' (nr|ra|rc|rc-lite)")),
+    }
+}
+
+fn pattern_of(args: &Args) -> Result<TrafficPattern, String> {
+    match args.get("pattern") {
+        None | Some("p2p") => Ok(TrafficPattern::PeerToPeer),
+        Some("centralized") => Ok(TrafficPattern::Centralized),
+        Some(other) => Err(format!("unknown pattern '{other}' (p2p|centralized)")),
+    }
+}
+
+fn periods_of(args: &Args) -> Result<PeriodRange, String> {
+    let raw = args.get("periods").unwrap_or("0,2");
+    let (x, y) = raw
+        .split_once(',')
+        .ok_or_else(|| format!("--periods expects 'x,y' exponents, got '{raw}'"))?;
+    let x: i32 = x.parse().map_err(|_| format!("bad exponent '{x}'"))?;
+    let y: i32 = y.parse().map_err(|_| format!("bad exponent '{y}'"))?;
+    PeriodRange::new(x, y).map_err(|e| e.to_string())
+}
+
+fn build_workload(
+    args: &Args,
+    topo: &Topology,
+    channels: &ChannelSet,
+) -> Result<(FlowSet, NetworkModel), String> {
+    let flows: usize = args.get_or("flows", 0)?;
+    if flows == 0 {
+        return Err("--flows is required (and must be positive)".to_string());
+    }
+    let comm = topo.comm_graph(channels, Prr::new(0.9).expect("valid"));
+    let model = NetworkModel::new(topo, channels);
+    let cfg = FlowSetConfig::new(flows, periods_of(args)?, pattern_of(args)?);
+    let seed: u64 = args.get_or("seed", 1)?;
+    let set = FlowSetGenerator::new(seed)
+        .generate(&comm, &cfg)
+        .map_err(|e| format!("workload generation failed: {e}"))?;
+    Ok((set, model))
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["testbed", "seed", "channels", "dot", "save", "load"])?;
+    let topo = load_testbed(args)?;
+    if let Some(path) = args.get("save") {
+        topo.save(path).map_err(|e| format!("cannot save {path}: {e}"))?;
+        println!("topology (PRR tables included) saved to {path}");
+    }
+    let channels = channels_of(args)?;
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
+    let reuse = topo.reuse_graph(&channels);
+    println!("topology {} ({} nodes)", topo.name(), topo.node_count());
+    println!(
+        "channels {:?}",
+        channels.iter().map(|c| c.number()).collect::<Vec<_>>()
+    );
+    println!(
+        "communication graph: {} edges, diameter {}, connected: {}",
+        comm.edge_count(),
+        comm.diameter(),
+        comm.is_connected()
+    );
+    println!(
+        "channel reuse graph: {} edges, diameter {} (λ_R)",
+        reuse.edge_count(),
+        reuse.diameter()
+    );
+    let aps = comm.select_access_points(2);
+    println!("access points: {} and {}", aps[0], aps[1]);
+    if let Some(path) = args.get("dot") {
+        let mut dot = String::from("graph g {\n  node [shape=point];\n");
+        for a in topo.nodes() {
+            let p = topo.position(a);
+            dot.push_str(&format!(
+                "  {} [pos=\"{:.0},{:.0}\"];\n",
+                a.index(),
+                p.x * 10.0,
+                p.y * 10.0 + p.z * 80.0
+            ));
+        }
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a < b && comm.has_edge(a, b) {
+                    dot.push_str(&format!("  {} -- {};\n", a.index(), b.index()));
+                }
+            }
+        }
+        dot.push_str("}\n");
+        std::fs::write(path, dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("communication graph written to {path}");
+    }
+    Ok(())
+}
+
+const SCHEDULE_OPTS: &[&str] =
+    &["testbed", "seed", "channels", "flows", "algo", "pattern", "periods", "rho", "load", "analysis", "show"];
+
+fn cmd_schedule(args: &Args) -> Result<(), String> {
+    args.ensure_known(SCHEDULE_OPTS)?;
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let (set, model) = build_workload(args, &topo, &channels)?;
+    let algo = algorithm_of(args, Algorithm::Rc { rho_t: 2 })?;
+    println!(
+        "workload: {} flows, hyperperiod {} slots, demand {} tx/hyperperiod",
+        set.len(),
+        set.hyperperiod(),
+        set.transmission_demand()
+    );
+    if args.has("analysis") {
+        let report = wsan_core::analysis::analyse(&set, &model, 2);
+        let guaranteed = report.bounds.iter().filter(|b| b.is_bounded()).count();
+        println!(
+            "delay analysis (sufficient test, no reuse): {}/{} flows guaranteed{}",
+            guaranteed,
+            set.len(),
+            if report.schedulable() { " — admitted" } else { "" }
+        );
+    }
+    match algo.build().schedule(&set, &model) {
+        Ok(schedule) => {
+            let m = metrics::compute(&schedule, &model);
+            println!("{algo}: SCHEDULABLE — {} transmissions placed", schedule.entry_count());
+            println!(
+                "  cells without reuse: {:.1}%",
+                100.0 * m.no_reuse_fraction()
+            );
+            for (hops, count) in m.reuse_hop_count.iter() {
+                println!("  shared cells at {hops} reuse hops: {count}");
+            }
+            if let Some(rt) = metrics::mean_response_time(&schedule, &set) {
+                println!("  mean job response time: {rt:.1} slots");
+            }
+            println!("  {}", wsan_core::render::summary_line(&schedule));
+            if args.has("show") {
+                let to = schedule.horizon().min(60);
+                println!("{}", wsan_core::render::render_grid(&schedule, 0, to));
+            }
+            Ok(())
+        }
+        Err(e) => {
+            println!("{algo}: UNSCHEDULABLE ({e})");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let mut allowed = SCHEDULE_OPTS.to_vec();
+    allowed.extend(["reps", "wifi", "autonomous"]);
+    args.ensure_known(&allowed)?;
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let (set, model) = build_workload(args, &topo, &channels)?;
+    let reps: u32 = args.get_or("reps", 100)?;
+    let interferers: Vec<WifiInterferer> = if args.has("wifi") {
+        wsan_expr::detection::per_floor_interferers(&topo, -3.0, 0.10)
+    } else {
+        Vec::new()
+    };
+    let seed: u64 = args.get_or("seed", 1)?;
+    let sim_config = SimConfig {
+        seed: seed ^ 0xD00D,
+        repetitions: reps,
+        interferers,
+        ..SimConfig::default()
+    };
+    if args.has("autonomous") {
+        let len: u32 = args.get_or("autonomous", 17)?;
+        let frame = wsan_core::orchestra::AutonomousSlotframe::receiver_based(
+            topo.node_count(),
+            len.max(1),
+            channels.len(),
+        );
+        let sim = wsan_sim::AutonomousSimulator::new(&topo, &channels, &set, &frame);
+        let report = sim.run(&sim_config);
+        println!("autonomous slotframe (L={len}) over {reps} hyperperiods:");
+        println!("  network PDR : {:.4} (deadline-constrained)", report.network_pdr());
+        println!("  worst flow  : {:.4}", report.worst_flow_pdr());
+        return Ok(());
+    }
+    let algo = algorithm_of(args, Algorithm::Rc { rho_t: 2 })?;
+    let schedule = algo
+        .build()
+        .schedule(&set, &model)
+        .map_err(|e| format!("{algo} cannot schedule this workload: {e}"))?;
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let report = sim.run(&sim_config);
+    let pdrs = report.flow_pdrs();
+    let boxplot = wsan_stats::BoxPlot::of(&pdrs).map_err(|e| e.to_string())?;
+    println!("{algo} over {reps} hyperperiod executions:");
+    println!("  network PDR : {:.4}", report.network_pdr());
+    println!("  median flow : {:.4}", boxplot.median);
+    println!("  q1 / q3     : {:.4} / {:.4}", boxplot.q1, boxplot.q3);
+    println!("  worst flow  : {:.4}", report.worst_flow_pdr());
+    println!("  reused links: {}", report.links_with_reuse().len());
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let mut allowed = SCHEDULE_OPTS.to_vec();
+    allowed.push("out");
+    args.ensure_known(&allowed)?;
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let (set, model) = build_workload(args, &topo, &channels)?;
+    let algo = algorithm_of(args, Algorithm::Rc { rho_t: 2 })?;
+    let schedule = algo
+        .build()
+        .schedule(&set, &model)
+        .map_err(|e| format!("{algo} cannot schedule this workload: {e}"))?;
+    let csv = wsan_core::export::to_csv(&schedule);
+    match args.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "slotframe with {} transmissions written to {path}",
+                schedule.entry_count()
+            );
+        }
+        _ => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_detect(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["testbed", "seed", "channels", "flows", "epochs", "algo", "repair", "rho"])?;
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let algo = algorithm_of(args, Algorithm::Ra { rho: 2 })?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let cfg = DetectionConfig {
+        flow_count: args.get_or("flows", 110)?,
+        epochs: args.get_or("epochs", 3)?,
+        seed,
+        ..DetectionConfig::default()
+    };
+    let runs = detection(&topo, &channels, &[algo], &cfg);
+    let Some(run) = runs.first() else {
+        return Err(format!("{algo} cannot schedule the detection workload"));
+    };
+    println!("{algo}: {} links involved in channel reuse", run.links_with_reuse);
+    for (env, epochs) in [("clean", &run.clean), ("wifi", &run.interfered)] {
+        println!("[{env}]");
+        for epoch in epochs {
+            println!(
+                "  epoch {}: {} below PRR_t, {} reuse-degraded, {} external",
+                epoch.epoch,
+                epoch.below_threshold(cfg.policy.prr_threshold).len(),
+                epoch.rejected().len(),
+                epoch.accepted().len()
+            );
+            for record in &epoch.records {
+                if record.verdict == LinkVerdict::ReuseDegraded {
+                    println!(
+                        "    reject {} (PRR_r {:.2})",
+                        record.link,
+                        record.prr_r.unwrap_or(0.0)
+                    );
+                }
+            }
+        }
+    }
+    if args.has("repair") {
+        let rejected = run.ever_rejected(true);
+        if rejected.is_empty() {
+            println!("repair: nothing to do (no rejected links)");
+            return Ok(());
+        }
+        // rebuild the schedule and repair it
+        let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
+        let model = NetworkModel::new(&topo, &channels);
+        let fsc = FlowSetConfig::new(
+            cfg.flow_count,
+            PeriodRange::new(0, 0).expect("valid"),
+            TrafficPattern::PeerToPeer,
+        );
+        let set = FlowSetGenerator::new(seed)
+            .generate(&comm, &fsc)
+            .map_err(|e| e.to_string())?;
+        let schedule =
+            algo.build().schedule(&set, &model).map_err(|e| format!("reschedule failed: {e}"))?;
+        let rho: u32 = args.get_or("rho", 2)?;
+        let (_, report) = repair::reassign_degraded(&schedule, &model, &set, rho, &rejected);
+        println!(
+            "repair: {} jobs re-placed ({} transmissions moved), {} jobs need a full reschedule",
+            report.repaired_jobs.len(),
+            report.moved_transmissions,
+            report.failed_jobs.len()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(parts: &[&str]) -> Result<(), String> {
+        dispatch(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn help_works() {
+        run(&["help"]).unwrap();
+    }
+
+    #[test]
+    fn topology_requires_testbed() {
+        let err = run(&["topology"]).unwrap_err();
+        assert!(err.contains("--testbed"));
+    }
+
+    #[test]
+    fn topology_runs_on_wustl() {
+        run(&["topology", "--testbed", "wustl", "--seed", "2"]).unwrap();
+    }
+
+    #[test]
+    fn schedule_requires_flows() {
+        let err = run(&["schedule", "--testbed", "wustl"]).unwrap_err();
+        assert!(err.contains("--flows"));
+    }
+
+    #[test]
+    fn schedule_small_workload() {
+        run(&[
+            "schedule", "--testbed", "wustl", "--flows", "8", "--algo", "rc", "--seed", "3",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_small_workload() {
+        run(&[
+            "simulate", "--testbed", "wustl", "--flows", "8", "--reps", "5", "--seed", "3",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--zap", "1"])
+            .unwrap_err();
+        assert!(err.contains("--zap"));
+    }
+
+    #[test]
+    fn bad_algorithm_is_rejected() {
+        let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--algo", "magic"])
+            .unwrap_err();
+        assert!(err.contains("magic"));
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+
+    fn run(parts: &[&str]) -> Result<(), String> {
+        dispatch(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn export_round_trips_through_the_csv_parser() {
+        let dir = std::env::temp_dir().join("wsan-cli-export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.csv");
+        run(&[
+            "export", "--testbed", "wustl", "--flows", "6", "--seed", "4", "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        let schedule = wsan_core::export::from_csv(&csv).unwrap();
+        assert!(schedule.entry_count() > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn autonomous_simulation_runs() {
+        run(&[
+            "simulate", "--testbed", "wustl", "--flows", "6", "--reps", "3", "--autonomous", "7",
+        ])
+        .unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! `wsan` — command-line front end for the conservative channel reuse stack.
+//!
+//! ```text
+//! wsan topology  --testbed wustl [--seed 1] [--channels 11-14] [--dot out.dot]
+//! wsan schedule  --testbed wustl --flows 40 [--algo rc] [--pattern p2p] ...
+//! wsan simulate  --testbed wustl --flows 40 [--algo rc] [--reps 100] [--wifi]
+//! wsan detect    --testbed wustl --flows 110 [--epochs 6] [--repair]
+//! ```
+//!
+//! Every command is deterministic in its `--seed`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

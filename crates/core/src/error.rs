@@ -1,0 +1,59 @@
+//! Error type for scheduling.
+
+use std::error::Error;
+use std::fmt;
+use wsan_flow::FlowId;
+
+/// Errors produced by the schedulers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The flow set is unschedulable: a transmission of `flow` (job
+    /// `job_index`) could not be placed before the job's deadline. Mirrors
+    /// Algorithm 1 returning the empty schedule.
+    Unschedulable {
+        /// The flow whose transmission missed its deadline.
+        flow: FlowId,
+        /// Which release of the flow failed.
+        job_index: u32,
+    },
+    /// The scheduler was configured with zero channels.
+    NoChannels,
+    /// The minimum reuse hop distance `ρ_t` must be at least 1 (a distance
+    /// of 0 would allow a node to interfere with itself).
+    InvalidRhoFloor(u32),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unschedulable { flow, job_index } => {
+                write!(f, "flow set unschedulable: {flow} job {job_index} misses its deadline")
+            }
+            ScheduleError::NoChannels => write!(f, "scheduling requires at least one channel"),
+            ScheduleError::InvalidRhoFloor(rho) => {
+                write!(f, "minimum channel reuse hop distance must be ≥ 1, got {rho}")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_flow() {
+        let e = ScheduleError::Unschedulable { flow: FlowId::new(3), job_index: 2 };
+        assert!(e.to_string().contains("F3"));
+        assert!(e.to_string().contains("job 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScheduleError>();
+    }
+}

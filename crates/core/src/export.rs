@@ -1,0 +1,196 @@
+//! Slotframe export — the wire format a network manager distributes.
+//!
+//! A WirelessHART network manager pushes the computed schedule to the field
+//! devices. This module renders a [`Schedule`] into a line-per-transmission
+//! CSV slotframe (stable, diff-friendly, trivially parseable on a mote-class
+//! device) and parses it back, so schedules can be stored, inspected, and
+//! shipped between tools. JSON round-trips are available via the
+//! `serde::Serialize` impl on [`Schedule`] itself; the CSV form is the
+//! compact operational one.
+
+use crate::{Schedule, ScheduledTx};
+use std::fmt::Write as _;
+use wsan_flow::FlowId;
+use wsan_net::{DirectedLink, NodeId};
+
+/// Header line of the CSV slotframe.
+pub const CSV_HEADER: &str = "slot,offset,flow,job,seq,attempt,tx,rx";
+
+/// Errors produced while parsing a CSV slotframe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The header line is missing or different.
+    BadHeader,
+    /// A data line has the wrong number of fields or a bad number.
+    BadLine {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// The preamble (dimensions) line is malformed.
+    BadPreamble,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed header line"),
+            ParseError::BadLine { line } => write!(f, "malformed slotframe entry on line {line}"),
+            ParseError::BadPreamble => write!(f, "missing or malformed dimensions line"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Renders the schedule as a CSV slotframe.
+///
+/// The first line records the grid dimensions
+/// (`#horizon,channels,nodes`), the second is [`CSV_HEADER`], and each
+/// further line is one transmission. Entries are sorted by
+/// (slot, offset, flow, seq) so the output is canonical.
+pub fn to_csv(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "#{},{},{}",
+        schedule.horizon(),
+        schedule.channel_count(),
+        schedule.node_count()
+    );
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    let mut entries: Vec<_> = schedule.entries().to_vec();
+    entries.sort_by_key(|e| (e.slot, e.offset, e.tx.flow, e.tx.seq));
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            e.slot,
+            e.offset,
+            e.tx.flow.index(),
+            e.tx.job_index,
+            e.tx.seq,
+            e.tx.attempt,
+            e.tx.link.tx.index(),
+            e.tx.link.rx.index()
+        );
+    }
+    out
+}
+
+/// Parses a CSV slotframe produced by [`to_csv`] back into a schedule.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+///
+/// # Panics
+///
+/// Panics if the entries violate the schedule's structural invariants
+/// (out-of-range slots, transmission conflicts in debug builds) — a
+/// slotframe from an untrusted source should be validated with
+/// [`crate::validate::check`] afterwards regardless.
+pub fn from_csv(input: &str) -> Result<Schedule, ParseError> {
+    let mut lines = input.lines().enumerate();
+    let (_, preamble) = lines.next().ok_or(ParseError::BadPreamble)?;
+    let preamble = preamble.strip_prefix('#').ok_or(ParseError::BadPreamble)?;
+    let dims: Vec<u64> = preamble
+        .split(',')
+        .map(|p| p.trim().parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| ParseError::BadPreamble)?;
+    let [horizon, channels, nodes] = dims[..] else {
+        return Err(ParseError::BadPreamble);
+    };
+    let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+    if header.trim() != CSV_HEADER {
+        return Err(ParseError::BadHeader);
+    }
+    let mut schedule = Schedule::new(horizon as u32, channels as usize, nodes as usize);
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<u64> = line
+            .split(',')
+            .map(|p| p.trim().parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseError::BadLine { line: i + 1 })?;
+        let [slot, offset, flow, job, seq, attempt, tx, rx] = fields[..] else {
+            return Err(ParseError::BadLine { line: i + 1 });
+        };
+        schedule.place(
+            slot as u32,
+            offset as usize,
+            ScheduledTx {
+                flow: FlowId::new(flow as usize),
+                job_index: job as u32,
+                link: DirectedLink::new(NodeId::new(tx as usize), NodeId::new(rx as usize)),
+                seq: seq as u16,
+                attempt: attempt as u8,
+            },
+        );
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::{ReuseAggressively, Scheduler};
+
+    fn sample_schedule() -> Schedule {
+        let (flows, reuse) = parallel_set(4, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        ReuseAggressively::new(2).schedule(&flows, &model).unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_the_grid() {
+        let original = sample_schedule();
+        let csv = to_csv(&original);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed.horizon(), original.horizon());
+        assert_eq!(parsed.channel_count(), original.channel_count());
+        assert_eq!(parsed.entry_count(), original.entry_count());
+        // same cells, entry order may differ (canonical sort)
+        for slot in 0..original.horizon() {
+            for offset in 0..original.channel_count() {
+                let mut a = original.cell(slot, offset).to_vec();
+                let mut b = parsed.cell(slot, offset).to_vec();
+                a.sort_by_key(|t| (t.flow, t.seq));
+                b.sort_by_key(|t| (t.flow, t.seq));
+                assert_eq!(a, b, "cell ({slot}, {offset}) differs");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_canonical() {
+        let s = sample_schedule();
+        assert_eq!(to_csv(&s), to_csv(&from_csv(&to_csv(&s)).unwrap()));
+    }
+
+    #[test]
+    fn header_and_preamble_are_enforced() {
+        assert_eq!(from_csv(""), Err(ParseError::BadPreamble));
+        assert_eq!(from_csv("#10,2,4"), Err(ParseError::BadHeader));
+        assert_eq!(from_csv("#10,2,4\nwrong,header"), Err(ParseError::BadHeader));
+        assert_eq!(from_csv("10,2,4\nslot"), Err(ParseError::BadPreamble));
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let input = format!("#10,2,4\n{CSV_HEADER}\n0,0,0,0,0,0,0,1\nbad,line\n");
+        assert_eq!(from_csv(&input), Err(ParseError::BadLine { line: 4 }));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let input = format!("#10,2,4\n{CSV_HEADER}\n\n0,0,0,0,0,0,0,1\n\n");
+        let s = from_csv(&input).unwrap();
+        assert_eq!(s.entry_count(), 1);
+    }
+}

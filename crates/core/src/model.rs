@@ -1,0 +1,87 @@
+//! The network-side inputs a scheduler needs, precomputed once.
+
+use wsan_net::{ChannelSet, HopMatrix, ReuseGraph, Topology};
+
+/// Precomputed network model handed to schedulers: the channel reuse graph's
+/// all-pairs hop distances, its diameter `λ_R`, and the channel count `|M|`.
+///
+/// Building this once per (topology, channel set) amortizes the BFS work the
+/// channel constraints query on every candidate slot.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    hops: HopMatrix,
+    lambda_r: u32,
+    channels: usize,
+    node_count: usize,
+}
+
+impl NetworkModel {
+    /// Derives the model from a topology and the channels in use.
+    pub fn new(topology: &Topology, channels: &ChannelSet) -> Self {
+        let reuse = topology.reuse_graph(channels);
+        Self::from_reuse_graph(&reuse, channels.len())
+    }
+
+    /// Derives the model from an already-built reuse graph.
+    pub fn from_reuse_graph(reuse: &ReuseGraph, channels: usize) -> Self {
+        let hops = reuse.hop_matrix();
+        let lambda_r = hops.diameter();
+        NetworkModel { hops, lambda_r, channels, node_count: reuse.node_count() }
+    }
+
+    /// All-pairs hop distances on the channel reuse graph.
+    pub fn hops(&self) -> &HopMatrix {
+        &self.hops
+    }
+
+    /// The reuse-graph diameter `λ_R` — the largest hop distance Algorithm 1
+    /// starts from when it first introduces reuse.
+    pub fn lambda_r(&self) -> u32 {
+        self.lambda_r
+    }
+
+    /// Number of channels `|M|` (= number of channel offsets).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Returns a copy of the model with a different channel count (the
+    /// evaluation sweeps `|M|` over one topology).
+    pub fn with_channels(&self, channels: usize) -> Self {
+        NetworkModel { channels, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_net::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn model_from_path_graph() {
+        let reuse = ReuseGraph::from_edges(4, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))]);
+        let m = NetworkModel::from_reuse_graph(&reuse, 3);
+        assert_eq!(m.lambda_r(), 3);
+        assert_eq!(m.channels(), 3);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.hops().hops(n(0), n(2)), 2);
+    }
+
+    #[test]
+    fn with_channels_overrides_only_channel_count() {
+        let reuse = ReuseGraph::from_edges(3, &[(n(0), n(1)), (n(1), n(2))]);
+        let m = NetworkModel::from_reuse_graph(&reuse, 4);
+        let m2 = m.with_channels(8);
+        assert_eq!(m2.channels(), 8);
+        assert_eq!(m2.lambda_r(), m.lambda_r());
+    }
+}

@@ -1,0 +1,82 @@
+//! NR — the standard WirelessHART baseline without channel reuse.
+
+use crate::constraints::find_slot;
+use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
+use wsan_flow::FlowSet;
+
+/// Deadline-monotonic fixed-priority scheduling with **no channel reuse**:
+/// each (slot, channel offset) cell holds at most one transmission, so a
+/// slot carries at most `|M|` concurrent transmissions. This is the
+/// WirelessHART-standard behaviour the paper compares against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoReuse;
+
+impl NoReuse {
+    /// Creates the NR scheduler.
+    pub fn new() -> Self {
+        NoReuse
+    }
+}
+
+struct NrPolicy;
+
+impl PlacePolicy for NrPolicy {
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, Rho::NoReuse)
+    }
+}
+
+impl Scheduler for NoReuse {
+    fn name(&self) -> &'static str {
+        "NR"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority(flows, model, config, &mut NrPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{line_set, model_for};
+
+    #[test]
+    fn nr_never_shares_a_cell() {
+        let (flows, reuse) = line_set(3, 6, 100, 90);
+        let model = model_for(&reuse, 2);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        for (_, _, cell) in schedule.occupied_cells() {
+            assert_eq!(cell.len(), 1);
+        }
+    }
+
+    #[test]
+    fn nr_respects_sequencing_and_windows() {
+        let (flows, reuse) = line_set(2, 6, 100, 100);
+        let model = model_for(&reuse, 3);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        crate::validate::check(&schedule, &flows, &model, None).unwrap();
+    }
+
+    #[test]
+    fn nr_fails_when_channels_cannot_carry_the_load() {
+        // Many flows over the same 2-link line with 1 channel and tight
+        // deadlines: the single channel saturates.
+        let (flows, reuse) = line_set(12, 3, 50, 25);
+        let model = model_for(&reuse, 1);
+        let err = NoReuse::new().schedule(&flows, &model).unwrap_err();
+        assert!(matches!(err, ScheduleError::Unschedulable { .. }));
+    }
+}

@@ -1,0 +1,135 @@
+//! RA — the aggressive channel reuse baseline.
+
+use crate::constraints::find_slot;
+use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
+use wsan_flow::FlowSet;
+
+/// Deadline-monotonic fixed-priority scheduling with **aggressive channel
+/// reuse**: every transmission goes to the earliest slot that has *any*
+/// channel satisfying the hop-distance constraint at the fixed floor `ρ`,
+/// whether or not reuse is needed to make the deadline. This mirrors
+/// traditional spatial-reuse TDMA and TASA-style TSCH scheduling, and is the
+/// paper's "RA" baseline (evaluated at `ρ = 2`).
+///
+/// Among feasible offsets in a slot, the one with the fewest scheduled
+/// transmissions is chosen, so empty channels are preferred when available —
+/// aggression is in *when* reuse happens (always, if it buys an earlier
+/// slot), not in packing channels beyond need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseAggressively {
+    rho: u32,
+}
+
+impl ReuseAggressively {
+    /// Creates the RA scheduler with reuse hop distance `rho` (paper: 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`; a hop distance of zero would let a node
+    /// interfere with itself.
+    pub fn new(rho: u32) -> Self {
+        assert!(rho >= 1, "reuse hop distance must be at least 1");
+        ReuseAggressively { rho }
+    }
+
+    /// The fixed reuse hop distance.
+    pub fn rho(&self) -> u32 {
+        self.rho
+    }
+}
+
+struct RaPolicy {
+    rho: Rho,
+}
+
+impl PlacePolicy for RaPolicy {
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho)
+    }
+}
+
+impl Scheduler for ReuseAggressively {
+    fn name(&self) -> &'static str {
+        "RA"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority(flows, model, config, &mut RaPolicy { rho: Rho::AtLeast(self.rho) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::NoReuse;
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rho_panics() {
+        let _ = ReuseAggressively::new(0);
+    }
+
+    #[test]
+    fn ra_packs_distant_links_into_one_channel() {
+        // 4 disjoint links, pairwise ≥ 3 reuse hops apart, 1 channel.
+        let (flows, reuse) = parallel_set(4, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        // all four flows' primary transmissions land in slot 0 on offset 0
+        let cell0 = schedule.cell(0, 0);
+        assert_eq!(cell0.len(), 4, "RA should reuse the single channel for all distant links");
+    }
+
+    #[test]
+    fn ra_schedules_where_nr_cannot() {
+        // 8 links, 1 channel, deadline 10 slots: NR needs 16 exclusive
+        // slots (with retries) and fails; RA packs them concurrently.
+        let (flows, reuse) = parallel_set(8, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        assert!(NoReuse::new().schedule(&flows, &model).is_err());
+        assert!(ReuseAggressively::new(2).schedule(&flows, &model).is_ok());
+    }
+
+    #[test]
+    fn ra_respects_the_hop_floor() {
+        // links only 1 hop apart (stride 2 ⇒ sender-to-receiver distance 1)
+        // cannot share a channel at rho = 2
+        let (flows, reuse) = parallel_set(2, 2, 40, 20);
+        let model = model_for(&reuse, 1);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        for (_, _, cell) in schedule.occupied_cells() {
+            assert_eq!(cell.len(), 1, "adjacent links must not share a channel at rho=2");
+        }
+    }
+
+    #[test]
+    fn ra_prefers_empty_channels() {
+        // 2 distant links, 2 channels: both can go to slot 0, and the
+        // second should take the empty offset 1 rather than reuse offset 0.
+        let (flows, reuse) = parallel_set(2, 4, 40, 20);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        assert_eq!(schedule.cell(0, 0).len(), 1);
+        assert_eq!(schedule.cell(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn ra_output_validates(){
+        let (flows, reuse) = parallel_set(6, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        crate::validate::check(&schedule, &flows, &model, Some(2)).unwrap();
+    }
+}

@@ -1,0 +1,262 @@
+//! RC — Reuse Conservatively, Algorithm 1 of the paper.
+
+use crate::constraints::find_slot;
+use crate::laxity::flow_laxity;
+use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
+use wsan_flow::FlowSet;
+
+/// When Algorithm 1's `ρ` variable resets to `∞`.
+///
+/// The paper's prose (§V-C: "For each transmission `t_ij`, `ρ` is first
+/// initialized to ∞") and its pseudocode (Algorithm 1 resets `ρ` once per
+/// *flow*) differ; we default to the more conservative per-transmission
+/// reading and expose the per-flow variant for the ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RhoReset {
+    /// Reset `ρ ← ∞` before every transmission (the text's reading;
+    /// maximally conservative — reuse is re-justified for every placement).
+    #[default]
+    PerTransmission,
+    /// Reset `ρ ← ∞` once per flow (the pseudocode's reading; once a flow
+    /// needed reuse, its remaining transmissions keep the relaxed `ρ`).
+    PerFlow,
+}
+
+/// How RC decides that a placement is "not good enough" and reuse must be
+/// introduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReuseTrigger {
+    /// The paper's heuristic: relax `ρ` as soon as the *flow laxity*
+    /// (Eq. 1) at the found slot goes negative — a predicted future miss.
+    #[default]
+    NegativeLaxity,
+    /// Ablation variant ("RC-lite"): relax `ρ` only when `findSlot` finds
+    /// *no* slot before the deadline — a concrete, already-certain miss.
+    /// Cheaper, but blind to downstream congestion; the ablation bench
+    /// quantifies how much schedulability the laxity heuristic buys.
+    DeadlineMissOnly,
+}
+
+/// **Reuse Conservatively (RC)** — the paper's contribution (Algorithm 1).
+///
+/// For each transmission, RC first tries to place it *without* channel
+/// reuse (`ρ = ∞`). It computes the flow laxity (Eq. 1) at the found slot;
+/// if the laxity is non-negative the placement stands and no reuse is
+/// introduced. Only when the laxity goes negative does RC enable reuse —
+/// starting from the network's maximum useful hop distance (the reuse-graph
+/// diameter `λ_R`) and decrementing toward the floor `ρ_t` until the laxity
+/// recovers or the floor is hit. If the loop exhausts, the last found slot
+/// is used as long as it makes the deadline; otherwise the flow set is
+/// unschedulable.
+///
+/// Compared to [`ReuseAggressively`](crate::ReuseAggressively), RC yields
+/// (a) fewer shared channels and (b) larger hop distances when channels are
+/// shared — the two levers that protect reliability (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseConservatively {
+    rho_t: u32,
+    reset: RhoReset,
+    trigger: ReuseTrigger,
+}
+
+impl ReuseConservatively {
+    /// Creates the RC scheduler with minimum reuse hop distance `rho_t`
+    /// (the paper evaluates `ρ_t = 2`), resetting `ρ` per transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho_t == 0`.
+    pub fn new(rho_t: u32) -> Self {
+        assert!(rho_t >= 1, "minimum reuse hop distance must be at least 1");
+        ReuseConservatively { rho_t, reset: RhoReset::default(), trigger: ReuseTrigger::default() }
+    }
+
+    /// Selects when `ρ` resets to `∞` (see [`RhoReset`]).
+    pub fn with_reset(mut self, reset: RhoReset) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// Selects what triggers the introduction of reuse (see
+    /// [`ReuseTrigger`]). The default is the paper's laxity heuristic.
+    pub fn with_trigger(mut self, trigger: ReuseTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// The configured reuse trigger.
+    pub fn trigger(&self) -> ReuseTrigger {
+        self.trigger
+    }
+
+    /// The minimum reuse hop distance `ρ_t`.
+    pub fn rho_t(&self) -> u32 {
+        self.rho_t
+    }
+
+    /// The configured reset policy.
+    pub fn reset(&self) -> RhoReset {
+        self.reset
+    }
+}
+
+struct RcPolicy {
+    rho_t: u32,
+    reset: RhoReset,
+    trigger: ReuseTrigger,
+    rho: Rho,
+}
+
+impl PlacePolicy for RcPolicy {
+    fn begin_flow(&mut self) {
+        self.rho = Rho::NoReuse;
+    }
+
+    fn begin_transmission(&mut self) {
+        if self.reset == RhoReset::PerTransmission {
+            self.rho = Rho::NoReuse;
+        }
+    }
+
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        // Algorithm 1's inner while-loop. Relaxing ρ only ever enlarges the
+        // feasible set, so the most recent findSlot result is also the
+        // earliest placement seen so far.
+        let mut found: Option<(u32, usize)> = None;
+        loop {
+            let candidate =
+                find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho);
+            if let Some((slot, offset)) = candidate {
+                found = Some((slot, offset));
+                let good_enough = match self.trigger {
+                    ReuseTrigger::NegativeLaxity => {
+                        flow_laxity(schedule, slot, req.deadline_slot, req.remaining) >= 0
+                    }
+                    // a found slot is always accepted in the ablation mode
+                    ReuseTrigger::DeadlineMissOnly => true,
+                };
+                if good_enough {
+                    return found;
+                }
+            }
+            match self.rho.step_down(model.lambda_r(), self.rho_t) {
+                Some(next) => self.rho = next,
+                // ρ fell below ρ_t: schedule at the last found slot if it
+                // makes the deadline (findSlot already bounds by d_i),
+                // otherwise report the miss.
+                None => return found,
+            }
+        }
+    }
+}
+
+impl Scheduler for ReuseConservatively {
+    fn name(&self) -> &'static str {
+        "RC"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        let mut policy = RcPolicy {
+            rho_t: self.rho_t,
+            reset: self.reset,
+            trigger: self.trigger,
+            rho: Rho::NoReuse,
+        };
+        run_fixed_priority(flows, model, config, &mut policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::{NoReuse, ReuseAggressively};
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rho_floor_panics() {
+        let _ = ReuseConservatively::new(0);
+    }
+
+    #[test]
+    fn rc_does_not_reuse_when_workload_is_light() {
+        // 3 distant links, 2 channels, roomy deadlines: laxity stays
+        // non-negative without reuse, so RC must not share any channel.
+        let (flows, reuse) = parallel_set(3, 4, 100, 90);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+        for (_, _, cell) in schedule.occupied_cells() {
+            assert_eq!(cell.len(), 1, "RC introduced reuse although laxity was non-negative");
+        }
+    }
+
+    #[test]
+    fn rc_reuses_when_needed_and_schedules_what_nr_cannot() {
+        let (flows, reuse) = parallel_set(8, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        assert!(NoReuse::new().schedule(&flows, &model).is_err());
+        let schedule = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+        // some cell must now be shared
+        assert!(schedule.occupied_cells().any(|(_, _, cell)| cell.len() > 1));
+        crate::validate::check(&schedule, &flows, &model, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn rc_shares_less_than_ra() {
+        // Moderate load: RA reuses to grab earlier slots, RC only where
+        // laxity forces it.
+        let (flows, reuse) = parallel_set(6, 4, 60, 18);
+        let model = model_for(&reuse, 2);
+        let ra = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let rc = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+        let shared = |s: &crate::Schedule| {
+            s.occupied_cells().filter(|(_, _, c)| c.len() > 1).count()
+        };
+        assert!(
+            shared(&rc) <= shared(&ra),
+            "RC shared {} cells, RA {}",
+            shared(&rc),
+            shared(&ra)
+        );
+    }
+
+    #[test]
+    fn rc_per_flow_reset_matches_pseudocode() {
+        let (flows, reuse) = parallel_set(8, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        let rc = ReuseConservatively::new(2).with_reset(RhoReset::PerFlow);
+        assert_eq!(rc.reset(), RhoReset::PerFlow);
+        let schedule = rc.schedule(&flows, &model).unwrap();
+        crate::validate::check(&schedule, &flows, &model, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn rc_reports_unschedulable_when_even_reuse_cannot_help() {
+        // Links adjacent on the reuse graph (stride 2): reuse is barred at
+        // rho=2, and 1 channel with tight deadlines cannot fit the load.
+        let (flows, reuse) = parallel_set(6, 2, 40, 3);
+        let model = model_for(&reuse, 1);
+        let err = ReuseConservatively::new(2).schedule(&flows, &model).unwrap_err();
+        assert!(matches!(err, ScheduleError::Unschedulable { .. }));
+    }
+
+    #[test]
+    fn rc_equals_nr_exactly_when_no_reuse_is_needed() {
+        let (flows, reuse) = parallel_set(3, 4, 100, 90);
+        let model = model_for(&reuse, 3);
+        let nr = NoReuse::new().schedule(&flows, &model).unwrap();
+        let rc = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+        assert_eq!(nr.entries(), rc.entries(), "with slack everywhere RC must reduce to NR");
+    }
+}

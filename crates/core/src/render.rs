@@ -1,0 +1,115 @@
+//! Human-readable rendering of schedules.
+//!
+//! Prints the slot × channel-offset grid the way WirelessHART planning
+//! documents draw it: one row per channel offset, one column per slot,
+//! flows identified by their index. Reused cells show the number of
+//! concurrent transmissions instead.
+
+use crate::Schedule;
+use std::fmt::Write as _;
+
+/// Renders slots `[from, to)` of the schedule as an ASCII grid.
+///
+/// Cell legend: `.` empty, a flow index (mod 10) for exclusive cells,
+/// `2`–`9` prefixed with `*` for reused cells (`*3` = three concurrent
+/// transmissions). Wide schedules should be rendered in windows; the
+/// header row labels every tenth slot.
+///
+/// # Panics
+///
+/// Panics if `from >= to` or `to` exceeds the horizon.
+pub fn render_grid(schedule: &Schedule, from: u32, to: u32) -> String {
+    assert!(from < to && to <= schedule.horizon(), "invalid slot window");
+    let mut out = String::new();
+    // header: tens markers
+    let _ = write!(out, "{:>4} ", "ch\\t");
+    for slot in from..to {
+        if slot % 10 == 0 {
+            let _ = write!(out, "{:<2}", (slot / 10) % 100);
+        } else {
+            out.push_str("  ");
+        }
+    }
+    out.push('\n');
+    for offset in 0..schedule.channel_count() {
+        let _ = write!(out, "{offset:>4} ");
+        for slot in from..to {
+            let cell = schedule.cell(slot, offset);
+            match cell.len() {
+                0 => out.push_str(" ."),
+                1 => {
+                    let _ = write!(out, " {}", cell[0].flow.index() % 10);
+                }
+                k => {
+                    let _ = write!(out, "*{}", k.min(9));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One-line textual summary of a schedule.
+pub fn summary_line(schedule: &Schedule) -> String {
+    let occupied = schedule.occupied_cells().count();
+    let shared = schedule.occupied_cells().filter(|(_, _, c)| c.len() > 1).count();
+    format!(
+        "{} transmissions in {} cells ({} shared) over {} slots × {} channels",
+        schedule.entry_count(),
+        occupied,
+        shared,
+        schedule.horizon(),
+        schedule.channel_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::{NoReuse, ReuseAggressively, Scheduler};
+
+    #[test]
+    fn grid_shows_flows_and_reuse() {
+        let (flows, reuse) = parallel_set(4, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let grid = render_grid(&schedule, 0, 10);
+        // slot 0 holds all four primaries in one cell: a "*4" appears
+        assert!(grid.contains("*4"), "expected a shared cell marker:\n{grid}");
+        // one row per channel + header
+        assert_eq!(grid.lines().count(), 1 + schedule.channel_count());
+    }
+
+    #[test]
+    fn empty_cells_render_dots() {
+        let (flows, reuse) = parallel_set(2, 4, 40, 20);
+        let model = model_for(&reuse, 2);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let grid = render_grid(&schedule, 0, 20);
+        assert!(grid.contains(" ."));
+        assert!(grid.contains(" 0"));
+        assert!(grid.contains(" 1"));
+    }
+
+    #[test]
+    fn summary_counts_match() {
+        let (flows, reuse) = parallel_set(3, 4, 40, 20);
+        let model = model_for(&reuse, 2);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let line = summary_line(&schedule);
+        assert!(line.contains("6 transmissions"));
+        assert!(line.contains("(0 shared)"));
+        assert!(line.contains("40 slots"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slot window")]
+    fn bad_window_panics() {
+        let (flows, reuse) = parallel_set(2, 4, 40, 20);
+        let model = model_for(&reuse, 2);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let _ = render_grid(&schedule, 30, 20);
+    }
+}

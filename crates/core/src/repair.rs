@@ -1,0 +1,276 @@
+//! Schedule repair: reassigning links whose reliability channel reuse has
+//! degraded.
+//!
+//! The §VI detection policy exists so that the network manager can act:
+//! "links can be reassigned to different channels or time slots to further
+//! improve reliability". This module implements that action. Every
+//! transmission over a rejected link that currently shares its channel is
+//! re-placed into a contention-free cell; because pushing one transmission
+//! later squeezes the rest of its job, the job's subsequent transmissions
+//! are re-placed in cascade, all within the job's deadline window.
+//!
+//! Repair is *local*: jobs without degraded shared transmissions keep their
+//! exact placement, so the disruption to the running network is limited to
+//! the affected flows. When a transmission cannot be re-placed before the
+//! deadline, the repair of that job fails and is reported, and the caller
+//! can fall back to a full reschedule.
+
+use crate::{NetworkModel, Rho, Schedule, ScheduledTx};
+use std::collections::HashSet;
+use wsan_flow::{FlowId, FlowSet};
+use wsan_net::DirectedLink;
+
+/// Outcome of a repair pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairReport {
+    /// Jobs `(flow, job_index)` whose transmissions were re-placed.
+    pub repaired_jobs: Vec<(FlowId, u32)>,
+    /// Jobs that could not be repaired within their deadline window.
+    pub failed_jobs: Vec<(FlowId, u32)>,
+    /// Number of transmissions that changed cells.
+    pub moved_transmissions: usize,
+}
+
+impl RepairReport {
+    /// Whether every affected job was repaired.
+    pub fn is_complete(&self) -> bool {
+        self.failed_jobs.is_empty()
+    }
+}
+
+/// Rebuilds `schedule` so that no transmission over a `degraded` link shares
+/// a (slot, channel offset) cell with any other transmission.
+///
+/// Jobs containing an affected transmission are re-placed from that
+/// transmission onward: each moved transmission takes the earliest slot
+/// after its predecessor with a *contention-free* cell if its link is
+/// degraded, or any cell satisfying the original floor `rho_t` otherwise.
+/// All other jobs keep their placement. On failure the job keeps its
+/// original cells (the failure is reported instead).
+pub fn reassign_degraded(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    flows: &FlowSet,
+    rho_t: u32,
+    degraded: &[DirectedLink],
+) -> (Schedule, RepairReport) {
+    let degraded: HashSet<DirectedLink> = degraded.iter().copied().collect();
+    // Jobs needing repair: they own a degraded-link transmission in a
+    // shared cell.
+    let mut affected: HashSet<(FlowId, u32)> = HashSet::new();
+    for entry in schedule.entries() {
+        if degraded.contains(&entry.tx.link)
+            && schedule.cell(entry.slot, entry.offset).len() > 1
+        {
+            affected.insert((entry.tx.flow, entry.tx.job_index));
+        }
+    }
+    let mut report = RepairReport::default();
+    if affected.is_empty() {
+        return (schedule.clone(), report);
+    }
+    // Base schedule: everything except affected jobs.
+    let mut repaired =
+        Schedule::new(schedule.horizon(), schedule.channel_count(), schedule.node_count());
+    for entry in schedule.entries() {
+        if !affected.contains(&(entry.tx.flow, entry.tx.job_index)) {
+            repaired.place(entry.slot, entry.offset, entry.tx);
+        }
+    }
+    // Re-place affected jobs in priority order.
+    let mut affected: Vec<(FlowId, u32)> = affected.into_iter().collect();
+    affected.sort();
+    for (flow_id, job_index) in affected {
+        let flow = flows.flow(flow_id);
+        let job = flow
+            .jobs(schedule.horizon())
+            .into_iter()
+            .find(|j| j.index() == job_index)
+            .expect("job exists within the horizon");
+        let mut entries: Vec<ScheduledTx> = schedule
+            .entries()
+            .iter()
+            .filter(|e| e.tx.flow == flow_id && e.tx.job_index == job_index)
+            .map(|e| e.tx)
+            .collect();
+        entries.sort_by_key(|t| t.seq);
+        // Tentatively place on a scratch copy so failures leave no residue.
+        let mut scratch = repaired.clone();
+        let d_i = job.deadline_slot() - 1;
+        let mut prev: Option<u32> = None;
+        let mut ok = true;
+        for tx in &entries {
+            let earliest = prev.map_or(job.release_slot(), |p| p + 1);
+            let rho =
+                if degraded.contains(&tx.link) { Rho::NoReuse } else { Rho::AtLeast(rho_t) };
+            match find_slot_quarantined(&scratch, model, tx.link, earliest, d_i, rho, &degraded) {
+                Some((slot, offset)) => {
+                    scratch.place(slot, offset, *tx);
+                    prev = Some(slot);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            // count moved transmissions against the original placement
+            let moved = scratch
+                .entries()
+                .iter()
+                .filter(|e| e.tx.flow == flow_id && e.tx.job_index == job_index)
+                .filter(|e| {
+                    !schedule
+                        .entries()
+                        .iter()
+                        .any(|o| o.tx == e.tx && o.slot == e.slot && o.offset == e.offset)
+                })
+                .count();
+            report.moved_transmissions += moved;
+            report.repaired_jobs.push((flow_id, job_index));
+            repaired = scratch;
+        } else {
+            // keep the original placement for this job
+            for (i, tx) in entries.iter().enumerate() {
+                let original = schedule
+                    .entries()
+                    .iter()
+                    .find(|e| e.tx == *tx)
+                    .unwrap_or_else(|| panic!("original entry missing for seq {i}"));
+                repaired.place(original.slot, original.offset, *tx);
+            }
+            report.failed_jobs.push((flow_id, job_index));
+        }
+    }
+    (repaired, report)
+}
+
+/// `findSlot` with a quarantine: cells already holding a degraded link's
+/// transmission are never joined (they must stay contention-free), and —
+/// by virtue of `Rho::NoReuse` for degraded links themselves — a degraded
+/// transmission only ever takes an empty cell.
+fn find_slot_quarantined(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    link: DirectedLink,
+    earliest: u32,
+    latest: u32,
+    rho: Rho,
+    degraded: &HashSet<DirectedLink>,
+) -> Option<(u32, usize)> {
+    let latest = latest.min(schedule.horizon() - 1);
+    let mut slot = earliest;
+    while slot <= latest {
+        if !schedule.conflicts(slot, link.tx, link.rx) {
+            let mut best: Option<(usize, usize)> = None;
+            for offset in 0..schedule.channel_count() {
+                let cell = schedule.cell(slot, offset);
+                if !cell.is_empty() && cell.iter().any(|t| degraded.contains(&t.link)) {
+                    continue; // quarantined cell
+                }
+                if !crate::constraints::channel_ok(schedule, model, slot, offset, link, rho) {
+                    continue;
+                }
+                let len = cell.len();
+                if best.is_none_or(|(blen, _)| len < blen) {
+                    best = Some((len, offset));
+                    if len == 0 {
+                        break;
+                    }
+                }
+            }
+            if let Some((_, offset)) = best {
+                return Some((slot, offset));
+            }
+        }
+        slot += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::{ReuseAggressively, Scheduler};
+
+    #[test]
+    fn repair_removes_sharing_for_degraded_links() {
+        let (flows, reuse) = parallel_set(6, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let degraded = schedule
+            .occupied_cells()
+            .find(|(_, _, c)| c.len() > 1)
+            .map(|(_, _, c)| c[0].link)
+            .expect("RA shares under this load");
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[degraded]);
+        assert!(report.is_complete(), "failed jobs: {:?}", report.failed_jobs);
+        assert!(report.moved_transmissions > 0);
+        for (_, _, cell) in repaired.occupied_cells() {
+            if cell.iter().any(|t| t.link == degraded) {
+                assert_eq!(cell.len(), 1, "degraded link still shares a cell");
+            }
+        }
+        assert_eq!(repaired.entry_count(), schedule.entry_count());
+    }
+
+    #[test]
+    fn repaired_schedule_still_validates() {
+        let (flows, reuse) = parallel_set(6, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let degraded: Vec<_> = schedule
+            .occupied_cells()
+            .filter(|(_, _, c)| c.len() > 1)
+            .flat_map(|(_, _, c)| c.iter().map(|t| t.link))
+            .take(2)
+            .collect();
+        let (repaired, _) = reassign_degraded(&schedule, &model, &flows, 2, &degraded);
+        crate::validate::check(&repaired, &flows, &model, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn repair_without_degraded_links_is_identity() {
+        let (flows, reuse) = parallel_set(4, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[]);
+        assert!(report.repaired_jobs.is_empty());
+        assert_eq!(repaired.entries(), schedule.entries());
+    }
+
+    #[test]
+    fn repair_of_unshared_link_is_identity() {
+        let (flows, reuse) = parallel_set(3, 4, 100, 90);
+        let model = model_for(&reuse, 2);
+        let schedule = crate::NoReuse::new().schedule(&flows, &model).unwrap();
+        let link = flows.iter().next().unwrap().links()[0];
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[link]);
+        assert!(report.repaired_jobs.is_empty());
+        assert_eq!(repaired.entries(), schedule.entries());
+    }
+
+    #[test]
+    fn failed_repairs_keep_the_original_placement() {
+        // 1 channel, very tight deadlines: exclusive re-placement cannot
+        // fit — the job must be reported failed and keep its cells.
+        let (flows, reuse) = parallel_set(8, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let degraded: Vec<_> = schedule
+            .occupied_cells()
+            .filter(|(_, _, c)| c.len() > 1)
+            .flat_map(|(_, _, c)| c.iter().map(|t| t.link))
+            .collect();
+        assert!(!degraded.is_empty(), "test requires sharing");
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &degraded);
+        // at this load not everything fits exclusively (NR failed on it)
+        assert!(!report.is_complete());
+        // no transmission lost either way
+        assert_eq!(repaired.entry_count(), schedule.entry_count());
+        // schedule still structurally valid at the reuse floor
+        crate::validate::check(&repaired, &flows, &model, Some(2)).unwrap();
+    }
+}

@@ -1,0 +1,321 @@
+//! The TSCH transmission schedule: (slot, channel offset) assignments.
+
+use crate::ScheduledTx;
+use serde::{Deserialize, Serialize};
+use wsan_net::NodeId;
+
+/// One row of the schedule: a transmission placed in a slot at a channel
+/// offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Slot number within the hyperperiod, `0..horizon`.
+    pub slot: u32,
+    /// Channel offset, `0..channel_count`.
+    pub offset: usize,
+    /// The transmission occupying the cell.
+    pub tx: ScheduledTx,
+}
+
+/// A transmission schedule over one hyperperiod.
+///
+/// The grid has `horizon` slots × `channel_count` channel offsets; a cell
+/// may hold several transmissions when channel reuse is in effect. The
+/// structure maintains two occupancy indexes used on schedulers' hot paths:
+///
+/// * per-slot node-busy bitsets — O(1) transmission-conflict checks,
+/// * per-node slot-busy bitsets — popcount-speed conflict-slot counts for
+///   the laxity estimate (Eq. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    horizon: u32,
+    channel_count: usize,
+    node_count: usize,
+    /// `cells[slot * channel_count + offset]` → transmissions in that cell.
+    cells: Vec<Vec<ScheduledTx>>,
+    /// `slot_busy[slot * node_words + w]`: bit `b` set ⇔ node `64w+b` is a
+    /// sender or receiver in `slot`.
+    slot_busy: Vec<u64>,
+    node_words: usize,
+    /// `node_busy[node * slot_words + w]`: bit `b` set ⇔ the node is busy in
+    /// slot `64w+b`.
+    node_busy: Vec<u64>,
+    slot_words: usize,
+    entries: Vec<ScheduleEntry>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` or `channel_count` is zero.
+    pub fn new(horizon: u32, channel_count: usize, node_count: usize) -> Self {
+        assert!(horizon > 0, "schedule needs at least one slot");
+        assert!(channel_count > 0, "schedule needs at least one channel");
+        let node_words = node_count.div_ceil(64).max(1);
+        let slot_words = (horizon as usize).div_ceil(64);
+        Schedule {
+            horizon,
+            channel_count,
+            node_count,
+            cells: vec![Vec::new(); horizon as usize * channel_count],
+            slot_busy: vec![0; horizon as usize * node_words],
+            node_words,
+            node_busy: vec![0; node_count * slot_words],
+            slot_words,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of slots in the hyperperiod.
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Number of channel offsets `|M|`.
+    pub fn channel_count(&self) -> usize {
+        self.channel_count
+    }
+
+    /// Number of nodes the schedule was sized for.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Total number of scheduled transmissions.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// All entries in placement order.
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Transmissions sharing `(slot, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` or `offset` is out of range.
+    pub fn cell(&self, slot: u32, offset: usize) -> &[ScheduledTx] {
+        assert!(slot < self.horizon && offset < self.channel_count);
+        &self.cells[slot as usize * self.channel_count + offset]
+    }
+
+    /// Whether `node` is a sender or receiver in `slot`.
+    pub fn node_busy_in_slot(&self, node: NodeId, slot: u32) -> bool {
+        let base = slot as usize * self.node_words;
+        let (w, b) = (node.index() / 64, node.index() % 64);
+        self.slot_busy[base + w] & (1u64 << b) != 0
+    }
+
+    /// Whether placing a transmission over `tx → rx` in `slot` would create
+    /// a *transmission conflict* (§III-B): some scheduled transmission in
+    /// the slot already uses either node.
+    pub fn conflicts(&self, slot: u32, tx: NodeId, rx: NodeId) -> bool {
+        self.node_busy_in_slot(tx, slot) || self.node_busy_in_slot(rx, slot)
+    }
+
+    /// Number of slots in the inclusive range `[from, to]` in which some
+    /// scheduled transmission conflicts with a transmission over `a ↔ b` —
+    /// the `q_t` term of the laxity estimate (Eq. 1).
+    ///
+    /// Returns 0 when `from > to`.
+    pub fn conflict_slot_count(&self, a: NodeId, b: NodeId, from: u32, to: u32) -> u32 {
+        if from > to {
+            return 0;
+        }
+        let to = to.min(self.horizon - 1);
+        if from > to {
+            return 0;
+        }
+        let base_a = a.index() * self.slot_words;
+        let base_b = b.index() * self.slot_words;
+        let mut count = 0u32;
+        let first_word = (from / 64) as usize;
+        let last_word = (to / 64) as usize;
+        for w in first_word..=last_word {
+            let mut bits = self.node_busy[base_a + w] | self.node_busy[base_b + w];
+            if w == first_word {
+                let lo = from % 64;
+                bits &= u64::MAX << lo;
+            }
+            if w == last_word {
+                let hi = to % 64;
+                if hi < 63 {
+                    bits &= (1u64 << (hi + 1)) - 1;
+                }
+            }
+            count += bits.count_ones();
+        }
+        count
+    }
+
+    /// Places a transmission into `(slot, offset)`.
+    ///
+    /// The caller is responsible for having checked the channel reuse
+    /// constraints; conflicts are asserted in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot`/`offset` are out of range, and in debug builds if
+    /// the placement creates a transmission conflict.
+    pub fn place(&mut self, slot: u32, offset: usize, tx: ScheduledTx) {
+        assert!(slot < self.horizon, "slot {slot} beyond horizon {}", self.horizon);
+        assert!(offset < self.channel_count, "offset {offset} beyond channel count");
+        debug_assert!(
+            !self.conflicts(slot, tx.link.tx, tx.link.rx),
+            "placement of {tx} at slot {slot} creates a transmission conflict"
+        );
+        self.cells[slot as usize * self.channel_count + offset].push(tx);
+        for node in [tx.link.tx, tx.link.rx] {
+            let (w, b) = (node.index() / 64, node.index() % 64);
+            self.slot_busy[slot as usize * self.node_words + w] |= 1u64 << b;
+            let (sw, sb) = ((slot / 64) as usize, slot % 64);
+            self.node_busy[node.index() * self.slot_words + sw] |= 1u64 << sb;
+        }
+        self.entries.push(ScheduleEntry { slot, offset, tx });
+    }
+
+    /// Number of transmissions already sharing `(slot, offset)` — the
+    /// tie-break key when several offsets satisfy the constraints ("choose a
+    /// channel with the fewest number of scheduled transmissions").
+    pub fn cell_len(&self, slot: u32, offset: usize) -> usize {
+        self.cells[slot as usize * self.channel_count + offset].len()
+    }
+
+    /// Iterates over the non-empty cells as `(slot, offset, transmissions)`.
+    pub fn occupied_cells(&self) -> impl Iterator<Item = (u32, usize, &[ScheduledTx])> {
+        self.cells.iter().enumerate().filter(|(_, c)| !c.is_empty()).map(move |(i, c)| {
+            let slot = (i / self.channel_count) as u32;
+            let offset = i % self.channel_count;
+            (slot, offset, c.as_slice())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_flow::FlowId;
+    use wsan_net::DirectedLink;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn tx(a: usize, b: usize) -> ScheduledTx {
+        ScheduledTx {
+            flow: FlowId::new(0),
+            job_index: 0,
+            link: DirectedLink::new(n(a), n(b)),
+            seq: 0,
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn empty_schedule_has_no_conflicts() {
+        let s = Schedule::new(100, 4, 10);
+        assert!(!s.conflicts(0, n(0), n(1)));
+        assert_eq!(s.entry_count(), 0);
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 0, 99), 0);
+    }
+
+    #[test]
+    fn place_updates_all_indexes() {
+        let mut s = Schedule::new(100, 4, 10);
+        s.place(5, 2, tx(1, 2));
+        assert_eq!(s.cell(5, 2), &[tx(1, 2)]);
+        assert!(s.node_busy_in_slot(n(1), 5));
+        assert!(s.node_busy_in_slot(n(2), 5));
+        assert!(!s.node_busy_in_slot(n(3), 5));
+        assert!(s.conflicts(5, n(2), n(7)));
+        assert!(s.conflicts(5, n(7), n(1)));
+        assert!(!s.conflicts(5, n(7), n(8)));
+        assert!(!s.conflicts(6, n(1), n(2)));
+        assert_eq!(s.entry_count(), 1);
+    }
+
+    #[test]
+    fn conflict_slot_count_over_ranges() {
+        let mut s = Schedule::new(200, 2, 10);
+        s.place(10, 0, tx(1, 2));
+        s.place(20, 0, tx(2, 3));
+        s.place(130, 1, tx(1, 4));
+        // node 5-6 never busy
+        assert_eq!(s.conflict_slot_count(n(5), n(6), 0, 199), 0);
+        // link 1↔9: node 1 busy at 10 and 130
+        assert_eq!(s.conflict_slot_count(n(1), n(9), 0, 199), 2);
+        assert_eq!(s.conflict_slot_count(n(1), n(9), 11, 199), 1);
+        assert_eq!(s.conflict_slot_count(n(1), n(9), 10, 10), 1);
+        assert_eq!(s.conflict_slot_count(n(1), n(9), 11, 129), 0);
+        // link 2↔9: node 2 busy at 10 and 20
+        assert_eq!(s.conflict_slot_count(n(2), n(9), 0, 64), 2);
+        // overlapping busy slots count once per slot: link 1↔2 busy at 10 (both), 20, 130
+        assert_eq!(s.conflict_slot_count(n(1), n(2), 0, 199), 3);
+    }
+
+    #[test]
+    fn conflict_slot_count_word_boundaries() {
+        let mut s = Schedule::new(200, 1, 4);
+        for slot in [63, 64, 127, 128] {
+            s.place(slot, 0, tx(0, 1));
+        }
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 63, 128), 4);
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 64, 127), 2);
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 0, 62), 0);
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 129, 199), 0);
+    }
+
+    #[test]
+    fn conflict_slot_count_clamps_to_horizon() {
+        let mut s = Schedule::new(100, 1, 4);
+        s.place(99, 0, tx(0, 1));
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 90, 5_000), 1);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let s = Schedule::new(100, 1, 4);
+        assert_eq!(s.conflict_slot_count(n(0), n(1), 50, 10), 0);
+    }
+
+    #[test]
+    fn shared_cell_holds_multiple_transmissions() {
+        let mut s = Schedule::new(10, 2, 10);
+        s.place(3, 1, tx(0, 1));
+        s.place(3, 1, tx(4, 5)); // disjoint nodes: no conflict
+        assert_eq!(s.cell(3, 1).len(), 2);
+        assert_eq!(s.cell_len(3, 1), 2);
+        let cells: Vec<_> = s.occupied_cells().collect();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0, 3);
+        assert_eq!(cells[0].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmission conflict")]
+    fn debug_placement_conflict_panics() {
+        let mut s = Schedule::new(10, 2, 10);
+        s.place(3, 0, tx(0, 1));
+        s.place(3, 1, tx(1, 2)); // shares node 1 in the same slot
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn out_of_range_slot_panics() {
+        let mut s = Schedule::new(10, 2, 10);
+        s.place(10, 0, tx(0, 1));
+    }
+
+    #[test]
+    fn node_count_above_64_uses_multiple_words() {
+        let mut s = Schedule::new(10, 1, 130);
+        s.place(1, 0, tx(100, 129));
+        assert!(s.node_busy_in_slot(n(100), 1));
+        assert!(s.node_busy_in_slot(n(129), 1));
+        assert!(!s.node_busy_in_slot(n(64), 1));
+        assert!(s.conflicts(1, n(129), n(3)));
+    }
+}

@@ -1,0 +1,158 @@
+//! The `Scheduler` trait and the shared fixed-priority scheduling engine.
+
+use crate::{NetworkModel, Schedule, ScheduleError, ScheduledTx};
+use wsan_flow::FlowSet;
+use wsan_net::DirectedLink;
+
+/// Options common to all schedulers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Reserve a retransmission slot for every link transmission, as source
+    /// routing requires ("a scheduler must reserve one more time slot for
+    /// every transmission over a link", §VII). Enabled by default.
+    pub retries: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { retries: true }
+    }
+}
+
+/// A transmission scheduler for a prioritized flow set.
+///
+/// Implementations in this crate: [`NoReuse`](crate::NoReuse) (NR),
+/// [`ReuseAggressively`](crate::ReuseAggressively) (RA), and
+/// [`ReuseConservatively`](crate::ReuseConservatively) (RC, the paper's
+/// Algorithm 1).
+pub trait Scheduler {
+    /// Short display name ("NR", "RA", "RC").
+    fn name(&self) -> &'static str;
+
+    /// Schedules every transmission of every job of `flows` over one
+    /// hyperperiod, with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::Unschedulable`] when some transmission
+    /// cannot make its job's deadline (Algorithm 1's `return ∅`), or a
+    /// configuration error.
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError>;
+
+    /// Schedules with the default configuration (retry slots reserved).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule_with`].
+    fn schedule(&self, flows: &FlowSet, model: &NetworkModel) -> Result<Schedule, ScheduleError> {
+        self.schedule_with(flows, model, &SchedulerConfig::default())
+    }
+}
+
+/// One placement request handed to a reuse policy: schedule `link` no
+/// earlier than `earliest`, no later than `deadline_slot`, with `remaining`
+/// the links of the job's transmissions still to come (`T_post`).
+#[derive(Debug)]
+pub(crate) struct PlaceRequest<'a> {
+    pub link: DirectedLink,
+    pub earliest: u32,
+    pub deadline_slot: u32,
+    pub remaining: &'a [DirectedLink],
+}
+
+/// How a scheduler picks `(slot, offset)` for each transmission — the only
+/// thing that differs between NR, RA, and RC.
+pub(crate) trait PlacePolicy {
+    /// Called when the engine moves to the next flow (RC resets `ρ` here in
+    /// per-flow mode).
+    fn begin_flow(&mut self) {}
+
+    /// Called before each transmission (RC resets `ρ` here in
+    /// per-transmission mode).
+    fn begin_transmission(&mut self) {}
+
+    /// Chooses a cell for the request, or `None` for a deadline miss.
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)>;
+}
+
+/// The fixed-priority scheduling engine shared by NR/RA/RC: flows in
+/// priority order, each flow's jobs in release order, each job's
+/// transmissions in route order (primary then retry per link), every
+/// transmission placed at the earliest slot its policy accepts.
+pub(crate) fn run_fixed_priority<P: PlacePolicy>(
+    flows: &FlowSet,
+    model: &NetworkModel,
+    config: &SchedulerConfig,
+    policy: &mut P,
+) -> Result<Schedule, ScheduleError> {
+    if model.channels() == 0 {
+        return Err(ScheduleError::NoChannels);
+    }
+    let horizon = flows.hyperperiod();
+    let mut schedule = Schedule::new(horizon, model.channels(), model.node_count());
+    let attempts: u8 = if config.retries { 2 } else { 1 };
+    for flow in flows.iter() {
+        policy.begin_flow();
+        let links: Vec<DirectedLink> = flow.links();
+        // The job's transmission sequence: every link primary + retries.
+        let seq: Vec<(DirectedLink, u8)> = links
+            .iter()
+            .flat_map(|l| (0..attempts).map(move |a| (*l, a)))
+            .collect();
+        let remaining_links: Vec<DirectedLink> = seq.iter().map(|(l, _)| *l).collect();
+        for job in flow.jobs(horizon) {
+            let d_i = job.deadline_slot() - 1; // last usable slot
+            let mut prev_slot: Option<u32> = None;
+            for (i, (link, attempt)) in seq.iter().enumerate() {
+                let earliest = prev_slot.map_or(job.release_slot(), |p| p + 1);
+                policy.begin_transmission();
+                let req = PlaceRequest {
+                    link: *link,
+                    earliest,
+                    deadline_slot: d_i,
+                    remaining: &remaining_links[i + 1..],
+                };
+                let Some((slot, offset)) = policy.place(&schedule, model, &req) else {
+                    return Err(ScheduleError::Unschedulable {
+                        flow: flow.id(),
+                        job_index: job.index(),
+                    });
+                };
+                debug_assert!(slot >= earliest && slot <= d_i);
+                schedule.place(
+                    slot,
+                    offset,
+                    ScheduledTx {
+                        flow: flow.id(),
+                        job_index: job.index(),
+                        link: *link,
+                        seq: i as u16,
+                        attempt: *attempt,
+                    },
+                );
+                prev_slot = Some(slot);
+            }
+        }
+    }
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_reserves_retries() {
+        assert!(SchedulerConfig::default().retries);
+    }
+}

@@ -1,0 +1,123 @@
+//! Scheduled transmissions and the reuse hop distance `ρ`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wsan_flow::FlowId;
+use wsan_net::DirectedLink;
+
+/// The channel reuse hop distance `ρ` of the channel constraints (§V-A).
+///
+/// `NoReuse` is the paper's `ρ = ∞`: a channel offset may hold at most one
+/// transmission per slot. `AtLeast(h)` allows transmissions to share a
+/// channel when every (sender, other receiver) pair is at least `h` hops
+/// apart on the channel reuse graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rho {
+    /// `ρ = ∞`: channel reuse disallowed.
+    NoReuse,
+    /// `ρ = h`: concurrent same-channel transmissions must keep senders at
+    /// least `h` reuse-graph hops from the other transmissions' receivers.
+    AtLeast(u32),
+}
+
+impl Rho {
+    /// Whether this distance permits any channel sharing at all.
+    pub fn allows_reuse(self) -> bool {
+        matches!(self, Rho::AtLeast(_))
+    }
+
+    /// The next, less restrictive step of Algorithm 1's inner loop:
+    /// `∞ → λ_R`, then `h → h−1`. Returns `None` once stepping would fall
+    /// below the floor `rho_t`.
+    pub fn step_down(self, lambda_r: u32, rho_t: u32) -> Option<Rho> {
+        match self {
+            Rho::NoReuse => {
+                if lambda_r >= rho_t {
+                    Some(Rho::AtLeast(lambda_r))
+                } else {
+                    None
+                }
+            }
+            Rho::AtLeast(h) => {
+                if h > rho_t {
+                    Some(Rho::AtLeast(h - 1))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rho {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rho::NoReuse => write!(f, "∞"),
+            Rho::AtLeast(h) => write!(f, "{h}"),
+        }
+    }
+}
+
+/// One scheduled transmission: a link transmission attempt of one job.
+///
+/// Under source routing every link gets a retry slot, so each hop of a route
+/// appears as two `ScheduledTx` values (attempt 0, then attempt 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduledTx {
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Release index of the job within the hyperperiod.
+    pub job_index: u32,
+    /// The directed link transmitted over.
+    pub link: DirectedLink,
+    /// Position of this transmission in the job's sequence (primary and
+    /// retry count separately).
+    pub seq: u16,
+    /// 0 for the primary attempt, 1 for the retransmission slot.
+    pub attempt: u8,
+}
+
+impl fmt::Display for ScheduledTx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{} {} (seq {}, try {})",
+            self.flow, self.job_index, self.link, self.seq, self.attempt
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_down_from_infinity_lands_at_diameter() {
+        assert_eq!(Rho::NoReuse.step_down(5, 2), Some(Rho::AtLeast(5)));
+    }
+
+    #[test]
+    fn step_down_decrements_until_floor() {
+        assert_eq!(Rho::AtLeast(4).step_down(5, 2), Some(Rho::AtLeast(3)));
+        assert_eq!(Rho::AtLeast(3).step_down(5, 2), Some(Rho::AtLeast(2)));
+        assert_eq!(Rho::AtLeast(2).step_down(5, 2), None);
+    }
+
+    #[test]
+    fn step_down_with_tiny_diameter() {
+        // diameter below the floor: reuse can never be introduced
+        assert_eq!(Rho::NoReuse.step_down(1, 2), None);
+    }
+
+    #[test]
+    fn allows_reuse() {
+        assert!(!Rho::NoReuse.allows_reuse());
+        assert!(Rho::AtLeast(2).allows_reuse());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rho::NoReuse.to_string(), "∞");
+        assert_eq!(Rho::AtLeast(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,170 @@
+//! Edge cases of the fixed-priority scheduling engine shared by NR/RA/RC.
+
+use wsan_core::{
+    validate, NetworkModel, NoReuse, ReuseAggressively, ReuseConservatively, Scheduler,
+    SchedulerConfig,
+};
+use wsan_flow::{priority, Flow, FlowId, FlowSet, Period};
+use wsan_net::{NodeId, ReuseGraph, Route};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn path_graph(count: usize) -> ReuseGraph {
+    let edges: Vec<_> = (0..count - 1).map(|i| (n(i), n(i + 1))).collect();
+    ReuseGraph::from_edges(count, &edges)
+}
+
+fn one_flow(period: u32, deadline: u32, nodes: &[usize]) -> FlowSet {
+    let flow = Flow::new(
+        FlowId::new(0),
+        Route::new(nodes.iter().map(|&i| n(i)).collect()),
+        Period::from_slots(period).unwrap(),
+        deadline,
+    )
+    .unwrap();
+    priority::deadline_monotonic(vec![flow], vec![])
+}
+
+#[test]
+fn retries_disabled_halves_the_schedule() {
+    let flows = one_flow(40, 40, &[0, 1, 2]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(3), 2);
+    let with = NoReuse::new().schedule(&flows, &model).unwrap();
+    let without = NoReuse::new()
+        .schedule_with(&flows, &model, &SchedulerConfig { retries: false })
+        .unwrap();
+    assert_eq!(with.entry_count(), 4); // 2 links × 2 attempts
+    assert_eq!(without.entry_count(), 2); // primaries only
+    validate::check(&without, &flows, &model, None).unwrap();
+}
+
+#[test]
+fn deadline_of_one_slot_fits_a_single_hop_without_retry() {
+    let flows = one_flow(10, 1, &[0, 1]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(2), 1);
+    // with retries two slots are needed: unschedulable
+    assert!(NoReuse::new().schedule(&flows, &model).is_err());
+    // without retries the single slot suffices
+    let schedule = NoReuse::new()
+        .schedule_with(&flows, &model, &SchedulerConfig { retries: false })
+        .unwrap();
+    assert_eq!(schedule.entry_count(), 1);
+    assert_eq!(schedule.entries()[0].slot, 0);
+}
+
+#[test]
+fn every_job_of_a_fast_flow_is_scheduled() {
+    // period 8, hyperperiod 8 → 1 job; bump with a slower flow to force a
+    // 24-slot hyperperiod (LCM of 8 and 24 via slots 8 and 24)
+    let fast = Flow::new(
+        FlowId::new(0),
+        Route::new(vec![n(0), n(1)]),
+        Period::from_slots(8).unwrap(),
+        8,
+    )
+    .unwrap();
+    let slow = Flow::new(
+        FlowId::new(1),
+        Route::new(vec![n(2), n(3)]),
+        Period::from_slots(24).unwrap(),
+        24,
+    )
+    .unwrap();
+    let flows = priority::deadline_monotonic(vec![fast, slow], vec![]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(4), 2);
+    let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+    assert_eq!(schedule.horizon(), 24);
+    // fast flow: 3 jobs × 1 link × 2 attempts; slow: 1 job × 2
+    assert_eq!(schedule.entry_count(), 8);
+    validate::check(&schedule, &flows, &model, None).unwrap();
+    // each fast job's transmissions stay within its own period window
+    for e in schedule.entries().iter().filter(|e| e.tx.flow == FlowId::new(0)) {
+        let window = e.tx.job_index * 8;
+        assert!(e.slot >= window && e.slot < window + 8);
+    }
+}
+
+#[test]
+fn rc_with_rho_floor_above_diameter_degenerates_to_nr() {
+    // ρ_t beyond λ_R: stepping down from ∞ is impossible, so RC can never
+    // introduce reuse and must behave exactly like NR
+    let flows = one_flow(40, 40, &[0, 1, 2]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(3), 1);
+    assert!(model.lambda_r() < 10);
+    let nr = NoReuse::new().schedule(&flows, &model).unwrap();
+    let rc = ReuseConservatively::new(10).schedule(&flows, &model).unwrap();
+    assert_eq!(nr.entries(), rc.entries());
+}
+
+#[test]
+fn ra_with_huge_rho_also_degenerates_to_nr() {
+    let flows = one_flow(40, 40, &[0, 1, 2]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(3), 1);
+    let nr = NoReuse::new().schedule(&flows, &model).unwrap();
+    let ra = ReuseAggressively::new(100).schedule(&flows, &model).unwrap();
+    assert_eq!(nr.entries(), ra.entries());
+}
+
+#[test]
+fn single_channel_serializes_everything_under_nr() {
+    // three disjoint 1-hop flows, 1 channel: occupied slots are all
+    // distinct under NR
+    let flows = priority::deadline_monotonic(
+        (0..3)
+            .map(|i| {
+                Flow::new(
+                    FlowId::new(i),
+                    Route::new(vec![n(2 * i), n(2 * i + 1)]),
+                    Period::from_slots(20).unwrap(),
+                    20,
+                )
+                .unwrap()
+            })
+            .collect(),
+        vec![],
+    );
+    let model = NetworkModel::from_reuse_graph(&path_graph(6), 1);
+    let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+    let mut slots: Vec<u32> = schedule.entries().iter().map(|e| e.slot).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    assert_eq!(slots.len(), schedule.entry_count(), "NR on one channel must serialize");
+}
+
+#[test]
+fn priority_order_is_respected_under_contention() {
+    // two identical flows over the same link: the higher-priority one gets
+    // the earlier slots
+    let mk = |id| {
+        Flow::new(
+            FlowId::new(id),
+            Route::new(vec![n(0), n(1)]),
+            Period::from_slots(20).unwrap(),
+            20,
+        )
+        .unwrap()
+    };
+    let flows = priority::deadline_monotonic(vec![mk(0), mk(1)], vec![]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(2), 4);
+    let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+    let first_of = |flow: usize| {
+        schedule
+            .entries()
+            .iter()
+            .filter(|e| e.tx.flow == FlowId::new(flow))
+            .map(|e| e.slot)
+            .min()
+            .unwrap()
+    };
+    assert!(first_of(0) < first_of(1));
+}
+
+#[test]
+fn schedules_with_zero_channels_error_cleanly() {
+    let flows = one_flow(10, 10, &[0, 1]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(2), 4).with_channels(0);
+    let err = NoReuse::new().schedule(&flows, &model).unwrap_err();
+    assert!(matches!(err, wsan_core::ScheduleError::NoChannels));
+}

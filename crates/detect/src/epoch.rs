@@ -1,0 +1,152 @@
+//! Epoch bookkeeping: periodic health-report rounds.
+//!
+//! WirelessHART nodes deliver a health report every 15 minutes; the paper
+//! calls that period an *epoch* and gathers 18 PRR samples per link per
+//! condition in each one. [`EpochReport`] runs the detection policy over
+//! one epoch's samples for every link involved in channel reuse and records
+//! the per-link verdicts (Figs. 10 and 11 summarize these across epochs).
+
+use crate::{DetectionPolicy, LinkVerdict};
+use serde::{Deserialize, Serialize};
+use wsan_net::DirectedLink;
+
+/// Index of a health-report epoch, starting at 0.
+pub type EpochId = usize;
+
+/// One link's samples and verdict within an epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEpochRecord {
+    /// The link under test.
+    pub link: DirectedLink,
+    /// PRR samples from slots where the link's channel was reused.
+    pub reuse_samples: Vec<f64>,
+    /// PRR samples from contention-free slots.
+    pub cf_samples: Vec<f64>,
+    /// Mean PRR under reuse (`PRR_r`), if any sample exists.
+    pub prr_r: Option<f64>,
+    /// The policy verdict.
+    pub verdict: LinkVerdict,
+    /// Outcome of the bare K-S comparison regardless of the PRR gate:
+    /// `Some(true)` when reuse measurably shifts the distribution.
+    pub reuse_affected: Option<bool>,
+}
+
+/// Verdicts for all reuse-involved links in one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// The epoch index.
+    pub epoch: EpochId,
+    /// Per-link records, ordered by link.
+    pub records: Vec<LinkEpochRecord>,
+}
+
+impl EpochReport {
+    /// Evaluates the detection policy over one epoch.
+    ///
+    /// `samples` yields, per link involved in reuse, its reuse-condition and
+    /// contention-free-condition PRR samples for this epoch.
+    pub fn evaluate<I>(epoch: EpochId, policy: &DetectionPolicy, samples: I) -> Self
+    where
+        I: IntoIterator<Item = (DirectedLink, Vec<f64>, Vec<f64>)>,
+    {
+        let mut records: Vec<LinkEpochRecord> = samples
+            .into_iter()
+            .map(|(link, reuse_samples, cf_samples)| {
+                let verdict = policy.classify(&reuse_samples, &cf_samples);
+                let reuse_affected = policy.reuse_affected(&reuse_samples, &cf_samples);
+                let prr_r = if reuse_samples.is_empty() {
+                    None
+                } else {
+                    Some(reuse_samples.iter().sum::<f64>() / reuse_samples.len() as f64)
+                };
+                LinkEpochRecord { link, reuse_samples, cf_samples, prr_r, verdict, reuse_affected }
+            })
+            .collect();
+        records.sort_by_key(|r| r.link);
+        EpochReport { epoch, records }
+    }
+
+    /// Links judged degraded *by channel reuse* this epoch (the "rejected"
+    /// links of Fig. 11).
+    pub fn rejected(&self) -> Vec<DirectedLink> {
+        self.records
+            .iter()
+            .filter(|r| r.verdict == LinkVerdict::ReuseDegraded)
+            .map(|r| r.link)
+            .collect()
+    }
+
+    /// Links below the reliability requirement whose degradation the policy
+    /// attributes to other causes ("accepted" links of Fig. 10).
+    pub fn accepted(&self) -> Vec<DirectedLink> {
+        self.records
+            .iter()
+            .filter(|r| r.verdict == LinkVerdict::ExternalCause)
+            .map(|r| r.link)
+            .collect()
+    }
+
+    /// Links that fail the reliability requirement for any reason.
+    pub fn below_threshold(&self, prr_t: f64) -> Vec<DirectedLink> {
+        self.records
+            .iter()
+            .filter(|r| r.prr_r.is_some_and(|p| p < prr_t))
+            .map(|r| r.link)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_net::NodeId;
+
+    fn link(a: usize, b: usize) -> DirectedLink {
+        DirectedLink::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    fn healthy() -> Vec<f64> {
+        (0..18).map(|i| 0.95 + 0.002 * (i % 4) as f64).collect()
+    }
+
+    fn degraded() -> Vec<f64> {
+        (0..18).map(|i| 0.55 + 0.01 * (i % 6) as f64).collect()
+    }
+
+    #[test]
+    fn epoch_separates_verdicts() {
+        let policy = DetectionPolicy::default();
+        let report = EpochReport::evaluate(
+            0,
+            &policy,
+            vec![
+                (link(0, 1), degraded(), healthy()), // reuse degraded
+                (link(2, 3), degraded(), degraded()), // external
+                (link(4, 5), healthy(), healthy()),  // healthy
+            ],
+        );
+        assert_eq!(report.rejected(), vec![link(0, 1)]);
+        assert_eq!(report.accepted(), vec![link(2, 3)]);
+        assert_eq!(report.below_threshold(0.9), vec![link(0, 1), link(2, 3)]);
+    }
+
+    #[test]
+    fn records_are_sorted_by_link() {
+        let policy = DetectionPolicy::default();
+        let report = EpochReport::evaluate(
+            1,
+            &policy,
+            vec![(link(4, 5), healthy(), healthy()), (link(0, 1), healthy(), healthy())],
+        );
+        assert_eq!(report.records[0].link, link(0, 1));
+        assert_eq!(report.epoch, 1);
+    }
+
+    #[test]
+    fn prr_r_is_recorded() {
+        let policy = DetectionPolicy::default();
+        let report =
+            EpochReport::evaluate(0, &policy, vec![(link(0, 1), vec![0.5, 0.7], healthy())]);
+        assert!((report.records[0].prr_r.unwrap() - 0.6).abs() < 1e-12);
+    }
+}

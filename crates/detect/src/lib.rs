@@ -1,0 +1,38 @@
+//! Detection of link-reliability degradation caused by channel reuse (§VI).
+//!
+//! Channel reuse is not the only reason a link's PRR can drop: environment
+//! dynamics and external interference (WiFi) degrade links too, and
+//! rescheduling away from reuse would not help those. The paper's detection
+//! policy tells the causes apart per link by comparing the PRR distribution
+//! in slots *with* channel reuse against slots *without*:
+//!
+//! 1. Gate: only links whose reuse-condition PRR falls below the
+//!    reliability threshold `PRR_t` are examined.
+//! 2. Two-sample Kolmogorov–Smirnov test between `PRR_DIST_r` (reuse slots)
+//!    and `PRR_DIST_cf` (contention-free slots) at significance `α`:
+//!    * **reject** ⇒ the distributions differ ⇒ channel reuse degrades the
+//!      link ⇒ reschedule it,
+//!    * **accept** ⇒ the link is equally bad without reuse ⇒ the cause is
+//!      external.
+//!
+//! # Example
+//!
+//! ```
+//! use wsan_detect::{DetectionPolicy, LinkVerdict};
+//!
+//! let policy = DetectionPolicy::default(); // PRR_t = 0.9, α = 0.05
+//! let cf = vec![0.95, 0.97, 0.93, 0.96, 0.99, 0.94, 0.95, 0.98, 0.97, 0.96];
+//! let reuse = vec![0.55, 0.62, 0.50, 0.57, 0.60, 0.52, 0.58, 0.54, 0.61, 0.53];
+//! assert_eq!(policy.classify(&reuse, &cf), LinkVerdict::ReuseDegraded);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epoch;
+mod naive;
+mod policy;
+
+pub use epoch::{EpochId, EpochReport, LinkEpochRecord};
+pub use naive::NaivePolicy;
+pub use policy::{DetectionPolicy, LinkVerdict};

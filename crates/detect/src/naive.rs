@@ -1,0 +1,83 @@
+//! The naive threshold-only classifier — §VI's strawman, implemented so the
+//! K-S policy's advantage is measurable.
+//!
+//! "A naive approach is to use a PRR threshold to identify links affected by
+//! channel reuse … However, channel reuse is not the only possible cause of
+//! transmission failures." (§VI). The naive policy blames channel reuse for
+//! *every* link below the threshold; under external interference it floods
+//! the network manager with pointless rescheduling work, because removing
+//! reuse from an externally-jammed link cannot help it.
+
+use crate::LinkVerdict;
+use serde::{Deserialize, Serialize};
+
+/// The threshold-only policy: any reuse-involved link whose PRR under reuse
+/// falls below `prr_threshold` is blamed on channel reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaivePolicy {
+    /// The reliability threshold `PRR_t`.
+    pub prr_threshold: f64,
+}
+
+impl Default for NaivePolicy {
+    fn default() -> Self {
+        NaivePolicy { prr_threshold: 0.9 }
+    }
+}
+
+impl NaivePolicy {
+    /// Classifies a link from its reuse-condition samples alone.
+    ///
+    /// Never returns [`LinkVerdict::ExternalCause`] — that is the point.
+    pub fn classify(&self, reuse_samples: &[f64]) -> LinkVerdict {
+        if reuse_samples.is_empty() {
+            return LinkVerdict::Inconclusive;
+        }
+        let prr_r = reuse_samples.iter().sum::<f64>() / reuse_samples.len() as f64;
+        if prr_r >= self.prr_threshold {
+            LinkVerdict::Healthy
+        } else {
+            LinkVerdict::ReuseDegraded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DetectionPolicy;
+
+    fn degraded() -> Vec<f64> {
+        (0..18).map(|i| 0.6 + 0.01 * (i % 5) as f64).collect()
+    }
+
+    #[test]
+    fn naive_blames_reuse_for_everything_below_threshold() {
+        let naive = NaivePolicy::default();
+        assert_eq!(naive.classify(&degraded()), LinkVerdict::ReuseDegraded);
+        assert_eq!(naive.classify(&[0.95; 18]), LinkVerdict::Healthy);
+        assert_eq!(naive.classify(&[]), LinkVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn ks_policy_corrects_the_naive_misattribution() {
+        // externally degraded link: both conditions equally bad
+        let naive = NaivePolicy::default();
+        let ks = DetectionPolicy::default();
+        let both_bad = degraded();
+        // the naive policy demands a (useless) reschedule…
+        assert_eq!(naive.classify(&both_bad), LinkVerdict::ReuseDegraded);
+        // …the K-S policy sees the contention-free slots are just as bad
+        assert_eq!(ks.classify(&both_bad.clone(), &both_bad), LinkVerdict::ExternalCause);
+    }
+
+    #[test]
+    fn policies_agree_when_reuse_really_is_the_cause() {
+        let naive = NaivePolicy::default();
+        let ks = DetectionPolicy::default();
+        let cf: Vec<f64> = (0..18).map(|i| 0.97 + 0.002 * (i % 3) as f64).collect();
+        let reuse = degraded();
+        assert_eq!(naive.classify(&reuse), LinkVerdict::ReuseDegraded);
+        assert_eq!(ks.classify(&reuse, &cf), LinkVerdict::ReuseDegraded);
+    }
+}

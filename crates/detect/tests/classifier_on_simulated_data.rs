@@ -1,0 +1,98 @@
+//! The classifier exercised on *simulated* (not hand-crafted) PRR data:
+//! ground truth comes from the schedule (which cells really share) and the
+//! interference environment (which links are really jammed).
+
+use wsan_core::{NetworkModel, ReuseAggressively, Scheduler};
+use wsan_detect::{DetectionPolicy, LinkVerdict, NaivePolicy};
+use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, Prr};
+use wsan_sim::{LinkCondition, SimConfig, Simulator};
+
+#[test]
+fn clean_environment_yields_no_external_verdicts() {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg = FlowSetConfig::new(
+        60,
+        PeriodRange::new(0, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(0xFEED).generate(&comm, &cfg).unwrap();
+    let schedule = ReuseAggressively::new(2).schedule(&set, &model).unwrap();
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let report = sim.run(&SimConfig {
+        repetitions: 180,
+        window_reps: 10,
+        ..SimConfig::default()
+    });
+    let policy = DetectionPolicy::default();
+    let naive = NaivePolicy::default();
+    let mut external = 0;
+    let mut rejected = 0;
+    let mut naive_rejected = 0;
+    for link in report.links_with_reuse() {
+        let reuse = report.prr_distribution(link, LinkCondition::Reuse);
+        let cf = report.prr_distribution(link, LinkCondition::ContentionFree);
+        match policy.classify(&reuse, &cf) {
+            LinkVerdict::ExternalCause => external += 1,
+            LinkVerdict::ReuseDegraded => rejected += 1,
+            _ => {}
+        }
+        if naive.classify(&reuse) == LinkVerdict::ReuseDegraded {
+            naive_rejected += 1;
+        }
+    }
+    // without interferers, any degradation IS reuse-caused: external
+    // verdicts should be (close to) absent, and the K-S policy should agree
+    // with the naive policy (both have only one cause to find)
+    assert!(external <= 1, "clean environment produced {external} external verdicts");
+    assert!(
+        (rejected as i64 - naive_rejected as i64).abs() <= 2,
+        "policies should nearly agree in a clean environment: KS {rejected}, naive {naive_rejected}"
+    );
+}
+
+#[test]
+fn wifi_environment_splits_the_verdicts() {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg = FlowSetConfig::new(
+        60,
+        PeriodRange::new(0, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(0xFEED).generate(&comm, &cfg).unwrap();
+    let schedule = ReuseAggressively::new(2).schedule(&set, &model).unwrap();
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let interferers = wsan_expr::detection::per_floor_interferers(&topo, -3.0, 0.10);
+    let report = sim.run(&SimConfig {
+        repetitions: 180,
+        window_reps: 10,
+        interferers,
+        ..SimConfig::default()
+    });
+    let policy = DetectionPolicy::default();
+    let naive = NaivePolicy::default();
+    let mut external = 0;
+    let mut naive_blames_reuse_for_those = 0;
+    for link in report.links_with_reuse() {
+        let reuse = report.prr_distribution(link, LinkCondition::Reuse);
+        let cf = report.prr_distribution(link, LinkCondition::ContentionFree);
+        if policy.classify(&reuse, &cf) == LinkVerdict::ExternalCause {
+            external += 1;
+            if naive.classify(&reuse) == LinkVerdict::ReuseDegraded {
+                naive_blames_reuse_for_those += 1;
+            }
+        }
+    }
+    assert!(external >= 3, "WiFi should create externally-degraded links, got {external}");
+    // every one of those is a naive-policy misattribution
+    assert_eq!(
+        naive_blames_reuse_for_those, external,
+        "the naive policy blames reuse for externally degraded links"
+    );
+}

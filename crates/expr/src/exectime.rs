@@ -1,0 +1,121 @@
+//! Scheduler execution-time measurement (Fig. 6).
+//!
+//! The paper times NR, RA, and RC on a laptop while growing the traffic
+//! load (peer-to-peer, 5 channels, `P = [2^0, 2^2]`). Absolute numbers
+//! depend on the host; the *ordering* (NR ≪ RC < RA under load) and growth
+//! trends are algorithmic.
+
+use crate::schedulable::{set_seed, WorkloadConfig};
+use crate::Algorithm;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wsan_core::NetworkModel;
+use wsan_flow::{FlowSetConfig, FlowSetGenerator};
+use wsan_net::{ChannelId, Prr, Topology};
+
+/// Timing of the algorithms at one flow count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingPoint {
+    /// Number of flows.
+    pub flows: usize,
+    /// Per-algorithm results.
+    pub algorithms: Vec<AlgoTiming>,
+}
+
+/// Timing of one algorithm at one flow count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoTiming {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean wall-clock milliseconds over the *schedulable* runs, `None`
+    /// when no run was schedulable (the paper stops plotting NR once it can
+    /// no longer generate schedules).
+    pub mean_ms: Option<f64>,
+    /// Fraction of runs that were schedulable.
+    pub schedulable_ratio: f64,
+}
+
+/// Measures mean scheduling time per algorithm at each flow count.
+///
+/// Runs single-threaded (timing fidelity beats throughput here); the flow
+/// sets are the same across algorithms at each point.
+pub fn measure(
+    topology: &Topology,
+    m: usize,
+    flow_counts: &[usize],
+    algorithms: &[Algorithm],
+    cfg: &WorkloadConfig,
+) -> Vec<TimingPoint> {
+    let channels = ChannelId::all().take(m);
+    let comm = topology.comm_graph(&channels, Prr::new(cfg.prr_threshold).expect("valid PRR"));
+    let model = NetworkModel::new(topology, &channels);
+    flow_counts
+        .iter()
+        .map(|&n| {
+            let fsc = FlowSetConfig::new(n, cfg.periods, cfg.pattern);
+            let sets: Vec<_> = (0..cfg.flow_sets)
+                .filter_map(|i| {
+                    FlowSetGenerator::new(set_seed(cfg.seed, i)).generate(&comm, &fsc).ok()
+                })
+                .collect();
+            let algorithms = algorithms
+                .iter()
+                .map(|algo| {
+                    let scheduler = algo.build();
+                    let mut total_ms = 0.0;
+                    let mut ok = 0usize;
+                    for set in &sets {
+                        let start = Instant::now();
+                        let result = scheduler.schedule(set, &model);
+                        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                        if result.is_ok() {
+                            total_ms += elapsed;
+                            ok += 1;
+                        }
+                    }
+                    AlgoTiming {
+                        algorithm: algo.to_string(),
+                        mean_ms: (ok > 0).then(|| total_ms / ok as f64),
+                        schedulable_ratio: if sets.is_empty() {
+                            0.0
+                        } else {
+                            ok as f64 / sets.len() as f64
+                        },
+                    }
+                })
+                .collect();
+            TimingPoint { flows: n, algorithms }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_flow::{PeriodRange, TrafficPattern};
+    use wsan_net::testbeds;
+
+    #[test]
+    fn timing_points_cover_requested_counts() {
+        let topo = testbeds::wustl(6);
+        let cfg = WorkloadConfig {
+            flow_sets: 2,
+            flow_count: 0, // overridden per point
+            periods: PeriodRange::new(0, 2).unwrap(),
+            pattern: TrafficPattern::PeerToPeer,
+            seed: 5,
+            prr_threshold: 0.9,
+        };
+        let points = measure(&topo, 5, &[5, 10], &Algorithm::paper_suite(), &cfg);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].flows, 5);
+        for p in &points {
+            assert_eq!(p.algorithms.len(), 3);
+            for a in &p.algorithms {
+                if let Some(ms) = a.mean_ms {
+                    assert!(ms >= 0.0);
+                }
+            }
+        }
+    }
+}

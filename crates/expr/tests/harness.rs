@@ -1,0 +1,127 @@
+//! Integration tests of the experiment harness at reduced scale: every
+//! campaign runs end-to-end, deterministically, with internally consistent
+//! outputs.
+
+use wsan_expr::detection::{evaluate as detection, DetectionConfig};
+use wsan_expr::efficiency::evaluate as efficiency;
+use wsan_expr::exectime::measure;
+use wsan_expr::reliability::{evaluate as reliability, ReliabilityConfig};
+use wsan_expr::schedulable::{ratio_at, sweep_channels, WorkloadConfig};
+use wsan_expr::Algorithm;
+use wsan_flow::{PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId};
+
+fn small_workload(flows: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        flow_sets: 6,
+        seed: 3,
+        ..WorkloadConfig::new(
+            flows,
+            PeriodRange::new(0, 2).unwrap(),
+            TrafficPattern::PeerToPeer,
+        )
+    }
+}
+
+#[test]
+fn schedulability_campaign_is_deterministic_and_bounded() {
+    let topo = testbeds::wustl(2);
+    let a = sweep_channels(&topo, &[3, 5], &Algorithm::paper_suite(), &small_workload(20));
+    let b = sweep_channels(&topo, &[3, 5], &Algorithm::paper_suite(), &small_workload(20));
+    assert_eq!(a, b);
+    for point in &a {
+        for (_, ratio) in &point.ratios {
+            assert!((0.0..=1.0).contains(ratio));
+        }
+    }
+}
+
+#[test]
+fn efficiency_campaign_counts_only_schedulable_sets() {
+    let topo = testbeds::wustl(2);
+    let cfg = small_workload(20);
+    let results = efficiency(&topo, 4, &Algorithm::paper_suite(), &cfg);
+    let ratios = ratio_at(&topo, 4, &Algorithm::paper_suite(), &cfg);
+    for (res, (_, ratio)) in results.iter().zip(&ratios) {
+        let expected = (ratio * cfg.flow_sets as f64).round() as usize;
+        assert_eq!(
+            res.schedulable_sets, expected,
+            "{}: efficiency and schedulability disagree",
+            res.algorithm
+        );
+        // NR never shares
+        if res.algorithm == Algorithm::Nr && res.schedulable_sets > 0 {
+            assert_eq!(res.metrics.no_reuse_fraction(), 1.0);
+        }
+    }
+}
+
+#[test]
+fn exectime_campaign_reports_only_successful_timings() {
+    let topo = testbeds::wustl(2);
+    let cfg = small_workload(0);
+    let points = measure(&topo, 4, &[10, 20], &Algorithm::paper_suite(), &cfg);
+    for point in points {
+        for algo in point.algorithms {
+            match algo.mean_ms {
+                Some(ms) => {
+                    assert!(ms >= 0.0);
+                    assert!(algo.schedulable_ratio > 0.0);
+                }
+                None => assert_eq!(algo.schedulable_ratio, 0.0),
+            }
+        }
+    }
+}
+
+#[test]
+fn reliability_campaign_produces_consistent_boxplots() {
+    let topo = testbeds::wustl(2);
+    let cfg = ReliabilityConfig {
+        flow_sets: 2,
+        flow_count: 10,
+        repetitions: 20,
+        ..ReliabilityConfig::default()
+    };
+    let channels = ChannelId::range(11, 14).unwrap();
+    let results = reliability(&topo, &channels, &Algorithm::paper_suite(), &cfg);
+    assert_eq!(results.len(), 2);
+    for set in &results {
+        for algo in &set.algorithms {
+            let b = &algo.pdr_boxplot;
+            assert!(b.min <= b.median && b.median <= b.max);
+            assert!((algo.worst_pdr - b.min).abs() < 1e-12, "worst PDR must be the minimum");
+            assert_eq!(b.n, 10);
+        }
+    }
+}
+
+#[test]
+fn detection_campaign_has_consistent_epoch_structure() {
+    let topo = testbeds::wustl(2);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let cfg = DetectionConfig {
+        flow_count: 20,
+        epochs: 2,
+        samples_per_epoch: 5,
+        window_reps: 3,
+        ..DetectionConfig::default()
+    };
+    let runs = detection(&topo, &channels, &[Algorithm::Ra { rho: 2 }], &cfg);
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    assert_eq!(run.clean.len(), cfg.epochs);
+    assert_eq!(run.interfered.len(), cfg.epochs);
+    for (i, epoch) in run.clean.iter().enumerate() {
+        assert_eq!(epoch.epoch, i);
+        // rejected ∪ accepted ⊆ below-threshold candidates
+        let below = epoch.below_threshold(cfg.policy.prr_threshold).len();
+        assert!(epoch.rejected().len() + epoch.accepted().len() <= below);
+    }
+    // ever_rejected is sorted and unique
+    let ever = run.ever_rejected(true);
+    let mut sorted = ever.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(ever, sorted);
+}

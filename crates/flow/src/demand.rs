@@ -1,0 +1,155 @@
+//! Workload demand and utilization metrics.
+//!
+//! Quick back-of-envelope quantities an operator (or a test) wants before
+//! running any scheduler: how many slots the workload needs, how close the
+//! channel capacity is to saturation, and where the busiest node sits.
+
+use crate::FlowSet;
+use serde::{Deserialize, Serialize};
+use wsan_net::NodeId;
+
+/// Demand summary of a flow set against a channel budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandReport {
+    /// Hyperperiod in slots.
+    pub hyperperiod: u32,
+    /// Total transmissions per hyperperiod including retry provisioning.
+    pub transmissions: u64,
+    /// Channel utilization: transmissions / (hyperperiod × channels).
+    /// Above 1.0 the workload cannot fit even with perfect packing and no
+    /// conflicts.
+    pub channel_utilization: f64,
+    /// The busiest node and the number of transmissions touching it.
+    pub busiest_node: Option<(NodeId, u64)>,
+    /// Node utilization of the busiest node: its transmissions /
+    /// hyperperiod. A node can take part in at most one transmission per
+    /// slot, so above 1.0 the workload is infeasible regardless of
+    /// channels — the half-duplex bottleneck the centralized pattern hits
+    /// at its access points.
+    pub node_utilization: f64,
+}
+
+impl DemandReport {
+    /// Whether either capacity bound already rules the workload out.
+    pub fn obviously_infeasible(&self) -> bool {
+        self.channel_utilization > 1.0 || self.node_utilization > 1.0
+    }
+}
+
+/// Computes the demand of `flows` against `channels` channel offsets,
+/// with `attempts` scheduled slots per link (2 under retry provisioning).
+pub fn demand(flows: &FlowSet, channels: usize, attempts: u32) -> DemandReport {
+    let hyperperiod = flows.hyperperiod();
+    let mut transmissions = 0u64;
+    let mut per_node: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
+    for flow in flows {
+        let jobs = u64::from(hyperperiod / flow.period().slots().max(1));
+        for link in flow.links() {
+            let n = jobs * u64::from(attempts);
+            transmissions += n;
+            *per_node.entry(link.tx).or_default() += n;
+            *per_node.entry(link.rx).or_default() += n;
+        }
+    }
+    let busiest_node = per_node.iter().max_by_key(|(id, n)| (**n, std::cmp::Reverse(id.index()))).map(|(id, n)| (*id, *n));
+    DemandReport {
+        hyperperiod,
+        transmissions,
+        channel_utilization: transmissions as f64
+            / (f64::from(hyperperiod) * channels.max(1) as f64),
+        node_utilization: busiest_node
+            .map(|(_, n)| n as f64 / f64::from(hyperperiod))
+            .unwrap_or(0.0),
+        busiest_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{priority, Flow, FlowId, Period};
+    use wsan_net::Route;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn set() -> FlowSet {
+        // two flows: 0→1→2 every 100, 3→1 every 50 — node 1 is hot
+        priority::deadline_monotonic(
+            vec![
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1), n(2)]),
+                    Period::from_slots(100).unwrap(),
+                    100,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(3), n(1)]),
+                    Period::from_slots(50).unwrap(),
+                    50,
+                )
+                .unwrap(),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn counts_transmissions_with_retries() {
+        let r = demand(&set(), 2, 2);
+        assert_eq!(r.hyperperiod, 100);
+        // flow0: 2 links × 2 attempts × 1 job = 4; flow1: 1 × 2 × 2 = 4
+        assert_eq!(r.transmissions, 8);
+        assert!((r.channel_utilization - 8.0 / 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_the_hot_node() {
+        let r = demand(&set(), 2, 2);
+        let (node, count) = r.busiest_node.unwrap();
+        assert_eq!(node, n(1));
+        // node 1: flow0 both links touch it (4) + flow1 (4) = 8
+        assert_eq!(count, 8);
+        assert!((r.node_utilization - 0.08).abs() < 1e-12);
+        assert!(!r.obviously_infeasible());
+    }
+
+    #[test]
+    fn detects_node_saturation() {
+        // one flow through a node every slot: period 4, route of 2 links
+        // through the node, 2 attempts → node busy 4×/4 slots
+        let flows = priority::deadline_monotonic(
+            vec![Flow::new(
+                FlowId::new(0),
+                Route::new(vec![n(0), n(1), n(2)]),
+                Period::from_slots(4).unwrap(),
+                4,
+            )
+            .unwrap()],
+            vec![],
+        );
+        let r = demand(&flows, 16, 2);
+        // node 1 is in both links: 4 transmissions per 4 slots → 1.0
+        assert!((r.node_utilization - 1.0).abs() < 1e-12);
+        assert!(!r.obviously_infeasible()); // exactly 1.0 is the edge
+        // on one channel the same 4 transmissions fill every slot (1.0);
+        // doubling the rate overflows both bounds
+        let tighter = demand(&flows, 1, 2);
+        assert!((tighter.channel_utilization - 1.0).abs() < 1e-12);
+        let doubled = demand(&flows, 1, 4);
+        assert!(doubled.channel_utilization > 1.0);
+        assert!(doubled.obviously_infeasible());
+    }
+
+    #[test]
+    fn empty_set_is_trivially_feasible() {
+        let flows = FlowSet::new(vec![], vec![]);
+        let r = demand(&flows, 4, 2);
+        assert_eq!(r.transmissions, 0);
+        assert_eq!(r.busiest_node, None);
+        assert!(!r.obviously_infeasible());
+    }
+}

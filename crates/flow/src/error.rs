@@ -1,0 +1,72 @@
+//! Error type for flow-model construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building flows or generating flow sets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Deadline exceeds period (the model requires `D_i ≤ P_i`) or is zero.
+    InvalidDeadline {
+        /// Deadline in slots.
+        deadline: u32,
+        /// Period in slots.
+        period: u32,
+    },
+    /// A period of zero slots.
+    ZeroPeriod,
+    /// A period exponent range with `min > max`.
+    InvalidPeriodRange {
+        /// Minimum exponent.
+        min_exp: i32,
+        /// Maximum exponent.
+        max_exp: i32,
+    },
+    /// `2^exp` seconds is under one slot, so the period is unrepresentable.
+    PeriodBelowSlot {
+        /// Offending exponent.
+        exp: i32,
+    },
+    /// The topology cannot host the requested flow set (e.g. too few
+    /// candidate source/destination nodes, or no route between any pair).
+    GenerationFailed(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidDeadline { deadline, period } => {
+                write!(f, "deadline {deadline} slots is invalid for period {period} slots (need 1 ≤ D ≤ P)")
+            }
+            FlowError::ZeroPeriod => write!(f, "a flow period must be at least one slot"),
+            FlowError::InvalidPeriodRange { min_exp, max_exp } => {
+                write!(f, "invalid period exponent range [{min_exp}, {max_exp}]")
+            }
+            FlowError::PeriodBelowSlot { exp } => {
+                write!(f, "period 2^{exp} s is shorter than one 10 ms slot")
+            }
+            FlowError::GenerationFailed(why) => write!(f, "flow-set generation failed: {why}"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = FlowError::InvalidDeadline { deadline: 200, period: 100 };
+        assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! Flows `⟨S, Y, D, P, φ⟩` and prioritized flow sets.
+
+use crate::period::hyperperiod;
+use crate::release::Job;
+use crate::{FlowError, Period};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wsan_net::{DirectedLink, NodeId, Route};
+
+/// Identifier of a flow within one [`FlowSet`], dense from 0.
+///
+/// Under fixed-priority scheduling the id doubles as the priority: flow `F_i`
+/// has higher priority than `F_k` iff `i < k` (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Creates a flow id from a dense index.
+    pub fn new(index: usize) -> Self {
+        FlowId(u32::try_from(index).expect("flow index exceeds u32::MAX"))
+    }
+
+    /// The dense index, usable to index per-flow vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// An end-to-end real-time flow `F = ⟨S, Y, D, P, φ⟩`.
+///
+/// Time quantities are in 10 ms slots; the invariant `1 ≤ D ≤ P` is enforced
+/// at construction.
+///
+/// The wireless path `φ` consists of one or more *segments*. Peer-to-peer
+/// flows have a single segment (source to destination). Centralized flows
+/// have two: source → uplink access point, then downlink access point →
+/// destination — the hop between access points rides the wired gateway
+/// backbone and consumes no wireless slots. A flow's transmissions are the
+/// concatenation of its segments' links, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    id: FlowId,
+    segments: Vec<Route>,
+    period: Period,
+    deadline_slots: u32,
+}
+
+impl Flow {
+    /// Creates a single-segment flow over `route` with the given period and
+    /// relative deadline (slots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidDeadline`] unless `1 ≤ deadline ≤ period`.
+    pub fn new(id: FlowId, route: Route, period: Period, deadline_slots: u32) -> Result<Self, FlowError> {
+        Flow::with_segments(id, vec![route], period, deadline_slots)
+    }
+
+    /// Creates a flow whose wireless path is the given segment sequence
+    /// (gateway-wired hand-offs between consecutive segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidDeadline`] unless `1 ≤ deadline ≤ period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty.
+    pub fn with_segments(
+        id: FlowId,
+        segments: Vec<Route>,
+        period: Period,
+        deadline_slots: u32,
+    ) -> Result<Self, FlowError> {
+        assert!(!segments.is_empty(), "a flow needs at least one route segment");
+        if deadline_slots == 0 || deadline_slots > period.slots() {
+            return Err(FlowError::InvalidDeadline { deadline: deadline_slots, period: period.slots() });
+        }
+        Ok(Flow { id, segments, period, deadline_slots })
+    }
+
+    /// The flow id (doubles as fixed priority: lower id = higher priority).
+    pub fn id(&self) -> FlowId {
+        self.id
+    }
+
+    /// Source node `S` (start of the first segment).
+    pub fn source(&self) -> NodeId {
+        self.segments[0].source()
+    }
+
+    /// Destination node `Y` (end of the last segment).
+    pub fn destination(&self) -> NodeId {
+        self.segments.last().expect("non-empty").destination()
+    }
+
+    /// The wireless route segments of `φ`, in traversal order.
+    pub fn segments(&self) -> &[Route] {
+        &self.segments
+    }
+
+    /// The flow's link transmissions `l_1 … l_k`: all segments' links,
+    /// concatenated in traversal order.
+    pub fn links(&self) -> Vec<DirectedLink> {
+        self.segments.iter().flat_map(|r| r.links()).collect()
+    }
+
+    /// Total number of wireless hops across all segments.
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(Route::hop_count).sum()
+    }
+
+    /// Whether `node` appears on any segment.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.segments.iter().any(|r| r.visits(node))
+    }
+
+    /// Period `P` in slots.
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
+    /// Relative deadline `D` in slots.
+    pub fn deadline_slots(&self) -> u32 {
+        self.deadline_slots
+    }
+
+    /// Jobs released by this flow within `[0, horizon)` slots: job `k` is
+    /// released at `k·P` with absolute deadline `k·P + D`.
+    pub fn jobs(&self, horizon: u32) -> Vec<Job> {
+        let p = self.period.slots();
+        (0..horizon.div_ceil(p))
+            .map(|k| Job::new(self.id, k, k * p, k * p + self.deadline_slots))
+            .collect()
+    }
+
+    /// Re-tags the flow with a new id (used when sorting a set by priority).
+    pub(crate) fn with_id(mut self, id: FlowId) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}→{} P={} D={} ({} hops, {} segment{})",
+            self.id,
+            self.source(),
+            self.destination(),
+            self.period.slots(),
+            self.deadline_slots,
+            self.hop_count(),
+            self.segments.len(),
+            if self.segments.len() == 1 { "" } else { "s" }
+        )
+    }
+}
+
+/// A set of flows ordered by fixed priority (index 0 = highest).
+///
+/// The flow at position `i` always has `FlowId(i)`; constructing a set
+/// re-tags flows to restore this invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSet {
+    flows: Vec<Flow>,
+    access_points: Vec<NodeId>,
+}
+
+impl FlowSet {
+    /// Creates a flow set from flows already in priority order.
+    ///
+    /// Flows are re-tagged with dense ids matching their position.
+    pub fn new(flows: Vec<Flow>, access_points: Vec<NodeId>) -> Self {
+        let flows = flows
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.with_id(FlowId::new(i)))
+            .collect();
+        FlowSet { flows, access_points }
+    }
+
+    /// Number of flows `N`.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Flows in priority order (highest first).
+    pub fn iter(&self) -> impl Iterator<Item = &Flow> {
+        self.flows.iter()
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn flow(&self, id: FlowId) -> &Flow {
+        &self.flows[id.index()]
+    }
+
+    /// The designated access points of this workload.
+    pub fn access_points(&self) -> &[NodeId] {
+        &self.access_points
+    }
+
+    /// Hyperperiod of the set in slots (LCM of periods; the maximum period
+    /// for the harmonic workloads of the paper). 1 for an empty set.
+    pub fn hyperperiod(&self) -> u32 {
+        hyperperiod(self.flows.iter().map(Flow::period))
+    }
+
+    /// All jobs of all flows within one hyperperiod, grouped by flow in
+    /// priority order.
+    pub fn jobs(&self) -> Vec<Vec<Job>> {
+        let h = self.hyperperiod();
+        self.flows.iter().map(|f| f.jobs(h)).collect()
+    }
+
+    /// Total number of link transmissions per hyperperiod *before* retry
+    /// provisioning: `Σ_i (jobs_i × hops_i)`.
+    pub fn transmission_demand(&self) -> usize {
+        let h = self.hyperperiod();
+        self.flows
+            .iter()
+            .map(|f| (h / f.period().slots()) as usize * f.hop_count())
+            .sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowSet {
+    type Item = &'a Flow;
+    type IntoIter = std::slice::Iter<'a, Flow>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.flows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn route(ids: &[usize]) -> Route {
+        Route::new(ids.iter().map(|&i| n(i)).collect())
+    }
+
+    fn flow(i: usize, period: u32, deadline: u32) -> Flow {
+        Flow::new(FlowId::new(i), route(&[0, 1, 2]), Period::from_slots(period).unwrap(), deadline)
+            .unwrap()
+    }
+
+    #[test]
+    fn deadline_must_not_exceed_period() {
+        let r = route(&[0, 1]);
+        let p = Period::from_slots(100).unwrap();
+        assert!(Flow::new(FlowId::new(0), r.clone(), p, 101).is_err());
+        assert!(Flow::new(FlowId::new(0), r.clone(), p, 0).is_err());
+        assert!(Flow::new(FlowId::new(0), r, p, 100).is_ok());
+    }
+
+    #[test]
+    fn endpoints_come_from_route() {
+        let f = flow(0, 100, 80);
+        assert_eq!(f.source(), n(0));
+        assert_eq!(f.destination(), n(2));
+        assert_eq!(f.hop_count(), 2);
+        assert!(f.visits(n(1)));
+        assert!(!f.visits(n(7)));
+    }
+
+    #[test]
+    fn two_segment_flow_concatenates_links() {
+        // uplink 0→1→2 (AP), wired to AP 5, downlink 5→6
+        let f = Flow::with_segments(
+            FlowId::new(0),
+            vec![route(&[0, 1, 2]), route(&[5, 6])],
+            Period::from_slots(100).unwrap(),
+            80,
+        )
+        .unwrap();
+        assert_eq!(f.source(), n(0));
+        assert_eq!(f.destination(), n(6));
+        assert_eq!(f.hop_count(), 3);
+        let links = f.links();
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0], DirectedLink::new(n(0), n(1)));
+        assert_eq!(links[2], DirectedLink::new(n(5), n(6)));
+        assert!(f.visits(n(5)));
+        assert_eq!(f.segments().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one route segment")]
+    fn empty_segments_panic() {
+        let _ = Flow::with_segments(FlowId::new(0), vec![], Period::from_slots(10).unwrap(), 5);
+    }
+
+    #[test]
+    fn jobs_cover_the_horizon() {
+        let f = flow(0, 100, 80);
+        let jobs = f.jobs(400);
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].release_slot(), 0);
+        assert_eq!(jobs[0].deadline_slot(), 80);
+        assert_eq!(jobs[3].release_slot(), 300);
+        assert_eq!(jobs[3].deadline_slot(), 380);
+    }
+
+    #[test]
+    fn jobs_with_partial_last_period() {
+        let f = flow(0, 100, 50);
+        assert_eq!(f.jobs(150).len(), 2);
+    }
+
+    #[test]
+    fn flow_set_retags_ids_by_position() {
+        let set = FlowSet::new(vec![flow(7, 100, 80), flow(3, 50, 40)], vec![n(9)]);
+        assert_eq!(set.flow(FlowId::new(0)).id(), FlowId::new(0));
+        assert_eq!(set.flow(FlowId::new(1)).id(), FlowId::new(1));
+        assert_eq!(set.flow(FlowId::new(1)).period().slots(), 50);
+    }
+
+    #[test]
+    fn hyperperiod_is_max_for_harmonic() {
+        let set = FlowSet::new(vec![flow(0, 100, 80), flow(1, 400, 300), flow(2, 50, 25)], vec![]);
+        assert_eq!(set.hyperperiod(), 400);
+    }
+
+    #[test]
+    fn transmission_demand_counts_jobs_times_hops() {
+        let set = FlowSet::new(vec![flow(0, 100, 80), flow(1, 200, 150)], vec![]);
+        assert_eq!(set.transmission_demand(), 6);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let set = FlowSet::new(vec![], vec![]);
+        assert!(set.is_empty());
+        assert_eq!(set.hyperperiod(), 1);
+        assert_eq!(set.transmission_demand(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Real-time flow model for industrial WSANs.
+//!
+//! A WSAN is shared by end-to-end flows `F = {F_1 … F_n}`; each flow
+//! `F_i = ⟨S_i, Y_i, D_i, P_i, φ_i⟩` releases a packet every period `P_i`
+//! at source `S_i`, to be delivered along route `φ_i` to destination `Y_i`
+//! within deadline `D_i ≤ P_i` (§IV-A of the paper). This crate provides:
+//!
+//! * [`Flow`] and [`FlowSet`] — the flow model itself, with time measured in
+//!   10 ms TSCH slots,
+//! * [`Period`] — harmonic power-of-two periods as used by process
+//!   monitoring and control workloads,
+//! * deadline-monotonic priority ordering ([`priority`]),
+//! * job releases over the hyperperiod ([`release`]),
+//! * the two traffic patterns of the evaluation ([`TrafficPattern`]):
+//!   *centralized* (through an access point wired to the gateway) and
+//!   *peer-to-peer* (controller on a field device),
+//! * a seeded random [`FlowSetGenerator`] reproducing the paper's workload
+//!   generation (random sources/destinations, two access points, harmonic
+//!   periods, deadlines uniform in `[P/2, P]`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+mod error;
+mod flow;
+mod genset;
+mod period;
+pub mod priority;
+pub mod release;
+mod traffic;
+
+pub use demand::{demand, DemandReport};
+pub use error::FlowError;
+pub use flow::{Flow, FlowId, FlowSet};
+pub use genset::{FlowSetConfig, FlowSetGenerator};
+pub use period::{Period, PeriodRange, SLOTS_PER_SECOND};
+pub use release::Job;
+pub use traffic::TrafficPattern;

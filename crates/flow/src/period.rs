@@ -1,0 +1,214 @@
+//! Harmonic periods measured in 10 ms TSCH slots.
+
+use crate::FlowError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of 10 ms TSCH slots per second.
+pub const SLOTS_PER_SECOND: u32 = 100;
+
+/// A flow period, measured in slots.
+///
+/// Process-industry workloads use harmonic (power-of-two second) periods;
+/// [`Period::from_exponent`] builds those, and the hyperperiod of a harmonic
+/// set is simply its maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Period(u32);
+
+impl Period {
+    /// Creates a period from a slot count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::ZeroPeriod`] if `slots == 0`.
+    pub fn from_slots(slots: u32) -> Result<Self, FlowError> {
+        if slots == 0 {
+            Err(FlowError::ZeroPeriod)
+        } else {
+            Ok(Period(slots))
+        }
+    }
+
+    /// Creates the period `2^exp` seconds, e.g. `from_exponent(-1)` is
+    /// 0.5 s = 50 slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::PeriodBelowSlot`] when `2^exp` seconds is less
+    /// than one slot (exp < −6 would round to zero slots).
+    pub fn from_exponent(exp: i32) -> Result<Self, FlowError> {
+        let seconds = 2f64.powi(exp);
+        let slots = (seconds * f64::from(SLOTS_PER_SECOND)).round();
+        if slots < 1.0 {
+            return Err(FlowError::PeriodBelowSlot { exp });
+        }
+        Ok(Period(slots as u32))
+    }
+
+    /// The period in slots.
+    pub fn slots(self) -> u32 {
+        self.0
+    }
+
+    /// The period in seconds.
+    pub fn seconds(self) -> f64 {
+        f64::from(self.0) / f64::from(SLOTS_PER_SECOND)
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} slots", self.0)
+    }
+}
+
+/// An inclusive range of harmonic period exponents, `P = [2^x, 2^y]` seconds.
+///
+/// The paper's workloads draw each flow's period uniformly from
+/// `{2^x, 2^{x+1}, …, 2^y}` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeriodRange {
+    min_exp: i32,
+    max_exp: i32,
+}
+
+impl PeriodRange {
+    /// Creates the exponent range `[2^min_exp, 2^max_exp]` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidPeriodRange`] when `min_exp > max_exp`,
+    /// or [`FlowError::PeriodBelowSlot`] when the smallest period would
+    /// round below one slot.
+    pub fn new(min_exp: i32, max_exp: i32) -> Result<Self, FlowError> {
+        if min_exp > max_exp {
+            return Err(FlowError::InvalidPeriodRange { min_exp, max_exp });
+        }
+        // Validate representability of the whole range.
+        let _ = Period::from_exponent(min_exp)?;
+        Ok(PeriodRange { min_exp, max_exp })
+    }
+
+    /// Smallest exponent in the range.
+    pub fn min_exp(self) -> i32 {
+        self.min_exp
+    }
+
+    /// Largest exponent in the range.
+    pub fn max_exp(self) -> i32 {
+        self.max_exp
+    }
+
+    /// All periods of the range, ascending.
+    pub fn periods(self) -> Vec<Period> {
+        (self.min_exp..=self.max_exp)
+            .map(|e| Period::from_exponent(e).expect("range validated at construction"))
+            .collect()
+    }
+
+    /// Draws a period uniformly from the harmonic set.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Period {
+        let exp = rng.gen_range(self.min_exp..=self.max_exp);
+        Period::from_exponent(exp).expect("range validated at construction")
+    }
+}
+
+impl fmt::Display for PeriodRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[2^{}, 2^{}] s", self.min_exp, self.max_exp)
+    }
+}
+
+/// Hyperperiod (least common multiple) of a set of periods, in slots.
+///
+/// For the harmonic sets used throughout the paper this equals the largest
+/// period, but the implementation computes the true LCM so non-harmonic
+/// workloads are also handled.
+pub fn hyperperiod(periods: impl IntoIterator<Item = Period>) -> u32 {
+    periods.into_iter().fold(1u32, |acc, p| lcm(acc, p.slots()))
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u32, b: u32) -> u32 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponent_periods_match_slot_counts() {
+        assert_eq!(Period::from_exponent(-1).unwrap().slots(), 50);
+        assert_eq!(Period::from_exponent(0).unwrap().slots(), 100);
+        assert_eq!(Period::from_exponent(3).unwrap().slots(), 800);
+    }
+
+    #[test]
+    fn sub_slot_period_is_rejected() {
+        assert!(matches!(Period::from_exponent(-8), Err(FlowError::PeriodBelowSlot { .. })));
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        assert_eq!(Period::from_slots(0), Err(FlowError::ZeroPeriod));
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let p = Period::from_exponent(-1).unwrap();
+        assert!((p.seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_enumerates_harmonic_periods() {
+        let r = PeriodRange::new(-1, 2).unwrap();
+        let slots: Vec<u32> = r.periods().iter().map(|p| p.slots()).collect();
+        assert_eq!(slots, vec![50, 100, 200, 400]);
+    }
+
+    #[test]
+    fn range_rejects_inversion() {
+        assert!(matches!(PeriodRange::new(3, 1), Err(FlowError::InvalidPeriodRange { .. })));
+    }
+
+    #[test]
+    fn sampling_stays_in_range_and_hits_all() {
+        let r = PeriodRange::new(0, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let p = r.sample(&mut rng);
+            assert!(p.slots() >= 100 && p.slots() <= 400);
+            seen.insert(p.slots());
+        }
+        assert_eq!(seen.len(), 3, "uniform draw should hit every harmonic period");
+    }
+
+    #[test]
+    fn hyperperiod_of_harmonic_set_is_max() {
+        let ps = [50, 100, 800, 200].map(|s| Period::from_slots(s).unwrap());
+        assert_eq!(hyperperiod(ps), 800);
+    }
+
+    #[test]
+    fn hyperperiod_of_non_harmonic_set_is_lcm() {
+        let ps = [6, 10].map(|s| Period::from_slots(s).unwrap());
+        assert_eq!(hyperperiod(ps), 30);
+    }
+
+    #[test]
+    fn hyperperiod_of_empty_set_is_one() {
+        assert_eq!(hyperperiod(std::iter::empty()), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Fixed-priority assignment policies.
+//!
+//! The paper adopts *Deadline Monotonic* (DM): the flow with the shortest
+//! relative deadline gets the highest priority. Sorting is stable with a
+//! deterministic tie-break (period, then source id), so a flow set has one
+//! canonical DM order.
+
+use crate::{Flow, FlowSet};
+
+/// Sorts flows into Deadline-Monotonic order (shortest deadline first) and
+/// re-tags their ids so that `FlowId(0)` is the highest priority.
+///
+/// Ties break by shorter period, then by lower source node id, keeping the
+/// order deterministic across runs.
+pub fn deadline_monotonic(mut flows: Vec<Flow>, access_points: Vec<wsan_net::NodeId>) -> FlowSet {
+    flows.sort_by_key(|f| (f.deadline_slots(), f.period().slots(), f.source().index()));
+    FlowSet::new(flows, access_points)
+}
+
+/// Sorts flows into Rate-Monotonic order (shortest period first), provided
+/// as an alternative fixed-priority policy for experimentation.
+///
+/// Ties break by shorter deadline, then by lower source node id.
+pub fn rate_monotonic(mut flows: Vec<Flow>, access_points: Vec<wsan_net::NodeId>) -> FlowSet {
+    flows.sort_by_key(|f| (f.period().slots(), f.deadline_slots(), f.source().index()));
+    FlowSet::new(flows, access_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowId, Period};
+    use wsan_net::{NodeId, Route};
+
+    fn flow(src: usize, period: u32, deadline: u32) -> Flow {
+        let route = Route::new(vec![NodeId::new(src), NodeId::new(src + 40)]);
+        Flow::new(FlowId::new(0), route, Period::from_slots(period).unwrap(), deadline).unwrap()
+    }
+
+    #[test]
+    fn dm_orders_by_deadline() {
+        let set = deadline_monotonic(
+            vec![flow(0, 400, 300), flow(1, 100, 50), flow(2, 200, 120)],
+            vec![],
+        );
+        let deadlines: Vec<u32> = set.iter().map(Flow::deadline_slots).collect();
+        assert_eq!(deadlines, vec![50, 120, 300]);
+        // ids re-tagged to match priority positions
+        assert_eq!(set.flow(FlowId::new(0)).deadline_slots(), 50);
+    }
+
+    #[test]
+    fn dm_ties_break_by_period_then_source() {
+        let set = deadline_monotonic(
+            vec![flow(5, 400, 100), flow(3, 200, 100), flow(1, 200, 100)],
+            vec![],
+        );
+        let sources: Vec<usize> = set.iter().map(|f| f.source().index()).collect();
+        assert_eq!(sources, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let set = rate_monotonic(
+            vec![flow(0, 400, 100), flow(1, 100, 90), flow(2, 200, 80)],
+            vec![],
+        );
+        let periods: Vec<u32> = set.iter().map(|f| f.period().slots()).collect();
+        assert_eq!(periods, vec![100, 200, 400]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Job releases: one packet instance of a flow within the hyperperiod.
+
+use crate::FlowId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One released packet of a flow: the `k`-th job is released at `k·P` and
+/// must reach the destination by `k·P + D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    flow: FlowId,
+    index: u32,
+    release_slot: u32,
+    deadline_slot: u32,
+}
+
+impl Job {
+    /// Creates job `index` of `flow` with absolute release and deadline
+    /// slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_slot <= release_slot` (a job needs at least one
+    /// slot to transmit).
+    pub fn new(flow: FlowId, index: u32, release_slot: u32, deadline_slot: u32) -> Self {
+        assert!(
+            deadline_slot > release_slot,
+            "job deadline must fall after its release"
+        );
+        Job { flow, index, release_slot, deadline_slot }
+    }
+
+    /// The flow this job belongs to.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Position of this job within its flow's release sequence (0-based).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Absolute release slot (first slot the job may transmit in).
+    pub fn release_slot(&self) -> u32 {
+        self.release_slot
+    }
+
+    /// Absolute deadline slot `d_i`: the last slot the packet may occupy.
+    pub fn deadline_slot(&self) -> u32 {
+        self.deadline_slot
+    }
+
+    /// Number of slots in the job's scheduling window `[release, deadline]`.
+    pub fn window_len(&self) -> u32 {
+        self.deadline_slot - self.release_slot
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} [{}, {}]", self.flow, self.index, self.release_slot, self.deadline_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessors() {
+        let j = Job::new(FlowId::new(2), 3, 300, 380);
+        assert_eq!(j.flow(), FlowId::new(2));
+        assert_eq!(j.index(), 3);
+        assert_eq!(j.release_slot(), 300);
+        assert_eq!(j.deadline_slot(), 380);
+        assert_eq!(j.window_len(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must fall after")]
+    fn deadline_before_release_panics() {
+        let _ = Job::new(FlowId::new(0), 0, 100, 100);
+    }
+
+    #[test]
+    fn display_shows_window() {
+        let j = Job::new(FlowId::new(1), 0, 0, 50);
+        assert_eq!(j.to_string(), "F1#0 [0, 50]");
+    }
+}

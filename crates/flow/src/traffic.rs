@@ -1,0 +1,211 @@
+//! Traffic patterns: centralized (through the gateway) vs. peer-to-peer.
+
+use crate::FlowError;
+use serde::{Deserialize, Serialize};
+use wsan_net::{routing, CommGraph, NodeId, Route};
+
+/// How a control loop's packets traverse the network (§VII of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// A sensor packet is routed to the controller through an access point
+    /// wired to the gateway, and the control message returns from an access
+    /// point to the actuator. The wireless workload has two segments —
+    /// source → nearest uplink AP, and nearest downlink AP → destination —
+    /// joined by the zero-slot wired backbone between access points.
+    /// Centralized paths are roughly twice as long as peer-to-peer ones and
+    /// concentrate traffic around the access points, which is why the paper
+    /// finds channel reuse less effective under this pattern.
+    Centralized,
+    /// The controller runs on a field device: a single shortest route from
+    /// source to destination, bypassing the gateway.
+    PeerToPeer,
+}
+
+impl TrafficPattern {
+    /// Builds a flow's wireless route segments from `src` to `dst` under
+    /// this pattern.
+    ///
+    /// Peer-to-peer flows return a single shortest-path segment.
+    /// Centralized flows return the uplink segment to the access point
+    /// nearest `src` and the downlink segment from the access point nearest
+    /// `dst`; if both pick the same AP (or the endpoints *are* APs), the
+    /// degenerate segments collapse as expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::GenerationFailed`] when no access point is
+    /// reachable (centralized) or no path exists (peer-to-peer).
+    pub fn build_segments(
+        self,
+        graph: &CommGraph,
+        src: NodeId,
+        dst: NodeId,
+        access_points: &[NodeId],
+    ) -> Result<Vec<Route>, FlowError> {
+        match self {
+            TrafficPattern::PeerToPeer => routing::shortest_path(graph, src, dst)
+                .map(|r| vec![r])
+                .map_err(|e| FlowError::GenerationFailed(e.to_string())),
+            TrafficPattern::Centralized => {
+                if access_points.is_empty() {
+                    return Err(FlowError::GenerationFailed(
+                        "centralized traffic requires at least one access point".to_string(),
+                    ));
+                }
+                let up_ap = nearest_ap(graph, src, access_points)?;
+                let down_ap = nearest_ap(graph, dst, access_points)?;
+                // degenerate cases: endpoint is (or reaches through) its AP
+                if src == up_ap && dst == down_ap {
+                    return Err(FlowError::GenerationFailed(
+                        "both endpoints are access points; the flow is wired end-to-end"
+                            .to_string(),
+                    ));
+                }
+                if src == up_ap {
+                    // pure downlink: controller output to an actuator
+                    let down = routing::shortest_path(graph, down_ap, dst)
+                        .map_err(|e| FlowError::GenerationFailed(e.to_string()))?;
+                    return Ok(vec![down]);
+                }
+                let up = routing::shortest_path(graph, src, up_ap)
+                    .map_err(|e| FlowError::GenerationFailed(e.to_string()))?;
+                if dst == down_ap {
+                    // pure uplink: sensor report consumed at the gateway side
+                    return Ok(vec![up]);
+                }
+                if up.visits(dst) {
+                    // destination already sits on the uplink; deliver on the
+                    // way up (single truncated segment)
+                    let cut: Vec<NodeId> = up
+                        .nodes()
+                        .iter()
+                        .copied()
+                        .take_while(|&n| n != dst)
+                        .chain(std::iter::once(dst))
+                        .collect();
+                    return Ok(vec![Route::new(cut)]);
+                }
+                let down = routing::shortest_path(graph, down_ap, dst)
+                    .map_err(|e| FlowError::GenerationFailed(e.to_string()))?;
+                Ok(vec![up, down])
+            }
+        }
+    }
+}
+
+/// The access point with the fewest hops from `node` (ties toward the lower
+/// id).
+fn nearest_ap(
+    graph: &CommGraph,
+    node: NodeId,
+    access_points: &[NodeId],
+) -> Result<NodeId, FlowError> {
+    let dist = graph.bfs_from(node);
+    access_points
+        .iter()
+        .copied()
+        .filter(|ap| dist[ap.index()] != u32::MAX)
+        .min_by_key(|ap| (dist[ap.index()], ap.index()))
+        .ok_or_else(|| {
+            FlowError::GenerationFailed(format!("node {node} cannot reach any access point"))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Line: 0 - 1 - 2 - 3 - 4.
+    fn line() -> CommGraph {
+        CommGraph::from_edges(5, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4))])
+    }
+
+    #[test]
+    fn p2p_takes_shortest_path() {
+        let g = line();
+        let segs = TrafficPattern::PeerToPeer.build_segments(&g, n(0), n(4), &[n(2)]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].nodes(), &[n(0), n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn centralized_with_one_ap_splits_at_it() {
+        let g = line();
+        let segs = TrafficPattern::Centralized.build_segments(&g, n(0), n(4), &[n(2)]).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].nodes(), &[n(0), n(1), n(2)]);
+        assert_eq!(segs[1].nodes(), &[n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn centralized_with_two_aps_uses_both() {
+        // APs at 1 and 3: uplink 0→1, wired 1⇢3, downlink 3→4
+        let g = line();
+        let segs =
+            TrafficPattern::Centralized.build_segments(&g, n(0), n(4), &[n(1), n(3)]).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].nodes(), &[n(0), n(1)]);
+        assert_eq!(segs[1].nodes(), &[n(3), n(4)]);
+    }
+
+    #[test]
+    fn centralized_without_aps_fails() {
+        let g = line();
+        let err =
+            TrafficPattern::Centralized.build_segments(&g, n(0), n(4), &[]).unwrap_err();
+        assert!(matches!(err, FlowError::GenerationFailed(_)));
+    }
+
+    #[test]
+    fn centralized_dst_on_uplink_truncates() {
+        let g = line();
+        // src 0, dst 1, AP 2 for both: uplink 0-1-2 passes dst → route 0-1
+        let segs = TrafficPattern::Centralized.build_segments(&g, n(0), n(1), &[n(2)]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].nodes(), &[n(0), n(1)]);
+    }
+
+    #[test]
+    fn centralized_src_is_ap_goes_straight_down() {
+        let g = line();
+        let segs = TrafficPattern::Centralized.build_segments(&g, n(2), n(4), &[n(2)]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].nodes(), &[n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn centralized_dst_is_ap_is_pure_uplink() {
+        let g = line();
+        let segs = TrafficPattern::Centralized.build_segments(&g, n(0), n(2), &[n(2)]).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].nodes(), &[n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn centralized_between_two_aps_is_wired_only() {
+        let g = line();
+        let err = TrafficPattern::Centralized
+            .build_segments(&g, n(1), n(3), &[n(1), n(3)])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::GenerationFailed(_)));
+    }
+
+    #[test]
+    fn unreachable_p2p_fails() {
+        let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        assert!(TrafficPattern::PeerToPeer.build_segments(&g, n(0), n(3), &[]).is_err());
+    }
+
+    #[test]
+    fn centralized_unreachable_ap_fails() {
+        let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        let err = TrafficPattern::Centralized
+            .build_segments(&g, n(0), n(1), &[n(3)])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::GenerationFailed(_)));
+    }
+}

@@ -1,0 +1,452 @@
+//! The two graphs the network manager derives from PRR measurements:
+//! the *communication graph* (for routing) and the *channel reuse graph*
+//! (for interference estimation), plus all-pairs hop distances.
+
+use crate::{ChannelSet, DirectedLink, NodeId, Prr, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Hop distance that stands for "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Undirected adjacency shared by both graph flavors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Adjacency {
+    n: usize,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Adjacency {
+    fn new(n: usize) -> Self {
+        Adjacency { n, neighbors: vec![Vec::new(); n] }
+    }
+
+    fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        debug_assert!(a != b, "self loops are not meaningful");
+        if !self.neighbors[a.index()].contains(&b) {
+            self.neighbors[a.index()].push(b);
+            self.neighbors[b.index()].push(a);
+        }
+    }
+
+    fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors[a.index()].contains(&b)
+    }
+
+    fn degree(&self, a: NodeId) -> usize {
+        self.neighbors[a.index()].len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Single-source BFS hop distances.
+    fn bfs(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![UNREACHABLE; self.n];
+        let mut q = VecDeque::new();
+        dist[src.index()] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.index()];
+            for &v in &self.neighbors[u.index()] {
+                if dist[v.index()] == UNREACHABLE {
+                    dist[v.index()] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let dist = self.bfs(NodeId::new(0));
+        dist.iter().all(|&d| d != UNREACHABLE)
+    }
+}
+
+/// All-pairs hop distances of a graph, flattened for O(1) lookup.
+///
+/// The channel reuse constraint (§V-A) asks, for every candidate concurrent
+/// transmission pair, whether two nodes are at least `ρ` hops apart; the
+/// schedulers query this matrix on their innermost loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HopMatrix {
+    n: usize,
+    dist: Vec<u32>,
+}
+
+impl HopMatrix {
+    fn from_adjacency(adj: &Adjacency) -> Self {
+        let n = adj.n;
+        let mut dist = Vec::with_capacity(n * n);
+        for src in 0..n {
+            dist.extend(adj.bfs(NodeId::new(src)));
+        }
+        HopMatrix { n, dist }
+    }
+
+    /// Hop distance between `a` and `b`; [`UNREACHABLE`] when disconnected.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Whether `a` and `b` are at least `rho` hops apart.
+    ///
+    /// Unreachable pairs count as infinitely far apart — a pair with no path
+    /// in the reuse graph cannot interfere under the hop-based model.
+    pub fn at_least(&self, a: NodeId, b: NodeId, rho: u32) -> bool {
+        self.hops(a, b) >= rho
+    }
+
+    /// The graph diameter: maximum finite hop distance over all pairs
+    /// (`λ_R` for the reuse graph in Algorithm 1). Returns 0 for graphs with
+    /// fewer than two nodes or no finite pair distances.
+    pub fn diameter(&self) -> u32 {
+        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    }
+}
+
+macro_rules! graph_common {
+    ($ty:ident) => {
+        impl $ty {
+            /// Number of nodes.
+            pub fn node_count(&self) -> usize {
+                self.adj.n
+            }
+
+            /// Number of (undirected) edges.
+            pub fn edge_count(&self) -> usize {
+                self.adj.edge_count()
+            }
+
+            /// Whether the bidirectional edge `ab` exists.
+            pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+                self.adj.has_edge(a, b)
+            }
+
+            /// Neighbors of `a`.
+            pub fn neighbors(&self, a: NodeId) -> &[NodeId] {
+                &self.adj.neighbors[a.index()]
+            }
+
+            /// Degree (neighbor count) of `a`.
+            pub fn degree(&self, a: NodeId) -> usize {
+                self.adj.degree(a)
+            }
+
+            /// Whether every node can reach every other node.
+            pub fn is_connected(&self) -> bool {
+                self.adj.is_connected()
+            }
+
+            /// All-pairs hop distances.
+            pub fn hop_matrix(&self) -> HopMatrix {
+                HopMatrix::from_adjacency(&self.adj)
+            }
+
+            /// Graph diameter: the maximum finite shortest-path length.
+            pub fn diameter(&self) -> u32 {
+                self.hop_matrix().diameter()
+            }
+
+            /// Single-source BFS hop distances from `src`
+            /// ([`UNREACHABLE`] marks unreachable nodes).
+            pub fn bfs_from(&self, src: NodeId) -> Vec<u32> {
+                self.adj.bfs(src)
+            }
+        }
+    };
+}
+
+/// The communication graph `G_c(V, E)` used to construct routes.
+///
+/// A bidirectional edge `uv ∈ E` exists iff `PRR(u→v) ≥ PRR_t` and
+/// `PRR(v→u) ≥ PRR_t` on **all** channels in use — bidirectionality supports
+/// the acknowledgement, and channel hopping forces reliability on every
+/// channel the link will visit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommGraph {
+    adj: Adjacency,
+}
+
+graph_common!(CommGraph);
+
+impl CommGraph {
+    pub(crate) fn from_topology(topo: &Topology, channels: &ChannelSet, prr_t: Prr) -> Self {
+        let n = topo.node_count();
+        let mut adj = Adjacency::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (na, nb) = (NodeId::new(a), NodeId::new(b));
+                let fwd = topo.min_prr_over(DirectedLink::new(na, nb), channels);
+                let rev = topo.min_prr_over(DirectedLink::new(nb, na), channels);
+                if fwd.value() >= prr_t.value() && rev.value() >= prr_t.value() {
+                    adj.add_edge(na, nb);
+                }
+            }
+        }
+        CommGraph { adj }
+    }
+
+    /// Builds a communication graph directly from an undirected edge list
+    /// (for hand-crafted test networks).
+    pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj = Adjacency::new(node_count);
+        for &(a, b) in edges {
+            adj.add_edge(a, b);
+        }
+        CommGraph { adj }
+    }
+
+    /// Selects `k` access points: well-connected nodes ("nodes with a high
+    /// number of neighbors", §VII) that are also *spread out* — real
+    /// deployments place access points apart so their wireless
+    /// neighbourhoods overlap as little as possible.
+    ///
+    /// The first pick is the highest-degree node; each further pick is the
+    /// highest-degree node at least `⌈diameter/2⌉` hops from every previous
+    /// pick, relaxing the distance requirement one hop at a time when no
+    /// node qualifies. Ties break toward lower node ids for determinism.
+    pub fn select_access_points(&self, k: usize) -> Vec<NodeId> {
+        let mut by_degree: Vec<NodeId> = (0..self.node_count()).map(NodeId::new).collect();
+        by_degree.sort_by_key(|&id| (std::cmp::Reverse(self.degree(id)), id.index()));
+        if k <= 1 || by_degree.len() <= k {
+            by_degree.truncate(k);
+            return by_degree;
+        }
+        let hops = self.hop_matrix();
+        let mut picked = vec![by_degree[0]];
+        let mut min_sep = hops.diameter().div_ceil(2).max(1);
+        while picked.len() < k {
+            let candidate = by_degree.iter().copied().find(|&id| {
+                !picked.contains(&id) && picked.iter().all(|&p| hops.at_least(id, p, min_sep))
+            });
+            match candidate {
+                Some(id) => picked.push(id),
+                None if min_sep > 1 => min_sep -= 1,
+                None => {
+                    // fully relaxed: fall back to plain degree order
+                    let next = by_degree
+                        .iter()
+                        .copied()
+                        .find(|id| !picked.contains(id))
+                        .expect("k < node_count");
+                    picked.push(next);
+                }
+            }
+        }
+        picked
+    }
+}
+
+/// The channel reuse graph `G_R(V, E)` used to estimate interference.
+///
+/// A bidirectional edge `uv ∈ E` exists iff **any** channel in use has
+/// `PRR(u→v) > 0` or `PRR(v→u) > 0`: if even occasional packets get through,
+/// the pair can interfere, so hop distance on this graph is the conservative
+/// proxy for interference attenuation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReuseGraph {
+    adj: Adjacency,
+}
+
+graph_common!(ReuseGraph);
+
+impl ReuseGraph {
+    pub(crate) fn from_topology(topo: &Topology, channels: &ChannelSet) -> Self {
+        let n = topo.node_count();
+        let mut adj = Adjacency::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (na, nb) = (NodeId::new(a), NodeId::new(b));
+                if topo.max_pair_prr_over(na, nb, channels).is_positive() {
+                    adj.add_edge(na, nb);
+                }
+            }
+        }
+        ReuseGraph { adj }
+    }
+
+    /// Builds a reuse graph directly from an undirected edge list (for
+    /// hand-crafted test networks).
+    pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj = Adjacency::new(node_count);
+        for &(a, b) in edges {
+            adj.add_edge(a, b);
+        }
+        ReuseGraph { adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChannelId, Position};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Path graph 0 - 1 - 2 - 3.
+    fn path4() -> ReuseGraph {
+        ReuseGraph::from_edges(4, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))])
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = path4();
+        let hm = g.hop_matrix();
+        assert_eq!(hm.hops(n(0), n(0)), 0);
+        assert_eq!(hm.hops(n(0), n(1)), 1);
+        assert_eq!(hm.hops(n(0), n(3)), 3);
+        assert_eq!(hm.hops(n(3), n(0)), 3);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn at_least_semantics() {
+        let hm = path4().hop_matrix();
+        assert!(hm.at_least(n(0), n(3), 3));
+        assert!(hm.at_least(n(0), n(3), 2));
+        assert!(!hm.at_least(n(0), n(1), 2));
+        // zero hops: same node fails any rho >= 1
+        assert!(!hm.at_least(n(2), n(2), 1));
+    }
+
+    #[test]
+    fn unreachable_counts_as_infinitely_far() {
+        let g = ReuseGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        let hm = g.hop_matrix();
+        assert_eq!(hm.hops(n(0), n(2)), UNREACHABLE);
+        assert!(hm.at_least(n(0), n(2), 1_000));
+        assert!(!g.is_connected());
+        // diameter ignores unreachable pairs
+        assert_eq!(hm.diameter(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g0 = ReuseGraph::from_edges(0, &[]);
+        assert!(g0.is_connected());
+        assert_eq!(g0.diameter(), 0);
+        let g1 = ReuseGraph::from_edges(1, &[]);
+        assert!(g1.is_connected());
+        assert_eq!(g1.diameter(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let g = ReuseGraph::from_edges(2, &[(n(0), n(1)), (n(1), n(0)), (n(0), n(1))]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(n(0)), 1);
+    }
+
+    #[test]
+    fn access_point_selection_prefers_high_degree_spread_apart() {
+        // star around node 2, plus a pendant chain: 2 is the hub; the
+        // second AP must be well-connected *and* far from the hub.
+        let g = CommGraph::from_edges(
+            6,
+            &[(n(2), n(0)), (n(2), n(1)), (n(2), n(3)), (n(2), n(4)), (n(4), n(5))],
+        );
+        let aps = g.select_access_points(2);
+        assert_eq!(aps[0], n(2)); // degree 4 hub
+        // diameter 3 ⇒ separation ⌈3/2⌉ = 2: node 5 is the only node 2 hops
+        // from the hub with the best degree among those (degree 1), node 4
+        // (degree 2) is only 1 hop away
+        assert_eq!(aps[1], n(5));
+    }
+
+    #[test]
+    fn access_points_on_a_long_path_spread_out() {
+        let edges: Vec<_> = (0..9).map(|i| (n(i), n(i + 1))).collect();
+        let g = CommGraph::from_edges(10, &edges);
+        let aps = g.select_access_points(2);
+        let hm = g.hop_matrix();
+        assert!(hm.hops(aps[0], aps[1]) >= 5, "APs {aps:?} too close");
+    }
+
+    #[test]
+    fn access_point_ties_break_by_id() {
+        let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        let aps = g.select_access_points(2);
+        assert_eq!(aps, vec![n(0), n(1)]);
+    }
+
+    fn mini_topology() -> Topology {
+        // three nodes in a row, 10 m apart
+        let mut t = Topology::new(
+            "mini",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(10.0, 0.0, 0.0),
+                Position::new(20.0, 0.0, 0.0),
+            ],
+        );
+        let (c11, c12) = (ChannelId::new(11).unwrap(), ChannelId::new(12).unwrap());
+        // adjacent pairs: strong on both channels, both directions
+        for (a, b) in [(0, 1), (1, 2)] {
+            for ch in [c11, c12] {
+                t.set_prr(n(a), n(b), ch, Prr::new(0.95).unwrap()).unwrap();
+                t.set_prr(n(b), n(a), ch, Prr::new(0.95).unwrap()).unwrap();
+            }
+        }
+        // far pair 0-2: weak on one channel, one direction only
+        t.set_prr(n(0), n(2), c11, Prr::new(0.1).unwrap()).unwrap();
+        t
+    }
+
+    #[test]
+    fn comm_graph_requires_threshold_on_all_channels_both_ways() {
+        let t = mini_topology();
+        let chans = ChannelId::range(11, 12).unwrap();
+        let g = t.comm_graph(&chans, Prr::new(0.9).unwrap());
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.has_edge(n(1), n(2)));
+        assert!(!g.has_edge(n(0), n(2))); // 0.1 < 0.9, and missing channels
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn comm_graph_drops_link_weak_on_one_channel() {
+        let mut t = mini_topology();
+        let c12 = ChannelId::new(12).unwrap();
+        // degrade one direction on one channel below threshold
+        t.set_prr(n(0), n(1), c12, Prr::new(0.5).unwrap()).unwrap();
+        let chans = ChannelId::range(11, 12).unwrap();
+        let g = t.comm_graph(&chans, Prr::new(0.9).unwrap());
+        assert!(!g.has_edge(n(0), n(1)));
+        // but with only channel 11 in use the edge qualifies again
+        let g11 = t.comm_graph(&ChannelId::range(11, 11).unwrap(), Prr::new(0.9).unwrap());
+        assert!(g11.has_edge(n(0), n(1)));
+    }
+
+    #[test]
+    fn reuse_graph_includes_any_positive_prr() {
+        let t = mini_topology();
+        let chans = ChannelId::range(11, 12).unwrap();
+        let g = t.reuse_graph(&chans);
+        // 0-2 has PRR 0.1 on ch11 in one direction: edge exists
+        assert!(g.has_edge(n(0), n(2)));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn reuse_graph_is_superset_of_comm_graph() {
+        let t = mini_topology();
+        let chans = ChannelId::range(11, 12).unwrap();
+        let comm = t.comm_graph(&chans, Prr::new(0.9).unwrap());
+        let reuse = t.reuse_graph(&chans);
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                if comm.has_edge(n(a), n(b)) {
+                    assert!(reuse.has_edge(n(a), n(b)));
+                }
+            }
+        }
+    }
+}

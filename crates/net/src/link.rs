@@ -1,0 +1,211 @@
+//! Links and packet-reception ratios.
+
+use crate::{ChannelId, NetError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packet-reception ratio: the fraction of transmitted packets that were
+/// successfully received, always within `[0.0, 1.0]`.
+///
+/// PRR is the link-quality measure the WirelessHART network manager already
+/// collects; both the communication graph and the channel reuse graph are
+/// derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Prr(f64);
+
+impl Prr {
+    /// A PRR of exactly zero (no packets get through).
+    pub const ZERO: Prr = Prr(0.0);
+    /// A PRR of exactly one (a perfect link).
+    pub const ONE: Prr = Prr(1.0);
+
+    /// Creates a PRR, validating it lies within `[0.0, 1.0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidPrr`] for NaN or out-of-range values.
+    pub fn new(value: f64) -> Result<Self, NetError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            Err(NetError::InvalidPrr(value))
+        } else {
+            Ok(Prr(value))
+        }
+    }
+
+    /// Creates a PRR by clamping `value` into `[0.0, 1.0]` (NaN becomes 0).
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Prr(0.0)
+        } else {
+            Prr(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The ratio as a float in `[0.0, 1.0]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether any packets at all get through (`PRR > 0`), the edge
+    /// condition of the channel reuse graph.
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+}
+
+impl Default for Prr {
+    fn default() -> Self {
+        Prr::ZERO
+    }
+}
+
+impl fmt::Display for Prr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+/// A directed link from a sender to a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DirectedLink {
+    /// Transmitting node.
+    pub tx: NodeId,
+    /// Receiving node.
+    pub rx: NodeId,
+}
+
+impl DirectedLink {
+    /// Creates a directed link `tx → rx`.
+    pub fn new(tx: NodeId, rx: NodeId) -> Self {
+        DirectedLink { tx, rx }
+    }
+
+    /// The link in the opposite direction (carries the acknowledgement).
+    pub fn reversed(self) -> Self {
+        DirectedLink { tx: self.rx, rx: self.tx }
+    }
+
+    /// Whether `node` is an endpoint of this link.
+    pub fn touches(self, node: NodeId) -> bool {
+        self.tx == node || self.rx == node
+    }
+
+    /// Whether two links share an endpoint — the *transmission conflict*
+    /// condition of §III-B: a half-duplex radio cannot take part in two
+    /// transmissions in the same slot.
+    pub fn conflicts_with(self, other: DirectedLink) -> bool {
+        self.touches(other.tx) || self.touches(other.rx)
+    }
+}
+
+impl fmt::Display for DirectedLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.tx, self.rx)
+    }
+}
+
+/// Per-channel PRR measurements for one directed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkPrr {
+    /// The measured link.
+    pub link: DirectedLink,
+    /// `(channel, prr)` pairs, one per measured channel.
+    pub per_channel: Vec<(ChannelId, Prr)>,
+}
+
+impl LinkPrr {
+    /// PRR of the link on `channel`, if measured.
+    pub fn on(&self, channel: ChannelId) -> Option<Prr> {
+        self.per_channel.iter().find(|(c, _)| *c == channel).map(|(_, p)| *p)
+    }
+
+    /// Minimum PRR across the given channels; `None` if any is unmeasured.
+    pub fn min_over(&self, channels: impl IntoIterator<Item = ChannelId>) -> Option<Prr> {
+        let mut min: Option<Prr> = None;
+        for c in channels {
+            let p = self.on(c)?;
+            min = Some(match min {
+                Some(m) if m.value() <= p.value() => m,
+                _ => p,
+            });
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn prr_validation() {
+        assert!(Prr::new(0.0).is_ok());
+        assert!(Prr::new(1.0).is_ok());
+        assert!(Prr::new(-0.1).is_err());
+        assert!(Prr::new(1.1).is_err());
+        assert!(Prr::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn prr_saturating_clamps() {
+        assert_eq!(Prr::saturating(2.0), Prr::ONE);
+        assert_eq!(Prr::saturating(-3.0), Prr::ZERO);
+        assert_eq!(Prr::saturating(f64::NAN), Prr::ZERO);
+        assert!((Prr::saturating(0.5).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prr_positivity() {
+        assert!(!Prr::ZERO.is_positive());
+        assert!(Prr::new(0.001).unwrap().is_positive());
+    }
+
+    #[test]
+    fn link_reversal_swaps_endpoints() {
+        let l = DirectedLink::new(n(1), n(2));
+        let r = l.reversed();
+        assert_eq!(r.tx, n(2));
+        assert_eq!(r.rx, n(1));
+        assert_eq!(r.reversed(), l);
+    }
+
+    #[test]
+    fn conflict_requires_shared_node() {
+        let ab = DirectedLink::new(n(0), n(1));
+        let bc = DirectedLink::new(n(1), n(2));
+        let cd = DirectedLink::new(n(2), n(3));
+        let ef = DirectedLink::new(n(4), n(5));
+        assert!(ab.conflicts_with(bc)); // share b
+        assert!(bc.conflicts_with(cd)); // share c
+        assert!(!ab.conflicts_with(cd));
+        assert!(!ab.conflicts_with(ef));
+        // conflict is symmetric
+        assert!(bc.conflicts_with(ab));
+    }
+
+    #[test]
+    fn conflict_with_itself() {
+        let ab = DirectedLink::new(n(0), n(1));
+        assert!(ab.conflicts_with(ab));
+        assert!(ab.conflicts_with(ab.reversed()));
+    }
+
+    #[test]
+    fn link_prr_lookup_and_min() {
+        let c11 = ChannelId::new(11).unwrap();
+        let c12 = ChannelId::new(12).unwrap();
+        let c13 = ChannelId::new(13).unwrap();
+        let lp = LinkPrr {
+            link: DirectedLink::new(n(0), n(1)),
+            per_channel: vec![(c11, Prr::new(0.9).unwrap()), (c12, Prr::new(0.7).unwrap())],
+        };
+        assert_eq!(lp.on(c11).unwrap().value(), 0.9);
+        assert!(lp.on(c13).is_none());
+        assert_eq!(lp.min_over([c11, c12]).unwrap().value(), 0.7);
+        assert!(lp.min_over([c11, c13]).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Node identity, role, and physical placement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a field device within one [`Topology`](crate::Topology).
+///
+/// Node ids are dense indices `0..node_count` assigned by the topology; they
+/// are *not* globally unique addresses. Keeping them dense lets graphs and
+/// schedules use flat vectors instead of hash maps on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u16` (topologies are capped at
+    /// 65 536 nodes, far above any WirelessHART deployment).
+    pub fn new(index: usize) -> Self {
+        NodeId(u16::try_from(index).expect("node index exceeds u16::MAX"))
+    }
+
+    /// The dense index of this node, usable to index per-node vectors.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Role of a device in the WirelessHART architecture.
+///
+/// Access points are wired to the gateway; in the paper every generated flow
+/// set designates the two best-connected nodes as access points, and
+/// centralized traffic is forced through them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// An ordinary field device (sensor or actuator).
+    #[default]
+    FieldDevice,
+    /// An access point wired to the gateway.
+    AccessPoint,
+}
+
+/// Physical placement of a node, in meters.
+///
+/// `z` encodes elevation; multi-floor testbeds place floors at fixed `z`
+/// offsets so the propagation model can charge a per-floor penetration loss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+    /// Elevation in meters.
+    pub z: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in meters.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Position { x, y, z }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Number of floors between this position and `other`, assuming
+    /// `floor_height` meters per floor.
+    ///
+    /// Used by the propagation model to charge floor-penetration loss.
+    pub fn floors_between(&self, other: &Position, floor_height: f64) -> u32 {
+        ((self.z - other.z).abs() / floor_height).round() as u32
+    }
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position::new(0.0, 0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds")]
+    fn node_id_rejects_oversized_index() {
+        let _ = NodeId::new(70_000);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(3.0, 4.0, 0.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.0, 2.0, 3.0);
+        let b = Position::new(-4.0, 0.5, 9.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floors_between_counts_whole_floors() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(0.0, 0.0, 8.0);
+        assert_eq!(a.floors_between(&b, 4.0), 2);
+        assert_eq!(a.floors_between(&a, 4.0), 0);
+    }
+
+    #[test]
+    fn default_role_is_field_device() {
+        assert_eq!(NodeRole::default(), NodeRole::FieldDevice);
+    }
+}

@@ -1,0 +1,197 @@
+//! Indoor radio propagation: log-distance path loss, floor penetration,
+//! per-(link, channel) shadowing, and the RSSI → PRR response curve.
+//!
+//! The paper evaluates on PRR tables *measured* on two physical testbeds.
+//! We do not have those traces, so the [`testbeds`](crate::testbeds) module
+//! synthesizes statistically similar tables from this model:
+//!
+//! ```text
+//! RSSI(u→v, ch) = P_tx − PL(d0) − 10·n·log10(d/d0)
+//!                 − floors(u,v)·L_floor + X(uv, ch)
+//! ```
+//!
+//! where `X(uv, ch)` is frozen log-normal shadowing drawn once per
+//! (unordered pair, channel) plus a small per-direction asymmetry term. The
+//! channel dependence of `X` reproduces the well-documented per-channel PRR
+//! diversity of 802.15.4 links: a link may be perfect on channel 15 and dead
+//! on channel 22. PRR follows a logistic curve of RSSI across the receiver
+//! sensitivity region, with a hard floor below which the PRR is exactly zero
+//! (no connectivity ⇒ no edge in the channel reuse graph).
+
+use crate::Prr;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the indoor propagation and receiver model.
+///
+/// Defaults approximate a TelosB-class (CC2420) deployment at 0 dBm transmit
+/// power in an office building, matching the paper's testbed settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Transmit power in dBm (paper: 0 dBm).
+    pub tx_power_dbm: f64,
+    /// Path loss at the reference distance `d0 = 1 m`, in dB.
+    pub ref_loss_db: f64,
+    /// Path-loss exponent `n` (≈3 for cluttered indoor environments).
+    pub path_loss_exponent: f64,
+    /// Penetration loss per concrete floor, in dB.
+    pub floor_loss_db: f64,
+    /// Height of one floor in meters (converts Δz to floor count).
+    pub floor_height_m: f64,
+    /// Standard deviation of the frozen *pair-level* shadowing, dB. This
+    /// component is common to every channel of a pair: walls and furniture
+    /// attenuate the whole 2.4 GHz band together, so a pair that is
+    /// surprisingly strong (or weak) is so on all 16 channels at once.
+    pub pair_shadowing_sigma_db: f64,
+    /// Standard deviation of the frozen *per-channel* (frequency-selective)
+    /// shadowing component, dB. This is what makes a link great on channel
+    /// 15 and dead on channel 22.
+    pub channel_shadowing_sigma_db: f64,
+    /// Standard deviation of the per-direction asymmetry term, dB.
+    pub asymmetry_sigma_db: f64,
+    /// RSSI at which PRR crosses 0.5, in dBm (receiver sensitivity knee).
+    pub prr_midpoint_dbm: f64,
+    /// Slope of the logistic PRR curve, dB per e-fold.
+    pub prr_slope_db: f64,
+    /// PRR below this value is truncated to exactly zero, so that distant
+    /// pairs genuinely have no edge in the channel reuse graph.
+    pub prr_floor: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        PropagationModel {
+            tx_power_dbm: 0.0,
+            ref_loss_db: 40.0,
+            path_loss_exponent: 3.4,
+            floor_loss_db: 16.0,
+            floor_height_m: 3.5,
+            pair_shadowing_sigma_db: 3.0,
+            channel_shadowing_sigma_db: 2.0,
+            asymmetry_sigma_db: 0.8,
+            prr_midpoint_dbm: -89.0,
+            prr_slope_db: 1.0,
+            prr_floor: 0.05,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Deterministic mean RSSI (dBm) over a 3-D distance with floor
+    /// penetration, before shadowing.
+    pub fn mean_rssi_dbm(&self, distance_m: f64, floors: u32) -> f64 {
+        // Below the reference distance the near-field formula is meaningless;
+        // clamp so co-located nodes simply see a very strong signal.
+        let d = distance_m.max(0.5);
+        self.tx_power_dbm
+            - self.ref_loss_db
+            - 10.0 * self.path_loss_exponent * (d.log10())
+            - f64::from(floors) * self.floor_loss_db
+    }
+
+    /// The logistic RSSI → PRR response with a hard zero floor.
+    pub fn prr_from_rssi(&self, rssi_dbm: f64) -> Prr {
+        let x = (rssi_dbm - self.prr_midpoint_dbm) / self.prr_slope_db;
+        let p = 1.0 / (1.0 + (-x).exp());
+        if p < self.prr_floor {
+            Prr::ZERO
+        } else {
+            Prr::saturating(p)
+        }
+    }
+
+    /// Received power in dBm of a signal travelling `distance_m` meters
+    /// across `floors` floors with frozen shadowing `shadow_db`.
+    pub fn received_power_dbm(&self, distance_m: f64, floors: u32, shadow_db: f64) -> f64 {
+        self.mean_rssi_dbm(distance_m, floors) + shadow_db
+    }
+}
+
+/// Converts a power in dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a power in milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics in debug builds if `mw` is non-positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    debug_assert!(mw > 0.0, "power must be positive to express in dBm");
+    10.0 * mw.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let m = PropagationModel::default();
+        let near = m.mean_rssi_dbm(5.0, 0);
+        let mid = m.mean_rssi_dbm(20.0, 0);
+        let far = m.mean_rssi_dbm(60.0, 0);
+        assert!(near > mid && mid > far);
+    }
+
+    #[test]
+    fn floor_penalty_applies_per_floor() {
+        let m = PropagationModel::default();
+        let same = m.mean_rssi_dbm(10.0, 0);
+        let one = m.mean_rssi_dbm(10.0, 1);
+        let two = m.mean_rssi_dbm(10.0, 2);
+        assert!((same - one - m.floor_loss_db).abs() < 1e-9);
+        assert!((one - two - m.floor_loss_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prr_curve_is_monotone_and_saturates() {
+        let m = PropagationModel::default();
+        assert_eq!(m.prr_from_rssi(-120.0), Prr::ZERO);
+        let strong = m.prr_from_rssi(-50.0);
+        assert!(strong.value() > 0.999);
+        let knee = m.prr_from_rssi(m.prr_midpoint_dbm);
+        assert!((knee.value() - 0.5).abs() < 1e-9);
+        // monotone over a sweep
+        let mut last = 0.0;
+        for rssi in -110..-40 {
+            let p = m.prr_from_rssi(f64::from(rssi)).value();
+            assert!(p >= last, "PRR must be monotone in RSSI");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn prr_floor_truncates_to_exact_zero() {
+        let m = PropagationModel::default();
+        // Just below the floor: logistic would give ~0.047 < 0.05 floor.
+        let rssi = m.prr_midpoint_dbm - 3.0 * m.prr_slope_db;
+        assert_eq!(m.prr_from_rssi(rssi), Prr::ZERO);
+    }
+
+    #[test]
+    fn close_range_is_clamped() {
+        let m = PropagationModel::default();
+        // Distances below 0.5 m all see the same (strong) signal.
+        assert_eq!(m.mean_rssi_dbm(0.0, 0), m.mean_rssi_dbm(0.3, 0));
+    }
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for dbm in [-90.0, -50.0, 0.0, 10.0] {
+            let mw = dbm_to_mw(dbm);
+            assert!((mw_to_dbm(mw) - dbm).abs() < 1e-9);
+        }
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_indoor_ranges_are_sensible() {
+        // Same-floor: reliable to ~20 m, dead past ~60 m. These anchors keep
+        // the synthetic testbeds multi-hop like the physical ones.
+        let m = PropagationModel::default();
+        assert!(m.prr_from_rssi(m.mean_rssi_dbm(15.0, 0)).value() > 0.95);
+        assert_eq!(m.prr_from_rssi(m.mean_rssi_dbm(80.0, 0)), Prr::ZERO);
+    }
+}

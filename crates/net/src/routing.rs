@@ -1,0 +1,261 @@
+//! Route construction over the communication graph.
+//!
+//! The paper's network manager "generates a single route from a source to a
+//! destination node based on the shortest path algorithm and the types of
+//! traffic". Shortest paths are by hop count on the communication graph with
+//! deterministic tie-breaking (lowest predecessor id), so the same topology
+//! and flow set always produce the same routes.
+
+use crate::graph::UNREACHABLE;
+use crate::{CommGraph, DirectedLink, NetError, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A route: the ordered node sequence a packet traverses.
+///
+/// A route is a *walk*, not necessarily a simple path: centralized traffic
+/// climbs from the source to an access point and back down toward the
+/// actuator, legitimately revisiting relay nodes. Only immediate repetition
+/// (a self-link) is forbidden. Shortest-path routes produced by
+/// [`shortest_path`] are always simple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Route {
+    nodes: Vec<NodeId>,
+}
+
+impl Route {
+    /// Creates a route from an ordered node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are given or if two consecutive nodes
+    /// are equal (a link needs distinct endpoints).
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(nodes.len() >= 2, "a route needs at least a source and a destination");
+        for w in nodes.windows(2) {
+            assert!(w[0] != w[1], "route contains self-link at node {}", w[0]);
+        }
+        Route { nodes }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("routes are non-empty")
+    }
+
+    /// The ordered node sequence.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of links (hops) in the route.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The directed links `l_i1, l_i2, …, l_ik` along the route.
+    pub fn links(&self) -> impl Iterator<Item = DirectedLink> + '_ {
+        self.nodes.windows(2).map(|w| DirectedLink::new(w[0], w[1]))
+    }
+
+    /// Whether `node` appears anywhere on the route.
+    pub fn visits(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Concatenates two route segments sharing a junction node (used for
+    /// centralized traffic: source → access point, then access point →
+    /// destination). Nodes visited by both segments are kept — the packet
+    /// really is relayed twice through them, once up and once down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.destination() != second.source()`.
+    pub fn join(&self, second: &Route) -> Route {
+        assert_eq!(
+            self.destination(),
+            second.source(),
+            "segments must share the junction node"
+        );
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&second.nodes[1..]);
+        Route::new(nodes)
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "->")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes a shortest (hop-count) route from `src` to `dst` on the
+/// communication graph, breaking ties toward the lowest predecessor id.
+///
+/// # Errors
+///
+/// Returns [`NetError::Unreachable`] if no path exists.
+pub fn shortest_path(graph: &CommGraph, src: NodeId, dst: NodeId) -> Result<Route, NetError> {
+    if src == dst {
+        // A degenerate request; model it as unreachable since a flow needs
+        // at least one link.
+        return Err(NetError::Unreachable { from: src.index(), to: dst.index() });
+    }
+    let n = graph.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut q = VecDeque::new();
+    dist[src.index()] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            break;
+        }
+        let du = dist[u.index()];
+        // Visit neighbors in ascending id order for deterministic ties.
+        let mut neighbors: Vec<NodeId> = graph.neighbors(u).to_vec();
+        neighbors.sort_unstable();
+        for v in neighbors {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                pred[v.index()] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    if dist[dst.index()] == UNREACHABLE {
+        return Err(NetError::Unreachable { from: src.index(), to: dst.index() });
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = pred[cur.index()] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], src);
+    Ok(Route::new(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 - 1 - 2
+    ///  \     /
+    ///   3 - 4     (0-3, 3-4, 4-2): two 2-hop-ish options
+    fn diamond() -> CommGraph {
+        CommGraph::from_edges(
+            5,
+            &[(n(0), n(1)), (n(1), n(2)), (n(0), n(3)), (n(3), n(4)), (n(4), n(2))],
+        )
+    }
+
+    #[test]
+    fn shortest_path_minimizes_hops() {
+        let g = diamond();
+        let r = shortest_path(&g, n(0), n(2)).unwrap();
+        assert_eq!(r.hop_count(), 2);
+        assert_eq!(r.nodes(), &[n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn shortest_path_is_deterministic_on_ties() {
+        // 0-1-3 and 0-2-3 are both 2 hops; lowest-id predecessor wins.
+        let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))]);
+        let r = shortest_path(&g, n(0), n(3)).unwrap();
+        assert_eq!(r.nodes(), &[n(0), n(1), n(3)]);
+    }
+
+    #[test]
+    fn unreachable_destination_errors() {
+        let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        let err = shortest_path(&g, n(0), n(3)).unwrap_err();
+        assert_eq!(err, NetError::Unreachable { from: 0, to: 3 });
+    }
+
+    #[test]
+    fn source_equals_destination_errors() {
+        let g = diamond();
+        assert!(shortest_path(&g, n(1), n(1)).is_err());
+    }
+
+    #[test]
+    fn route_links_follow_node_order() {
+        let r = Route::new(vec![n(0), n(1), n(2)]);
+        let links: Vec<DirectedLink> = r.links().collect();
+        assert_eq!(links, vec![DirectedLink::new(n(0), n(1)), DirectedLink::new(n(1), n(2))]);
+        assert_eq!(r.source(), n(0));
+        assert_eq!(r.destination(), n(2));
+        assert_eq!(r.hop_count(), 2);
+    }
+
+    #[test]
+    fn route_allows_revisits_for_up_down_walks() {
+        // 0 up to 2 and back down through 1 — a legitimate centralized walk.
+        let r = Route::new(vec![n(0), n(1), n(2), n(1), n(3)]);
+        assert_eq!(r.hop_count(), 4);
+        assert!(r.visits(n(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn route_rejects_consecutive_repeats() {
+        let _ = Route::new(vec![n(0), n(1), n(1), n(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a source")]
+    fn route_rejects_single_node() {
+        let _ = Route::new(vec![n(0)]);
+    }
+
+    #[test]
+    fn join_concatenates_segments() {
+        let up = Route::new(vec![n(0), n(1), n(2)]);
+        let down = Route::new(vec![n(2), n(3)]);
+        let joined = up.join(&down);
+        assert_eq!(joined.nodes(), &[n(0), n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn join_keeps_shared_relay_nodes() {
+        // up: 0 -> 1 -> 2, down: 2 -> 1 -> 4. Node 1 relays the packet both
+        // up and down; both traversals stay in the walk.
+        let up = Route::new(vec![n(0), n(1), n(2)]);
+        let down = Route::new(vec![n(2), n(1), n(4)]);
+        let joined = up.join(&down);
+        assert_eq!(joined.nodes(), &[n(0), n(1), n(2), n(1), n(4)]);
+        assert_eq!(joined.hop_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn join_requires_shared_junction() {
+        let up = Route::new(vec![n(0), n(1)]);
+        let down = Route::new(vec![n(2), n(3)]);
+        let _ = up.join(&down);
+    }
+
+    #[test]
+    fn display_formats_chain() {
+        let r = Route::new(vec![n(0), n(7)]);
+        assert_eq!(r.to_string(), "n0->n7");
+    }
+}

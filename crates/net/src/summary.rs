@@ -1,0 +1,177 @@
+//! Descriptive summaries of a topology — the numbers behind a Fig. 7-style
+//! testbed characterization.
+
+use crate::{ChannelId, ChannelSet, NodeId, Prr, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Structural and link-quality summary of a topology over a channel set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologySummary {
+    /// Topology name.
+    pub name: String,
+    /// Total node count.
+    pub node_count: usize,
+    /// Nodes per floor, by ascending floor index.
+    pub nodes_per_floor: Vec<usize>,
+    /// Number of communication-grade links (both directions ≥ `prr_t` on
+    /// every channel of the set).
+    pub comm_edges: usize,
+    /// Communication-graph diameter.
+    pub comm_diameter: u32,
+    /// Min/mean/max communication degree.
+    pub comm_degree: (usize, f64, usize),
+    /// Number of reuse-graph edges (any positive PRR).
+    pub reuse_edges: usize,
+    /// Reuse-graph diameter (`λ_R`).
+    pub reuse_diameter: u32,
+    /// Fraction of directed node pairs with PRR ≥ 0.9 / in (0, 0.9) / = 0,
+    /// pooled over the channel set.
+    pub prr_classes: PrrClasses,
+    /// Per-channel mean PRR over all directed pairs, in channel order.
+    pub channel_quality: Vec<(u8, f64)>,
+}
+
+/// Coarse link-quality classes of directed (pair, channel) observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrrClasses {
+    /// Fraction with PRR ≥ 0.9 — "good" in the bimodal-link literature.
+    pub good: f64,
+    /// Fraction with 0 < PRR < 0.9 — the gray zone.
+    pub gray: f64,
+    /// Fraction with PRR = 0 — no connectivity.
+    pub dead: f64,
+}
+
+/// Computes the summary of `topology` over `channels` at threshold `prr_t`.
+pub fn summarize(topology: &Topology, channels: &ChannelSet, prr_t: Prr) -> TopologySummary {
+    let comm = topology.comm_graph(channels, prr_t);
+    let reuse = topology.reuse_graph(channels);
+    let n = topology.node_count();
+
+    // floors
+    let floor_height = topology
+        .propagation_model()
+        .map(|m| m.floor_height_m)
+        .unwrap_or(3.5);
+    let mut floors = std::collections::BTreeMap::<i64, usize>::new();
+    for node in topology.nodes() {
+        *floors
+            .entry((topology.position(node).z / floor_height).round() as i64)
+            .or_default() += 1;
+    }
+
+    // degrees
+    let degrees: Vec<usize> = (0..n).map(|i| comm.degree(NodeId::new(i))).collect();
+    let comm_degree = if degrees.is_empty() {
+        (0, 0.0, 0)
+    } else {
+        (
+            *degrees.iter().min().expect("non-empty"),
+            degrees.iter().sum::<usize>() as f64 / degrees.len() as f64,
+            *degrees.iter().max().expect("non-empty"),
+        )
+    };
+
+    // PRR classes and channel quality
+    let mut good = 0u64;
+    let mut gray = 0u64;
+    let mut dead = 0u64;
+    let mut channel_quality = Vec::new();
+    for ch in channels.iter() {
+        let mut sum = 0.0;
+        let mut pairs = 0u64;
+        for a in topology.nodes() {
+            for b in topology.nodes() {
+                if a == b {
+                    continue;
+                }
+                let p = topology.prr(a, b, ch).value();
+                sum += p;
+                pairs += 1;
+                if p >= prr_t.value() {
+                    good += 1;
+                } else if p > 0.0 {
+                    gray += 1;
+                } else {
+                    dead += 1;
+                }
+            }
+        }
+        channel_quality.push((ch.number(), if pairs == 0 { 0.0 } else { sum / pairs as f64 }));
+    }
+    let total = (good + gray + dead).max(1) as f64;
+
+    TopologySummary {
+        name: topology.name().to_string(),
+        node_count: n,
+        nodes_per_floor: floors.into_values().collect(),
+        comm_edges: comm.edge_count(),
+        comm_diameter: comm.diameter(),
+        comm_degree,
+        reuse_edges: reuse.edge_count(),
+        reuse_diameter: reuse.diameter(),
+        prr_classes: PrrClasses {
+            good: good as f64 / total,
+            gray: gray as f64 / total,
+            dead: dead as f64 / total,
+        },
+        channel_quality,
+    }
+}
+
+/// Convenience: summary over the standard 4-channel set at `PRR_t = 0.9`.
+pub fn standard_summary(topology: &Topology) -> TopologySummary {
+    let channels = ChannelId::range(11, 14).expect("valid range");
+    summarize(topology, &channels, Prr::new(0.9).expect("valid threshold"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbeds;
+
+    #[test]
+    fn summary_of_wustl_matches_direct_queries() {
+        let topo = testbeds::wustl(1);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let prr_t = Prr::new(0.9).unwrap();
+        let s = summarize(&topo, &channels, prr_t);
+        assert_eq!(s.node_count, 60);
+        assert_eq!(s.nodes_per_floor, vec![20, 20, 20]);
+        assert_eq!(s.comm_edges, topo.comm_graph(&channels, prr_t).edge_count());
+        assert_eq!(s.reuse_edges, topo.reuse_graph(&channels).edge_count());
+        assert!(s.comm_degree.0 <= s.comm_degree.1 as usize);
+        assert!(s.comm_degree.1 <= s.comm_degree.2 as f64);
+    }
+
+    #[test]
+    fn prr_classes_partition_to_one() {
+        let topo = testbeds::wustl(2);
+        let s = standard_summary(&topo);
+        let sum = s.prr_classes.good + s.prr_classes.gray + s.prr_classes.dead;
+        assert!((sum - 1.0).abs() < 1e-9);
+        // a sharp PRR curve makes links bimodal: the gray zone is small
+        assert!(s.prr_classes.gray < s.prr_classes.good + s.prr_classes.dead);
+    }
+
+    #[test]
+    fn channel_quality_covers_the_set_in_order() {
+        let topo = testbeds::indriya(3);
+        let channels = ChannelId::range(12, 15).unwrap();
+        let s = summarize(&topo, &channels, Prr::new(0.9).unwrap());
+        let nums: Vec<u8> = s.channel_quality.iter().map(|(c, _)| *c).collect();
+        assert_eq!(nums, vec![12, 13, 14, 15]);
+        for (_, q) in &s.channel_quality {
+            assert!((0.0..=1.0).contains(q));
+        }
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let topo = testbeds::wustl(4);
+        let s = standard_summary(&topo);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TopologySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,312 @@
+//! Seeded synthetic reconstructions of the paper's two physical testbeds.
+//!
+//! The paper evaluates on PRR tables collected from the 80-node Indriya
+//! testbed (National University of Singapore) and the 60-node WUSTL testbed
+//! (three floors of Bryan Hall). Those traces are not public, so this module
+//! synthesizes topologies with the same macroscopic structure — node count,
+//! floor count, multi-hop communication graph, denser channel-reuse graph —
+//! from the indoor [`propagation`](crate::propagation) model. Every generator
+//! takes an explicit seed and is fully deterministic.
+//!
+//! Generated topologies are *validated*: the communication graph over all 16
+//! channels at `PRR_t = 0.9` must be connected (the physical testbeds were);
+//! if a seed produces a disconnected graph, deterministic retry seeds are
+//! derived until one passes.
+
+use crate::propagation::PropagationModel;
+use crate::{ChannelId, NodeId, Position, Prr, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Layout and scale of a synthetic multi-floor testbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestbedConfig {
+    /// Topology name recorded on the generated [`Topology`].
+    pub name: String,
+    /// Number of building floors.
+    pub floors: usize,
+    /// Nodes placed on each floor (length must equal `floors`).
+    pub nodes_per_floor: Vec<usize>,
+    /// Floor extent east-west, in meters.
+    pub width_m: f64,
+    /// Floor extent north-south, in meters.
+    pub depth_m: f64,
+    /// Radio and environment model.
+    pub model: PropagationModel,
+    /// Standard deviation of the per-channel quality offset (dB), modelling
+    /// channels that are systematically better or worse building-wide.
+    pub channel_offset_sigma_db: f64,
+}
+
+impl TestbedConfig {
+    /// Configuration mirroring the 80-node Indriya testbed: three large
+    /// laboratory floors.
+    pub fn indriya() -> Self {
+        TestbedConfig {
+            name: "indriya".to_string(),
+            floors: 3,
+            nodes_per_floor: vec![27, 27, 26],
+            width_m: 75.0,
+            depth_m: 35.0,
+            model: PropagationModel::default(),
+            channel_offset_sigma_db: 1.5,
+        }
+    }
+
+    /// Configuration mirroring the 60-node WUSTL testbed: three office
+    /// floors of a smaller building.
+    pub fn wustl() -> Self {
+        TestbedConfig {
+            name: "wustl".to_string(),
+            floors: 3,
+            nodes_per_floor: vec![20, 20, 20],
+            width_m: 40.0,
+            depth_m: 20.0,
+            model: PropagationModel::default(),
+            channel_offset_sigma_db: 1.5,
+        }
+    }
+
+    /// Total node count across floors.
+    pub fn node_count(&self) -> usize {
+        self.nodes_per_floor.iter().sum()
+    }
+}
+
+/// Generates the Indriya-like 80-node topology for a seed.
+pub fn indriya(seed: u64) -> Topology {
+    generate(&TestbedConfig::indriya(), seed)
+}
+
+/// Generates the WUSTL-like 60-node topology for a seed.
+pub fn wustl(seed: u64) -> Topology {
+    generate(&TestbedConfig::wustl(), seed)
+}
+
+/// Generates a validated topology from a configuration and seed.
+///
+/// Determinism: the same `(config, seed)` always yields the same topology.
+/// If the first candidate's communication graph (all 16 channels,
+/// `PRR_t = 0.9`) is disconnected, further candidates are derived from
+/// `seed` until one passes.
+///
+/// # Panics
+///
+/// Panics if `config.nodes_per_floor.len() != config.floors`, or if no
+/// connected candidate is found within 64 attempts (which indicates a
+/// physically meaningless configuration, e.g. a floor far larger than the
+/// radio range).
+pub fn generate(config: &TestbedConfig, seed: u64) -> Topology {
+    assert_eq!(
+        config.nodes_per_floor.len(),
+        config.floors,
+        "nodes_per_floor must list one entry per floor"
+    );
+    let all = ChannelId::all();
+    let prr_t = Prr::new(0.9).expect("0.9 is a valid PRR");
+    for attempt in 0..64u64 {
+        let candidate_seed = seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let topo = generate_unchecked(config, candidate_seed);
+        if topo.comm_graph(&all, prr_t).is_connected() {
+            return topo;
+        }
+    }
+    panic!(
+        "no connected communication graph after 64 attempts for testbed '{}'; \
+         the configuration is out of radio range",
+        config.name
+    );
+}
+
+/// Generates a candidate topology without the connectivity check.
+fn generate_unchecked(config: &TestbedConfig, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = place_nodes(config, &mut rng);
+    let mut topo = Topology::new(config.name.clone(), positions);
+    topo.set_propagation_model(config.model.clone());
+
+    // Building-wide per-channel quality offsets (some channels are just
+    // worse everywhere, e.g. under WiFi).
+    let channel_offsets: Vec<f64> =
+        (0..16).map(|_| gaussian(&mut rng) * config.channel_offset_sigma_db).collect();
+
+    let n = topo.node_count();
+    let model = config.model.clone();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            let pa = topo.position(na);
+            let pb = topo.position(nb);
+            let d = pa.distance(&pb);
+            let floors = pa.floors_between(&pb, model.floor_height_m);
+            let mean = model.mean_rssi_dbm(d, floors);
+            // Pair-level shadowing: one draw for the whole band.
+            let pair_shadow = gaussian(&mut rng) * model.pair_shadowing_sigma_db;
+            for ch in ChannelId::all().iter() {
+                // ... plus a frequency-selective per-channel component and
+                // the building-wide per-channel quality offset.
+                let shadow = pair_shadow
+                    + gaussian(&mut rng) * model.channel_shadowing_sigma_db
+                    + channel_offsets[ch.band_index()];
+                topo.set_shadowing_db(na, nb, ch, shadow);
+                // ... plus a small per-direction asymmetry.
+                for (tx, rx) in [(na, nb), (nb, na)] {
+                    let asym = gaussian(&mut rng) * model.asymmetry_sigma_db;
+                    let prr = model.prr_from_rssi(mean + shadow + asym);
+                    topo.set_prr(tx, rx, ch, prr).expect("nodes are in range");
+                }
+            }
+        }
+    }
+    topo
+}
+
+/// Places nodes on a jittered grid per floor, so density is roughly uniform
+/// like an instrumented office/lab deployment.
+fn place_nodes(config: &TestbedConfig, rng: &mut StdRng) -> Vec<Position> {
+    let mut positions = Vec::with_capacity(config.node_count());
+    for (floor, &count) in config.nodes_per_floor.iter().enumerate() {
+        let z = floor as f64 * config.model.floor_height_m;
+        // grid dimensions closest to the aspect ratio
+        let cols = ((count as f64 * config.width_m / config.depth_m).sqrt()).ceil() as usize;
+        let cols = cols.max(1);
+        let rows = count.div_ceil(cols);
+        let dx = config.width_m / cols as f64;
+        let dy = config.depth_m / rows as f64;
+        let mut placed = 0;
+        'grid: for r in 0..rows {
+            for c in 0..cols {
+                if placed == count {
+                    break 'grid;
+                }
+                let jx = (rng.gen::<f64>() - 0.5) * dx * 0.6;
+                let jy = (rng.gen::<f64>() - 0.5) * dy * 0.6;
+                positions.push(Position::new(
+                    (c as f64 + 0.5) * dx + jx,
+                    (r as f64 + 0.5) * dy + jy,
+                    z,
+                ));
+                placed += 1;
+            }
+        }
+    }
+    positions
+}
+
+/// Standard normal draw via Box–Muller (keeps the dependency set to `rand`
+/// itself; `rand_distr` is not needed for one distribution).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indriya_has_80_nodes_and_is_connected() {
+        let t = indriya(1);
+        assert_eq!(t.node_count(), 80);
+        let chans = ChannelId::all();
+        let g = t.comm_graph(&chans, Prr::new(0.9).unwrap());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn wustl_has_60_nodes_and_is_connected() {
+        let t = wustl(1);
+        assert_eq!(t.node_count(), 60);
+        let g = t.comm_graph(&ChannelId::all(), Prr::new(0.9).unwrap());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = wustl(42);
+        let b = wustl(42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = wustl(1);
+        let b = wustl(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn comm_graph_is_multi_hop() {
+        // The physical testbeds are multi-hop; a synthetic stand-in must be
+        // too, or the scheduling problem trivializes.
+        let t = indriya(3);
+        let g = t.comm_graph(&ChannelId::all(), Prr::new(0.9).unwrap());
+        assert!(g.diameter() >= 3, "diameter {} too small", g.diameter());
+    }
+
+    #[test]
+    fn reuse_graph_denser_than_comm_graph_with_smaller_diameter() {
+        let t = wustl(5);
+        let chans = ChannelId::range(11, 14).unwrap();
+        let comm = t.comm_graph(&chans, Prr::new(0.9).unwrap());
+        let reuse = t.reuse_graph(&chans);
+        assert!(reuse.edge_count() > comm.edge_count());
+        assert!(reuse.diameter() <= comm.diameter());
+        assert!(reuse.diameter() >= 2, "reuse diameter must leave room for hop-gated reuse");
+    }
+
+    #[test]
+    fn per_channel_prr_diversity_exists() {
+        // Some link must be comm-graph grade on one channel yet poor on
+        // another — that is what makes "all channels" a real constraint.
+        let t = indriya(7);
+        let mut diverse = 0usize;
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a >= b {
+                    continue;
+                }
+                let prrs: Vec<f64> =
+                    ChannelId::all().iter().map(|c| t.prr(a, b, c).value()).collect();
+                let max = prrs.iter().cloned().fold(0.0, f64::max);
+                let min = prrs.iter().cloned().fold(1.0, f64::min);
+                if max >= 0.9 && min < 0.9 {
+                    diverse += 1;
+                }
+            }
+        }
+        assert!(diverse > 10, "only {diverse} channel-diverse links");
+    }
+
+    #[test]
+    fn positions_lie_within_the_building() {
+        let cfg = TestbedConfig::wustl();
+        let t = wustl(9);
+        for node in t.nodes() {
+            let p = t.position(node);
+            assert!((0.0..=cfg.width_m).contains(&p.x));
+            assert!((0.0..=cfg.depth_m).contains(&p.y));
+            assert!(p.z >= 0.0 && p.z <= (cfg.floors as f64) * cfg.model.floor_height_m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per floor")]
+    fn mismatched_floor_listing_panics() {
+        let mut cfg = TestbedConfig::wustl();
+        cfg.nodes_per_floor.pop();
+        let _ = generate(&cfg, 1);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,330 @@
+//! The measured network topology: nodes, positions, and per-channel PRR.
+
+use crate::channel::BAND_SIZE;
+use crate::{ChannelId, ChannelSet, CommGraph, DirectedLink, NetError, NodeId, Position, Prr, ReuseGraph};
+use serde::{Deserialize, Serialize};
+
+/// A network topology: a set of field devices plus the PRR of every directed
+/// link on every measured channel.
+///
+/// This is the raw material the WirelessHART network manager works from: the
+/// paper's "topology information includes the PRRs of all links in the
+/// network in all 16 channels". Construct one by hand with
+/// [`Topology::new`] and the `set_*` methods, or synthesize a testbed-like
+/// one through [`testbeds`](crate::testbeds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    positions: Vec<Position>,
+    /// Shadowing (dB) per unordered pair per channel, frozen at build time.
+    /// Kept so the simulator can compute interference powers consistent with
+    /// the PRR table. Indexed by `pair_index(a, b) * BAND_SIZE + ch`.
+    shadowing_db: Vec<f64>,
+    /// Directed PRR: `prr[(tx * n + rx) * BAND_SIZE + ch]` for channels
+    /// 11..=26 mapped to indices 0..16.
+    prr: Vec<f32>,
+    /// The propagation model the tables were synthesized from (used again by
+    /// the interference simulator). `None` for hand-built topologies.
+    model: Option<crate::propagation::PropagationModel>,
+}
+
+impl Topology {
+    /// Creates an empty topology (all PRRs zero) over the given node
+    /// positions.
+    pub fn new(name: impl Into<String>, positions: Vec<Position>) -> Self {
+        let n = positions.len();
+        Topology {
+            name: name.into(),
+            positions,
+            shadowing_db: vec![0.0; n * n * BAND_SIZE],
+            prr: vec![0.0; n * n * BAND_SIZE],
+            model: None,
+        }
+    }
+
+    /// Human-readable name of the topology ("indriya", "wustl", ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Position of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// The propagation model used to synthesize this topology, if any.
+    pub fn propagation_model(&self) -> Option<&crate::propagation::PropagationModel> {
+        self.model.as_ref()
+    }
+
+    /// Records the propagation model used to synthesize the PRR tables.
+    pub fn set_propagation_model(&mut self, model: crate::propagation::PropagationModel) {
+        self.model = Some(model);
+    }
+
+    fn idx(&self, tx: NodeId, rx: NodeId, ch: ChannelId) -> usize {
+        let n = self.node_count();
+        (tx.index() * n + rx.index()) * BAND_SIZE + ch.band_index()
+    }
+
+    fn pair_idx(&self, a: NodeId, b: NodeId, ch: ChannelId) -> usize {
+        let (lo, hi) = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        let n = self.node_count();
+        (lo.index() * n + hi.index()) * BAND_SIZE + ch.band_index()
+    }
+
+    /// PRR of the directed link `tx → rx` on `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn prr(&self, tx: NodeId, rx: NodeId, channel: ChannelId) -> Prr {
+        if tx == rx {
+            return Prr::ZERO;
+        }
+        Prr::saturating(f64::from(self.prr[self.idx(tx, rx, channel)]))
+    }
+
+    /// Sets the PRR of the directed link `tx → rx` on `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] for out-of-range nodes.
+    pub fn set_prr(&mut self, tx: NodeId, rx: NodeId, channel: ChannelId, prr: Prr) -> Result<(), NetError> {
+        let n = self.node_count();
+        for id in [tx, rx] {
+            if id.index() >= n {
+                return Err(NetError::UnknownNode(id.index()));
+            }
+        }
+        let i = self.idx(tx, rx, channel);
+        self.prr[i] = prr.value() as f32;
+        Ok(())
+    }
+
+    /// Frozen shadowing (dB) of the unordered pair `{a, b}` on `channel`.
+    ///
+    /// Shared with the interference simulator so that interference powers are
+    /// consistent with the PRR table.
+    pub fn shadowing_db(&self, a: NodeId, b: NodeId, channel: ChannelId) -> f64 {
+        self.shadowing_db[self.pair_idx(a, b, channel)]
+    }
+
+    /// Records the frozen shadowing of the unordered pair `{a, b}`.
+    pub fn set_shadowing_db(&mut self, a: NodeId, b: NodeId, channel: ChannelId, db: f64) {
+        let i = self.pair_idx(a, b, channel);
+        self.shadowing_db[i] = db;
+    }
+
+    /// Minimum PRR of the directed link over a channel set: the quantity the
+    /// communication-graph edge rule thresholds ("must be reliable in all
+    /// channels used" because of channel hopping).
+    pub fn min_prr_over(&self, link: DirectedLink, channels: &ChannelSet) -> Prr {
+        let mut min = Prr::ONE;
+        for ch in channels {
+            let p = self.prr(link.tx, link.rx, ch);
+            if p.value() < min.value() {
+                min = p;
+            }
+        }
+        min
+    }
+
+    /// Maximum PRR of the *unordered pair* over a channel set, in either
+    /// direction: the quantity the reuse-graph edge rule tests (`PRR > 0` on
+    /// *any* channel in *either* direction).
+    pub fn max_pair_prr_over(&self, a: NodeId, b: NodeId, channels: &ChannelSet) -> Prr {
+        let mut max = Prr::ZERO;
+        for ch in channels {
+            for (t, r) in [(a, b), (b, a)] {
+                let p = self.prr(t, r, ch);
+                if p.value() > max.value() {
+                    max = p;
+                }
+            }
+        }
+        max
+    }
+
+    /// Builds the communication graph over `channels` with link-selection
+    /// threshold `prr_t` (paper: 0.9): a bidirectional edge `uv` exists iff
+    /// `PRR(u→v) ≥ prr_t` **and** `PRR(v→u) ≥ prr_t` on **every** channel.
+    pub fn comm_graph(&self, channels: &ChannelSet, prr_t: Prr) -> CommGraph {
+        CommGraph::from_topology(self, channels, prr_t)
+    }
+
+    /// Builds the channel reuse graph over `channels`: a bidirectional edge
+    /// `uv` exists iff **any** channel has `PRR(u→v) > 0` **or**
+    /// `PRR(v→u) > 0`.
+    pub fn reuse_graph(&self, channels: &ChannelSet) -> ReuseGraph {
+        ReuseGraph::from_topology(self, channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_topology() -> Topology {
+        Topology::new("t", vec![Position::new(0.0, 0.0, 0.0), Position::new(5.0, 0.0, 0.0)])
+    }
+
+    fn ch(n: u8) -> ChannelId {
+        ChannelId::new(n).unwrap()
+    }
+
+    #[test]
+    fn fresh_topology_has_zero_prr() {
+        let t = two_node_topology();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(t.prr(a, b, ch(11)), Prr::ZERO);
+    }
+
+    #[test]
+    fn prr_is_directional_and_per_channel() {
+        let mut t = two_node_topology();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.set_prr(a, b, ch(11), Prr::new(0.9).unwrap()).unwrap();
+        t.set_prr(b, a, ch(11), Prr::new(0.4).unwrap()).unwrap();
+        t.set_prr(a, b, ch(12), Prr::new(0.2).unwrap()).unwrap();
+        assert!((t.prr(a, b, ch(11)).value() - 0.9).abs() < 1e-6);
+        assert!((t.prr(b, a, ch(11)).value() - 0.4).abs() < 1e-6);
+        assert!((t.prr(a, b, ch(12)).value() - 0.2).abs() < 1e-6);
+        assert_eq!(t.prr(b, a, ch(12)), Prr::ZERO);
+    }
+
+    #[test]
+    fn self_link_prr_is_zero() {
+        let mut t = two_node_topology();
+        let a = NodeId::new(0);
+        // even if set, a self link reports zero
+        t.set_prr(a, a, ch(11), Prr::ONE).unwrap();
+        assert_eq!(t.prr(a, a, ch(11)), Prr::ZERO);
+    }
+
+    #[test]
+    fn set_prr_rejects_unknown_node() {
+        let mut t = two_node_topology();
+        let err = t.set_prr(NodeId::new(0), NodeId::new(9), ch(11), Prr::ONE).unwrap_err();
+        assert_eq!(err, NetError::UnknownNode(9));
+    }
+
+    #[test]
+    fn min_prr_over_takes_worst_channel() {
+        let mut t = two_node_topology();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.set_prr(a, b, ch(11), Prr::new(0.95).unwrap()).unwrap();
+        t.set_prr(a, b, ch(12), Prr::new(0.8).unwrap()).unwrap();
+        let set = ChannelId::range(11, 12).unwrap();
+        let min = t.min_prr_over(DirectedLink::new(a, b), &set);
+        assert!((min.value() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pair_prr_considers_both_directions() {
+        let mut t = two_node_topology();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.set_prr(b, a, ch(12), Prr::new(0.3).unwrap()).unwrap();
+        let set = ChannelId::range(11, 12).unwrap();
+        let max = t.max_pair_prr_over(a, b, &set);
+        assert!((max.value() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shadowing_is_symmetric_per_pair() {
+        let mut t = two_node_topology();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.set_shadowing_db(a, b, ch(13), -2.5);
+        assert_eq!(t.shadowing_db(b, a, ch(13)), -2.5);
+        assert_eq!(t.shadowing_db(a, b, ch(14)), 0.0);
+    }
+}
+
+/// Persistence: topologies (with their PRR tables, shadowing state, and
+/// propagation model) round-trip through JSON so measured or synthesized
+/// tables can be shared between runs and tools.
+impl Topology {
+    /// Serializes the topology (PRR tables included) to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serialization error (practically impossible
+    /// for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a topology previously produced by [`Topology::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the JSON form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialization errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Reads a topology saved with [`Topology::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::testbeds;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let original = testbeds::wustl(5);
+        let json = original.to_json().unwrap();
+        let restored = Topology::from_json(&json).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("wsan-topology-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wustl.json");
+        let original = testbeds::wustl(6);
+        original.save(&path).unwrap();
+        let restored = Topology::load(&path).unwrap();
+        assert_eq!(original, restored);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Topology::from_json("{not json").is_err());
+    }
+}

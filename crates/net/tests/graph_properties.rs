@@ -1,0 +1,93 @@
+//! Property-based invariants of the graph substrate on random synthetic
+//! topologies.
+
+use proptest::prelude::*;
+use wsan_net::{testbeds, ChannelId, NodeId, Prr};
+
+fn arb_config() -> impl Strategy<Value = (u64, u8, u8)> {
+    // seed, first channel, channel count (1..=5)
+    (0u64..64, 11u8..=20, 1u8..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reuse graph always contains the communication graph: an edge
+    /// reliable enough for routing certainly has nonzero PRR.
+    #[test]
+    fn comm_graph_is_subgraph_of_reuse_graph((seed, first, m) in arb_config()) {
+        let topo = testbeds::wustl(seed);
+        let channels = ChannelId::range(first, first + m - 1).unwrap();
+        let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let reuse = topo.reuse_graph(&channels);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a < b && comm.has_edge(a, b) {
+                    prop_assert!(reuse.has_edge(a, b), "comm edge {a}-{b} missing from reuse graph");
+                }
+            }
+        }
+        prop_assert!(reuse.edge_count() >= comm.edge_count());
+    }
+
+    /// Hop distances are symmetric and satisfy the triangle inequality.
+    #[test]
+    fn hop_matrix_is_a_metric(seed in 0u64..32) {
+        let topo = testbeds::wustl(seed);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let g = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let hm = g.hop_matrix();
+        let n = topo.node_count();
+        // spot-check a deterministic subset of triples (full n³ is slow)
+        for a in (0..n).step_by(7) {
+            for b in (0..n).step_by(11) {
+                let (na, nb) = (NodeId::new(a), NodeId::new(b));
+                prop_assert_eq!(hm.hops(na, nb), hm.hops(nb, na));
+                if a == b {
+                    prop_assert_eq!(hm.hops(na, nb), 0);
+                }
+                for c in (0..n).step_by(13) {
+                    let nc = NodeId::new(c);
+                    let (ab, bc, ac) = (hm.hops(na, nb), hm.hops(nb, nc), hm.hops(na, nc));
+                    if ab != u32::MAX && bc != u32::MAX {
+                        prop_assert!(ac <= ab + bc, "triangle violated: {a}-{b}-{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A narrower channel set never removes communication edges: requiring
+    /// reliability on fewer channels is a weaker constraint.
+    #[test]
+    fn fewer_channels_keep_comm_edges(seed in 0u64..32) {
+        let topo = testbeds::wustl(seed);
+        let wide = ChannelId::range(11, 16).unwrap();
+        let narrow = ChannelId::range(11, 12).unwrap();
+        let prr_t = Prr::new(0.9).unwrap();
+        let g_wide = topo.comm_graph(&wide, prr_t);
+        let g_narrow = topo.comm_graph(&narrow, prr_t);
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a < b && g_wide.has_edge(a, b) {
+                    prop_assert!(g_narrow.has_edge(a, b));
+                }
+            }
+        }
+    }
+
+    /// Access points are always distinct, valid nodes.
+    #[test]
+    fn access_points_are_distinct((seed, k) in (0u64..32, 2usize..5)) {
+        let topo = testbeds::wustl(seed);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let g = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let aps = g.select_access_points(k);
+        prop_assert_eq!(aps.len(), k);
+        let distinct: std::collections::BTreeSet<_> = aps.iter().collect();
+        prop_assert_eq!(distinct.len(), k);
+        for ap in aps {
+            prop_assert!(ap.index() < topo.node_count());
+        }
+    }
+}

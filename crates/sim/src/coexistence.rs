@@ -1,0 +1,269 @@
+//! Multi-network coexistence — §III's motivating scenario.
+//!
+//! "The WirelessHART standard does not allow channel reuse on a network
+//! governed by the same gateway. However, channels may be reused when
+//! multiple networks connected to different gateways coexist. In this case,
+//! interferences may occur if those networks are located close to each
+//! other." (§III)
+//!
+//! This module composes two independently planned networks into one
+//! physical radio space: node ids of the second network are shifted, the
+//! topologies' PRR tables are kept (cross-network PRR is zero — the
+//! networks never talk), and the two schedules are overlaid onto one grid.
+//! Cells that collide across networks become de-facto reuse cells, and the
+//! ordinary [`Simulator`](crate::Simulator) resolves their interference
+//! from the nodes' *positions* — coordination-free channel reuse, exactly
+//! what a WirelessHART operator gets when deploying two gateways in one
+//! plant.
+
+use wsan_core::{Schedule, ScheduledTx};
+use wsan_flow::{Flow, FlowId, FlowSet};
+use wsan_net::{ChannelId, NodeId, Position, Route, Topology};
+
+/// Two planned networks merged into one radio space.
+#[derive(Debug, Clone)]
+pub struct MergedDeployment {
+    /// The combined topology (network B's nodes after network A's).
+    pub topology: Topology,
+    /// The combined flow set (B's flows re-tagged after A's).
+    pub flows: FlowSet,
+    /// The overlaid schedule.
+    pub schedule: Schedule,
+    /// Node-id offset applied to network B.
+    pub b_node_offset: usize,
+}
+
+/// Merges two planned networks, translating network B by `b_shift` meters.
+///
+/// Both schedules must have the same horizon and channel count (use the
+/// same channel set and workload periods for both networks).
+///
+/// # Panics
+///
+/// Panics if the schedules' dimensions differ.
+pub fn merge(
+    a: (&Topology, &FlowSet, &Schedule),
+    b: (&Topology, &FlowSet, &Schedule),
+    b_shift: Position,
+) -> MergedDeployment {
+    let (topo_a, flows_a, sched_a) = a;
+    let (topo_b, flows_b, sched_b) = b;
+    assert_eq!(sched_a.horizon(), sched_b.horizon(), "schedules must share a horizon");
+    assert_eq!(
+        sched_a.channel_count(),
+        sched_b.channel_count(),
+        "schedules must share a channel count"
+    );
+    let n_a = topo_a.node_count();
+    let n_b = topo_b.node_count();
+
+    // --- topology ---
+    let mut positions: Vec<Position> = (0..n_a).map(|i| topo_a.position(NodeId::new(i))).collect();
+    positions.extend((0..n_b).map(|i| {
+        let p = topo_b.position(NodeId::new(i));
+        Position::new(p.x + b_shift.x, p.y + b_shift.y, p.z + b_shift.z)
+    }));
+    let mut topology = Topology::new(
+        format!("{}+{}", topo_a.name(), topo_b.name()),
+        positions,
+    );
+    if let Some(model) = topo_a.propagation_model() {
+        topology.set_propagation_model(model.clone());
+    }
+    for ch in ChannelId::all().iter() {
+        for x in 0..n_a {
+            for y in 0..n_a {
+                if x != y {
+                    let p = topo_a.prr(NodeId::new(x), NodeId::new(y), ch);
+                    topology.set_prr(NodeId::new(x), NodeId::new(y), ch, p).expect("in range");
+                }
+            }
+        }
+        for x in 0..n_a {
+            for y in (x + 1)..n_a {
+                topology.set_shadowing_db(
+                    NodeId::new(x),
+                    NodeId::new(y),
+                    ch,
+                    topo_a.shadowing_db(NodeId::new(x), NodeId::new(y), ch),
+                );
+            }
+        }
+        for x in 0..n_b {
+            for y in 0..n_b {
+                if x != y {
+                    let p = topo_b.prr(NodeId::new(x), NodeId::new(y), ch);
+                    topology
+                        .set_prr(NodeId::new(x + n_a), NodeId::new(y + n_a), ch, p)
+                        .expect("in range");
+                }
+            }
+        }
+        for x in 0..n_b {
+            for y in (x + 1)..n_b {
+                topology.set_shadowing_db(
+                    NodeId::new(x + n_a),
+                    NodeId::new(y + n_a),
+                    ch,
+                    topo_b.shadowing_db(NodeId::new(x), NodeId::new(y), ch),
+                );
+            }
+        }
+        // cross-network PRR stays zero: different gateways never exchange
+        // packets; interference is computed from positions, not PRR.
+    }
+
+    // --- flows ---
+    let remap_route = |r: &Route| Route::new(r.nodes().iter().map(|nd| NodeId::new(nd.index() + n_a)).collect());
+    let mut flows: Vec<Flow> = flows_a.iter().cloned().collect();
+    for f in flows_b.iter() {
+        let segments: Vec<Route> = f.segments().iter().map(&remap_route).collect();
+        flows.push(
+            Flow::with_segments(FlowId::new(0), segments, f.period(), f.deadline_slots())
+                .expect("deadline already validated"),
+        );
+    }
+    let access_points = flows_a
+        .access_points()
+        .iter()
+        .copied()
+        .chain(flows_b.access_points().iter().map(|nd| NodeId::new(nd.index() + n_a)))
+        .collect();
+    let flows = FlowSet::new(flows, access_points);
+
+    // --- schedule ---
+    let mut schedule =
+        Schedule::new(sched_a.horizon(), sched_a.channel_count(), n_a + n_b);
+    for e in sched_a.entries() {
+        schedule.place(e.slot, e.offset, e.tx);
+    }
+    let flow_offset = flows_a.len();
+    for e in sched_b.entries() {
+        let tx = ScheduledTx {
+            flow: FlowId::new(e.tx.flow.index() + flow_offset),
+            job_index: e.tx.job_index,
+            link: wsan_net::DirectedLink::new(
+                NodeId::new(e.tx.link.tx.index() + n_a),
+                NodeId::new(e.tx.link.rx.index() + n_a),
+            ),
+            seq: e.tx.seq,
+            attempt: e.tx.attempt,
+        };
+        schedule.place(e.slot, e.offset, tx);
+    }
+    MergedDeployment { topology, flows, schedule, b_node_offset: n_a }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use wsan_core::{NetworkModel, NoReuse, Scheduler};
+    use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+    use wsan_net::{testbeds, Prr};
+
+    fn plan(seed: u64) -> (Topology, FlowSet, Schedule) {
+        let topo = testbeds::wustl(seed);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let model = NetworkModel::new(&topo, &channels);
+        let cfg = FlowSetConfig::new(
+            20,
+            PeriodRange::new(0, 0).unwrap(),
+            TrafficPattern::PeerToPeer,
+        );
+        let flows = FlowSetGenerator::new(seed).generate(&comm, &cfg).unwrap();
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        (topo, flows, schedule)
+    }
+
+    #[test]
+    fn merge_preserves_both_networks() {
+        let a = plan(1);
+        let b = plan(2);
+        let merged = merge(
+            (&a.0, &a.1, &a.2),
+            (&b.0, &b.1, &b.2),
+            Position::new(200.0, 0.0, 0.0),
+        );
+        assert_eq!(merged.topology.node_count(), 120);
+        assert_eq!(merged.flows.len(), 40);
+        assert_eq!(merged.schedule.entry_count(), a.2.entry_count() + b.2.entry_count());
+        // A's PRRs intact, B's shifted
+        let ch = ChannelId::new(11).unwrap();
+        for x in 0..3 {
+            for y in 3..6 {
+                assert_eq!(
+                    merged.topology.prr(NodeId::new(x), NodeId::new(y), ch),
+                    a.0.prr(NodeId::new(x), NodeId::new(y), ch)
+                );
+                assert_eq!(
+                    merged.topology.prr(NodeId::new(x + 60), NodeId::new(y + 60), ch),
+                    b.0.prr(NodeId::new(x), NodeId::new(y), ch)
+                );
+            }
+        }
+        // cross-network links carry nothing
+        assert_eq!(merged.topology.prr(NodeId::new(0), NodeId::new(80), ch), Prr::ZERO);
+    }
+
+    #[test]
+    fn distant_networks_do_not_interfere() {
+        let a = plan(1);
+        let b = plan(2);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let sim_cfg = SimConfig { repetitions: 40, discovery_probes: 0, ..SimConfig::default() };
+        // standalone baselines
+        let solo_a = Simulator::new(&a.0, &channels, &a.1, &a.2).run(&sim_cfg).network_pdr();
+        // merged at 1 km: radio-isolated
+        let merged = merge(
+            (&a.0, &a.1, &a.2),
+            (&b.0, &b.1, &b.2),
+            Position::new(1000.0, 0.0, 0.0),
+        );
+        let report =
+            Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
+                .run(&sim_cfg);
+        // network A's flows are the first 20 in the merged set
+        let merged_a_pdr: f64 =
+            report.flow_pdrs()[..20].iter().sum::<f64>() / 20.0;
+        let solo_mean: f64 = Simulator::new(&a.0, &channels, &a.1, &a.2)
+            .run(&sim_cfg)
+            .flow_pdrs()
+            .iter()
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            (merged_a_pdr - solo_mean).abs() < 0.02,
+            "1 km apart the networks must not affect each other: {merged_a_pdr} vs {solo_mean} (solo {solo_a})"
+        );
+    }
+
+    #[test]
+    fn colocated_networks_interfere() {
+        let a = plan(1);
+        let b = plan(2);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let sim_cfg = SimConfig { repetitions: 60, discovery_probes: 0, ..SimConfig::default() };
+        let solo: f64 = {
+            let r = Simulator::new(&a.0, &channels, &a.1, &a.2).run(&sim_cfg);
+            r.network_pdr()
+        };
+        // overlapping buildings: B right on top of A
+        let merged = merge(
+            (&a.0, &a.1, &a.2),
+            (&b.0, &b.1, &b.2),
+            Position::new(0.0, 0.0, 0.0),
+        );
+        let report =
+            Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
+                .run(&sim_cfg);
+        let merged_a_released: u32 = report.flows[..20].iter().map(|f| f.released).sum();
+        let merged_a_delivered: u32 = report.flows[..20].iter().map(|f| f.delivered).sum();
+        let merged_a_pdr = f64::from(merged_a_delivered) / f64::from(merged_a_released);
+        assert!(
+            merged_a_pdr < solo - 0.03,
+            "co-located uncoordinated networks must lose packets: {merged_a_pdr} vs solo {solo}"
+        );
+    }
+}

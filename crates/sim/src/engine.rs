@@ -1,0 +1,690 @@
+//! The slot-by-slot simulation engine.
+
+use crate::phy::Phy;
+use crate::{FlowStats, LinkCondition, PrrSample, SimConfig, SimReport, WifiInterferer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use wsan_core::Schedule;
+use wsan_flow::FlowSet;
+use wsan_net::{ChannelSet, DirectedLink, NodeId, Topology};
+
+/// One transmission opportunity of the slotframe, precomputed for fast
+/// repetition.
+#[derive(Debug, Clone, Copy)]
+struct SlotTx {
+    offset: usize,
+    link: DirectedLink,
+    job_flat: usize,
+    hop_index: u32,
+    reuse: bool,
+}
+
+/// Executes a schedule against the probabilistic PHY.
+///
+/// The simulator borrows the planning artifacts — the topology whose PRR
+/// tables the scheduler used, the channel set, the flow set, and the
+/// schedule — and can then be run any number of times with different
+/// [`SimConfig`]s (seeds, interference environments).
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    topo: &'a Topology,
+    channels: &'a ChannelSet,
+    flows: &'a FlowSet,
+    horizon: u32,
+    /// transmission opportunities grouped by slot
+    per_slot: Vec<Vec<SlotTx>>,
+    /// flat job index base per flow
+    job_base: Vec<usize>,
+    /// route hop count per flow
+    flow_hops: Vec<u32>,
+    total_jobs: usize,
+    /// flow index of each flat job
+    job_flow: Vec<usize>,
+    /// release slot of each flat job
+    job_release: Vec<u32>,
+    /// distinct links appearing in the schedule, for discovery probes
+    scheduled_links: Vec<DirectedLink>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for `schedule` as planned on `topo` over
+    /// `channels` for `flows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule references flows or nodes outside the given
+    /// flow set / topology, or if `channels` does not match the schedule's
+    /// channel-offset count.
+    pub fn new(
+        topo: &'a Topology,
+        channels: &'a ChannelSet,
+        flows: &'a FlowSet,
+        schedule: &Schedule,
+    ) -> Self {
+        assert_eq!(
+            channels.len(),
+            schedule.channel_count(),
+            "channel set size must match the schedule's channel offsets"
+        );
+        let horizon = schedule.horizon();
+        // flat job indexing
+        let mut job_base = Vec::with_capacity(flows.len());
+        let mut total_jobs = 0usize;
+        let mut flow_hops = Vec::with_capacity(flows.len());
+        let mut job_flow = Vec::new();
+        let mut job_release = Vec::new();
+        for (fi, flow) in flows.iter().enumerate() {
+            job_base.push(total_jobs);
+            let jobs = horizon.div_ceil(flow.period().slots());
+            for k in 0..jobs {
+                job_flow.push(fi);
+                job_release.push(k * flow.period().slots());
+            }
+            total_jobs += jobs as usize;
+            flow_hops.push(flow.hop_count() as u32);
+        }
+        // infer attempts per link per flow from the schedule
+        let mut entries_per_flow_job0 = vec![0usize; flows.len()];
+        for e in schedule.entries() {
+            if e.tx.job_index == 0 {
+                entries_per_flow_job0[e.tx.flow.index()] += 1;
+            }
+        }
+        let mut per_slot: Vec<Vec<SlotTx>> = vec![Vec::new(); horizon as usize];
+        for slot in 0..horizon {
+            for offset in 0..schedule.channel_count() {
+                let cell = schedule.cell(slot, offset);
+                let reuse = cell.len() > 1;
+                for tx in cell {
+                    let fi = tx.flow.index();
+                    let hops = flow_hops[fi] as usize;
+                    let attempts = entries_per_flow_job0[fi].checked_div(hops).unwrap_or(1).max(1);
+                    per_slot[slot as usize].push(SlotTx {
+                        offset,
+                        link: tx.link,
+                        job_flat: job_base[fi] + tx.job_index as usize,
+                        hop_index: tx.seq as u32 / attempts as u32,
+                        reuse,
+                    });
+                }
+            }
+        }
+        let mut scheduled_links: Vec<DirectedLink> =
+            schedule.entries().iter().map(|e| e.tx.link).collect();
+        scheduled_links.sort();
+        scheduled_links.dedup();
+        Simulator {
+            topo,
+            channels,
+            flows,
+            horizon,
+            per_slot,
+            job_base,
+            flow_hops,
+            total_jobs,
+            job_flow,
+            job_release,
+            scheduled_links,
+        }
+    }
+
+    /// Runs the schedule `config.repetitions` times and reports delivery and
+    /// link statistics. Deterministic in `(self, config)`.
+    pub fn run(&self, config: &SimConfig) -> SimReport {
+        self.run_impl(config, None)
+    }
+
+    /// Like [`Simulator::run`], but records per-event history into `trace`
+    /// (attempts with their interference counts, deliveries, expiries).
+    /// Tracing does not perturb the RNG stream: a traced run returns the
+    /// same report as an untraced one with the same config.
+    pub fn run_traced(&self, config: &SimConfig, trace: &mut crate::TraceBuffer) -> SimReport {
+        self.run_impl(config, Some(trace))
+    }
+
+    fn run_impl(&self, config: &SimConfig, mut trace: Option<&mut crate::TraceBuffer>) -> SimReport {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let phy = Phy::new(self.topo, config.capture);
+        let mut flow_stats = vec![FlowStats::default(); self.flows.len()];
+        let mut window_acc: BTreeMap<(DirectedLink, LinkCondition), PrrSample> = BTreeMap::new();
+        let mut report = SimReport {
+            flows: Vec::new(),
+            link_samples: BTreeMap::new(),
+            latencies: vec![Vec::new(); self.flows.len()],
+        };
+        let window = config.window_reps.max(1);
+
+        let mut progress = vec![0u32; self.total_jobs];
+        for rep in 0..config.repetitions {
+            progress.fill(0);
+            for slot in 0..self.horizon {
+                let asn = u64::from(rep) * u64::from(self.horizon) + u64::from(slot);
+                let active_wifi: Vec<&WifiInterferer> = config
+                    .interferers
+                    .iter()
+                    .filter(|w| rng.gen::<f64>() < w.duty_cycle)
+                    .collect();
+                // Which scheduled transmissions actually fire this slot?
+                let actives: Vec<&SlotTx> = self.per_slot[slot as usize]
+                    .iter()
+                    .filter(|t| progress[t.job_flat] == t.hop_index)
+                    .collect();
+                // Resolve receptions against the slot-start active set.
+                let mut advanced: Vec<usize> = Vec::with_capacity(actives.len());
+                for t in &actives {
+                    let channel = self.channels.physical(asn, t.offset);
+                    let interferers: Vec<NodeId> = actives
+                        .iter()
+                        .filter(|o| o.offset == t.offset && o.job_flat != t.job_flat)
+                        .map(|o| o.link.tx)
+                        .collect();
+                    let external = phy.external_mw(t.link.rx, channel, &active_wifi);
+                    // temporal fading perturbs the SIR only when there is
+                    // interference to compete with
+                    let fading = if interferers.is_empty() && external <= 0.0 {
+                        0.0
+                    } else {
+                        config.capture.fading.sample_db(&mut rng)
+                    };
+                    let p = phy.success_probability(
+                        t.link.tx,
+                        t.link.rx,
+                        channel,
+                        &interferers,
+                        external,
+                        fading,
+                    );
+                    let success = rng.gen::<f64>() < p;
+                    if let Some(buf) = trace.as_deref_mut() {
+                        buf.push(crate::TraceEvent::Attempt {
+                            asn,
+                            link: t.link,
+                            flow: self.flows.flow(wsan_flow::FlowId::new(self.job_flow[t.job_flat])).id(),
+                            interferers: interferers.len(),
+                            success,
+                        });
+                    }
+                    let cond = if t.reuse { LinkCondition::Reuse } else { LinkCondition::ContentionFree };
+                    let sample = window_acc.entry((t.link, cond)).or_default();
+                    sample.sent += 1;
+                    if success {
+                        sample.acked += 1;
+                        advanced.push(t.job_flat);
+                    }
+                }
+                for job in advanced {
+                    progress[job] += 1;
+                    // record delivery latency the moment the last hop lands
+                    if progress[job] == self.flow_hops[self.job_flow[job]] {
+                        let latency = slot - self.job_release[job] + 1;
+                        report.latencies[self.job_flow[job]].push(latency);
+                        if let Some(buf) = trace.as_deref_mut() {
+                            buf.push(crate::TraceEvent::Delivered {
+                                asn,
+                                flow: wsan_flow::FlowId::new(self.job_flow[job]),
+                                latency,
+                            });
+                        }
+                    }
+                }
+            }
+            // neighbor-discovery probes: contention-free, cycling channels
+            for _ in 0..config.discovery_probes {
+                for (i, link) in self.scheduled_links.iter().enumerate() {
+                    let channel = self.channels.at((rep as usize + i) % self.channels.len());
+                    let wifi_active: Vec<&WifiInterferer> = config
+                        .interferers
+                        .iter()
+                        .filter(|w| rng.gen::<f64>() < w.duty_cycle)
+                        .collect();
+                    let external = phy.external_mw(link.rx, channel, &wifi_active);
+                    let fading = if external <= 0.0 {
+                        0.0
+                    } else {
+                        config.capture.fading.sample_db(&mut rng)
+                    };
+                    let p = phy.success_probability(link.tx, link.rx, channel, &[], external, fading);
+                    let sample = window_acc
+                        .entry((*link, LinkCondition::ContentionFree))
+                        .or_default();
+                    sample.sent += 1;
+                    if rng.gen::<f64>() < p {
+                        sample.acked += 1;
+                    }
+                }
+            }
+            // account deliveries
+            for (fi, flow) in self.flows.iter().enumerate() {
+                let jobs = self.horizon.div_ceil(flow.period().slots()) as usize;
+                for j in 0..jobs {
+                    flow_stats[fi].released += 1;
+                    if progress[self.job_base[fi] + j] >= self.flow_hops[fi] {
+                        flow_stats[fi].delivered += 1;
+                    } else if let Some(buf) = trace.as_deref_mut() {
+                        buf.push(crate::TraceEvent::Expired {
+                            asn: u64::from(rep) * u64::from(self.horizon)
+                                + u64::from(self.horizon - 1),
+                            flow: wsan_flow::FlowId::new(fi),
+                        });
+                    }
+                }
+            }
+            // flush sample windows
+            if (rep + 1) % window == 0 {
+                flush(&mut window_acc, &mut report);
+            }
+        }
+        flush(&mut window_acc, &mut report);
+        report.flows = flow_stats;
+        report
+    }
+}
+
+fn flush(
+    acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>,
+    report: &mut SimReport,
+) {
+    for (key, sample) in std::mem::take(acc) {
+        if sample.sent > 0 {
+            report.link_samples.entry(key).or_default().push(sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_core::{NetworkModel, NoReuse, ReuseAggressively, Scheduler};
+    use wsan_flow::{priority, Flow, FlowId, Period};
+    use wsan_net::propagation::PropagationModel;
+    use wsan_net::{ChannelId, Position, Prr, Route};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Two disjoint parallel links far apart, plus perfect PRR everywhere on
+    /// 2 channels: 0→1 at x=0, 2→3 at x=60 m.
+    fn setup(perfect: bool) -> (Topology, ChannelSet, FlowSet) {
+        let mut topo = Topology::new(
+            "sim-test",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(8.0, 0.0, 0.0),
+                Position::new(60.0, 0.0, 0.0),
+                Position::new(68.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).unwrap();
+        let prr = if perfect { Prr::ONE } else { Prr::new(0.8).unwrap() };
+        for (a, b) in [(0, 1), (2, 3)] {
+            for ch in &channels {
+                topo.set_prr(n(a), n(b), ch, prr).unwrap();
+                topo.set_prr(n(b), n(a), ch, prr).unwrap();
+            }
+        }
+        let flows = priority::deadline_monotonic(
+            vec![
+                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+            ],
+            vec![],
+        );
+        (topo, channels, flows)
+    }
+
+    #[test]
+    fn perfect_links_deliver_everything() {
+        let (topo, channels, flows) = setup(true);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let report = sim.run(&SimConfig {
+            repetitions: 20,
+            discovery_probes: 0,
+            ..SimConfig::default()
+        });
+        assert_eq!(report.network_pdr(), 1.0);
+        assert_eq!(report.worst_flow_pdr(), 1.0);
+        // with PRR 1.0 primaries always succeed: retries never fire
+        let sent: u32 = report
+            .link_samples
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|s| s.sent)
+            .sum();
+        // 2 flows × 1 primary × 1 job × 20 reps
+        assert_eq!(sent, 40);
+    }
+
+    #[test]
+    fn lossy_links_use_retries_and_still_deliver_most() {
+        let (topo, channels, flows) = setup(false);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let report = sim.run(&SimConfig { repetitions: 500, seed: 42, ..SimConfig::default() });
+        // per-hop success with one retry: 1 − 0.04 = 0.96
+        let pdr = report.network_pdr();
+        assert!((pdr - 0.96).abs() < 0.03, "pdr {pdr} should be near 0.96");
+        // retries fired: more than 1 tx per job on average
+        let sent: u32 = report
+            .link_samples
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|s| s.sent)
+            .sum();
+        assert!(sent > 1000, "retransmissions should add transmissions, got {sent}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (topo, channels, flows) = setup(false);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let cfg = SimConfig { repetitions: 50, seed: 7, ..SimConfig::default() };
+        assert_eq!(sim.run(&cfg), sim.run(&cfg));
+        let other = SimConfig { repetitions: 50, seed: 8, ..SimConfig::default() };
+        assert_ne!(sim.run(&cfg), sim.run(&other));
+    }
+
+    #[test]
+    fn distant_reuse_is_nearly_harmless() {
+        // Force both links into the same cell (1 channel, RA): 60 m apart,
+        // capture holds, PDR stays high.
+        let (topo, _channels, flows) = setup(true);
+        let one = ChannelId::range(11, 11).unwrap();
+        let model = NetworkModel::new(&topo, &one);
+        let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        assert!(
+            schedule.occupied_cells().any(|(_, _, c)| c.len() > 1),
+            "test needs an actual reuse cell"
+        );
+        let sim = Simulator::new(&topo, &one, &flows, &schedule);
+        let report = sim.run(&SimConfig { repetitions: 300, ..SimConfig::default() });
+        assert!(report.network_pdr() > 0.95, "pdr {}", report.network_pdr());
+        // reuse-labeled samples were recorded
+        assert!(!report.links_with_reuse().is_empty());
+    }
+
+    #[test]
+    fn close_reuse_destroys_reliability() {
+        // Crossed links: each sender sits right next to the *other* link's
+        // receiver (0→1 with interferer 2 at 2 m from node 1, and 2→3 with
+        // interferer 0 at 2 m from node 3). Both signals arrive ~21 dB below
+        // the interference, capture fails, and because the schedule repeats,
+        // the retries collide too.
+        let mut topo = Topology::new(
+            "sim-close",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(10.0, 0.0, 0.0),
+                Position::new(12.0, 0.0, 0.0),
+                Position::new(2.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let one = ChannelId::range(11, 11).unwrap();
+        for (a, b) in [(0, 1), (2, 3)] {
+            for ch in &one {
+                topo.set_prr(n(a), n(b), ch, Prr::ONE).unwrap();
+                topo.set_prr(n(b), n(a), ch, Prr::ONE).unwrap();
+            }
+        }
+        let flows = priority::deadline_monotonic(
+            vec![
+                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(4).unwrap(), 2).unwrap(),
+                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(4).unwrap(), 2).unwrap(),
+            ],
+            vec![],
+        );
+        let model = NetworkModel::new(&topo, &one);
+        // The reuse graph of this topology is (almost) complete, so pairwise
+        // distances are 1; rho=1 lets RA share the single channel.
+        let schedule = ReuseAggressively::new(1).schedule(&flows, &model).unwrap();
+        let shared = schedule.occupied_cells().any(|(_, _, c)| c.len() > 1);
+        assert!(shared, "RA at rho=1 should share the single channel");
+        let sim = Simulator::new(&topo, &one, &flows, &schedule);
+        let report = sim.run(&SimConfig { repetitions: 300, ..SimConfig::default() });
+        assert!(
+            report.network_pdr() < 0.3,
+            "crossed concurrent transmissions should collapse, pdr {}",
+            report.network_pdr()
+        );
+    }
+
+    #[test]
+    fn wifi_interference_degrades_nearby_links_without_reuse() {
+        let (topo, channels, flows) = setup(true);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let clean = sim.run(&SimConfig { repetitions: 300, ..SimConfig::default() });
+        let noisy = sim.run(&SimConfig {
+            repetitions: 300,
+            interferers: vec![WifiInterferer::wifi_channel_1(
+                Position::new(4.0, 0.0, 0.0), // on top of link 0→1
+                10.0,
+                0.5,
+            )],
+            ..SimConfig::default()
+        });
+        assert!(noisy.flow_pdrs()[0] < clean.flow_pdrs()[0] - 0.1 ||
+                noisy.flow_pdrs()[1] < clean.flow_pdrs()[1] - 0.1,
+            "WiFi interference near a link must depress its PDR: clean {:?} noisy {:?}",
+            clean.flow_pdrs(), noisy.flow_pdrs());
+    }
+
+    #[test]
+    #[should_panic(expected = "channel set size")]
+    fn mismatched_channel_set_panics() {
+        let (topo, channels, flows) = setup(true);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let wrong = ChannelId::range(11, 14).unwrap();
+        let _ = Simulator::new(&topo, &wrong, &flows, &schedule);
+    }
+}
+
+#[cfg(test)]
+mod segment_tests {
+    use super::*;
+    use wsan_core::{NetworkModel, NoReuse, Scheduler};
+    use wsan_flow::{priority, Flow, FlowId, Period};
+    use wsan_net::propagation::PropagationModel;
+    use wsan_net::{ChannelId, Position, Prr, Route};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A centralized flow with two wireless segments joined by the wired
+    /// backbone: 0→1 (up to AP 1), wired 1⇢2, 2→3 (down to actuator).
+    #[test]
+    fn two_segment_flow_delivers_across_the_wired_backbone() {
+        let mut topo = Topology::new(
+            "wired",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(8.0, 0.0, 0.0),
+                Position::new(40.0, 0.0, 0.0),
+                Position::new(48.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).unwrap();
+        for (a, b) in [(0, 1), (2, 3)] {
+            for ch in &channels {
+                topo.set_prr(n(a), n(b), ch, Prr::ONE).unwrap();
+                topo.set_prr(n(b), n(a), ch, Prr::ONE).unwrap();
+            }
+        }
+        let flow = Flow::with_segments(
+            FlowId::new(0),
+            vec![Route::new(vec![n(0), n(1)]), Route::new(vec![n(2), n(3)])],
+            Period::from_slots(20).unwrap(),
+            20,
+        )
+        .unwrap();
+        let flows = priority::deadline_monotonic(vec![flow], vec![n(1), n(2)]);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        // 2 links × 2 attempts
+        assert_eq!(schedule.entry_count(), 4);
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let report = sim.run(&SimConfig {
+            repetitions: 25,
+            discovery_probes: 0,
+            ..SimConfig::default()
+        });
+        assert_eq!(report.network_pdr(), 1.0, "perfect links must deliver across the backbone");
+    }
+
+    /// Discovery probes cover every scheduled link under the
+    /// contention-free condition even when all data slots are shared.
+    #[test]
+    fn discovery_probes_provide_cf_samples() {
+        let mut topo = Topology::new(
+            "probes",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(8.0, 0.0, 0.0),
+                Position::new(60.0, 0.0, 0.0),
+                Position::new(68.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let one = ChannelId::range(11, 11).unwrap();
+        for (a, b) in [(0, 1), (2, 3)] {
+            for ch in &one {
+                topo.set_prr(n(a), n(b), ch, Prr::ONE).unwrap();
+                topo.set_prr(n(b), n(a), ch, Prr::ONE).unwrap();
+            }
+        }
+        let flows = priority::deadline_monotonic(
+            vec![
+                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+            ],
+            vec![],
+        );
+        let model = NetworkModel::new(&topo, &one);
+        let schedule =
+            wsan_core::ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &one, &flows, &schedule);
+        let report = sim.run(&SimConfig {
+            repetitions: 20,
+            window_reps: 5,
+            discovery_probes: 1,
+            ..SimConfig::default()
+        });
+        for flow in &flows {
+            for link in flow.links() {
+                assert!(
+                    !report.prr_distribution(link, LinkCondition::ContentionFree).is_empty(),
+                    "probes must give {link} contention-free samples"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod latency_tracking_tests {
+    use super::*;
+    use wsan_core::{NetworkModel, NoReuse, Scheduler};
+    use wsan_flow::{priority, Flow, FlowId, Period};
+    use wsan_net::propagation::PropagationModel;
+    use wsan_net::{ChannelId, Position, Prr, Route};
+
+    #[test]
+    fn latencies_match_the_schedule_for_perfect_links() {
+        let mut topo = Topology::new(
+            "lat",
+            vec![Position::new(0.0, 0.0, 0.0), Position::new(8.0, 0.0, 0.0)],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).unwrap();
+        for ch in &channels {
+            topo.set_prr(NodeId::new(0), NodeId::new(1), ch, Prr::ONE).unwrap();
+            topo.set_prr(NodeId::new(1), NodeId::new(0), ch, Prr::ONE).unwrap();
+        }
+        let flow = Flow::new(
+            FlowId::new(0),
+            Route::new(vec![NodeId::new(0), NodeId::new(1)]),
+            Period::from_slots(10).unwrap(),
+            10,
+        )
+        .unwrap();
+        let flows = priority::deadline_monotonic(vec![flow], vec![]);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        // primary lands in slot 0: latency = 1 slot, every repetition
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let report = sim.run(&SimConfig {
+            repetitions: 12,
+            discovery_probes: 0,
+            ..SimConfig::default()
+        });
+        assert_eq!(report.latencies[0], vec![1; 12]);
+        assert_eq!(report.mean_latency(0), Some(1.0));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::{TraceBuffer, TraceEvent};
+    use wsan_core::{NetworkModel, NoReuse, Scheduler};
+    use wsan_flow::{priority, Flow, FlowId, Period};
+    use wsan_net::propagation::PropagationModel;
+    use wsan_net::{ChannelId, Position, Prr, Route};
+
+    #[test]
+    fn tracing_does_not_change_the_outcome() {
+        let mut topo = Topology::new(
+            "traced",
+            vec![Position::new(0.0, 0.0, 0.0), Position::new(8.0, 0.0, 0.0)],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).unwrap();
+        for ch in &channels {
+            topo.set_prr(NodeId::new(0), NodeId::new(1), ch, Prr::new(0.7).unwrap()).unwrap();
+            topo.set_prr(NodeId::new(1), NodeId::new(0), ch, Prr::new(0.7).unwrap()).unwrap();
+        }
+        let flow = Flow::new(
+            FlowId::new(0),
+            Route::new(vec![NodeId::new(0), NodeId::new(1)]),
+            Period::from_slots(10).unwrap(),
+            10,
+        )
+        .unwrap();
+        let flows = priority::deadline_monotonic(vec![flow], vec![]);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let cfg = SimConfig { repetitions: 40, seed: 9, discovery_probes: 0, ..SimConfig::default() };
+        let plain = sim.run(&cfg);
+        let mut buf = TraceBuffer::with_capacity(10_000);
+        let traced = sim.run_traced(&cfg, &mut buf);
+        assert_eq!(plain, traced);
+        // trace is consistent with the report
+        let delivered = buf
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .count() as u32;
+        let expired = buf
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Expired { .. }))
+            .count() as u32;
+        assert_eq!(delivered, traced.flows[0].delivered);
+        assert_eq!(delivered + expired, traced.flows[0].released);
+        // with PRR 0.7 both outcomes occur in 40 reps
+        assert!(delivered > 0 && !buf.losses().is_empty());
+    }
+}

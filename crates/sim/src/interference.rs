@@ -1,0 +1,85 @@
+//! External interference sources.
+//!
+//! The paper injects WiFi interference with three Raspberry-Pi pairs (one
+//! per floor) streaming 1 Mbps UDP on WiFi channel 1, which overlaps
+//! 802.15.4 channels 11–14. [`WifiInterferer`] models such a source: a
+//! positioned wideband transmitter that is active in a random fraction of
+//! slots (the stream's duty cycle) and raises the interference floor of
+//! every nearby receiver on the overlapped channels.
+
+use serde::{Deserialize, Serialize};
+use wsan_net::propagation::PropagationModel;
+use wsan_net::{ChannelId, Position};
+
+/// A positioned external (WiFi-like) interference source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiInterferer {
+    /// Location of the transmitter.
+    pub position: Position,
+    /// Effective transmit power in dBm as seen in the 802.15.4 band.
+    pub power_dbm: f64,
+    /// Fraction of slots in which the source is transmitting.
+    pub duty_cycle: f64,
+    /// The 802.15.4 channels its spectrum overlaps.
+    pub channels: Vec<ChannelId>,
+}
+
+impl WifiInterferer {
+    /// A 1 Mbps-UDP-style interferer overlapping WiFi channel 1
+    /// (802.15.4 channels 11–14), matching the paper's setup.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: channels 11–14 are always valid.
+    pub fn wifi_channel_1(position: Position, power_dbm: f64, duty_cycle: f64) -> Self {
+        WifiInterferer {
+            position,
+            power_dbm,
+            duty_cycle,
+            channels: ChannelId::range(11, 14).expect("11..=14 is in band").iter().collect(),
+        }
+    }
+
+    /// Whether the source affects `channel` at all.
+    pub fn affects(&self, channel: ChannelId) -> bool {
+        self.channels.contains(&channel)
+    }
+
+    /// Interference power (dBm) this source inflicts on a receiver at
+    /// `receiver` when active, under `model`'s path loss. Cross-floor
+    /// attenuation applies like any other signal.
+    pub fn power_at(&self, receiver: &Position, model: &PropagationModel) -> f64 {
+        let distance = self.position.distance(receiver);
+        let floors = self.position.floors_between(receiver, model.floor_height_m);
+        self.power_dbm - model.ref_loss_db
+            - 10.0 * model.path_loss_exponent * distance.max(0.5).log10()
+            - f64::from(floors) * model.floor_loss_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_channel_1_overlaps_11_to_14() {
+        let w = WifiInterferer::wifi_channel_1(Position::new(0.0, 0.0, 0.0), 10.0, 0.25);
+        for ch in 11..=14 {
+            assert!(w.affects(ChannelId::new(ch).unwrap()));
+        }
+        assert!(!w.affects(ChannelId::new(15).unwrap()));
+        assert!((w.duty_cycle - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_decays_with_distance_and_floors() {
+        let w = WifiInterferer::wifi_channel_1(Position::new(0.0, 0.0, 0.0), 10.0, 0.25);
+        let model = PropagationModel::default();
+        let near = w.power_at(&Position::new(5.0, 0.0, 0.0), &model);
+        let far = w.power_at(&Position::new(30.0, 0.0, 0.0), &model);
+        let upstairs = w.power_at(&Position::new(5.0, 0.0, model.floor_height_m), &model);
+        assert!(near > far);
+        // upstairs pays the floor penalty plus the extra slant distance
+        assert!(near - upstairs > model.floor_loss_db);
+    }
+}

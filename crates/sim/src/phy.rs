@@ -1,0 +1,221 @@
+//! The probabilistic PHY: reception success under interference.
+
+use crate::{CaptureModel, WifiInterferer};
+use wsan_net::propagation::{dbm_to_mw, PropagationModel};
+use wsan_net::{ChannelId, NodeId, Topology};
+
+/// Resolves signal and interference powers against the topology's frozen
+/// propagation state, and turns them into reception-success probabilities.
+pub(crate) struct Phy<'a> {
+    topo: &'a Topology,
+    model: PropagationModel,
+    capture: CaptureModel,
+}
+
+impl<'a> Phy<'a> {
+    pub fn new(topo: &'a Topology, capture: CaptureModel) -> Self {
+        let model = topo.propagation_model().cloned().unwrap_or_default();
+        Phy { topo, model, capture }
+    }
+
+    /// Received power (dBm) at `rx` of a signal from `tx` on `channel`,
+    /// using the same frozen shadowing that generated the PRR tables.
+    pub fn received_power_dbm(&self, tx: NodeId, rx: NodeId, channel: ChannelId) -> f64 {
+        let pa = self.topo.position(tx);
+        let pb = self.topo.position(rx);
+        let mean = self.model.mean_rssi_dbm(pa.distance(&pb), pa.floors_between(&pb, self.model.floor_height_m));
+        mean + self.topo.shadowing_db(tx, rx, channel)
+    }
+
+    /// External interference power (mW) at `rx` on `channel` from the
+    /// active interferers.
+    pub fn external_mw(
+        &self,
+        rx: NodeId,
+        channel: ChannelId,
+        active: &[&WifiInterferer],
+    ) -> f64 {
+        let pos = self.topo.position(rx);
+        active
+            .iter()
+            .filter(|w| w.affects(channel))
+            .map(|w| dbm_to_mw(w.power_at(&pos, &self.model)))
+            .sum()
+    }
+
+    /// Probability that the transmission `tx → rx` on `channel` succeeds
+    /// given `interferer_senders` transmitting concurrently on the same
+    /// physical channel, `external_mw` of external interference power at
+    /// the receiver, and a per-reception temporal fading draw `fading_db`
+    /// added to the signal-to-interference ratio (0 for the no-fading
+    /// expectation; the engine draws it from
+    /// `N(0, capture.fading_sigma_db²)`).
+    ///
+    /// The link's measured PRR (which already encodes the quiet-environment
+    /// noise floor) gates the reception; the capture model then discounts it
+    /// by the faded signal-to-interference ratio.
+    pub fn success_probability(
+        &self,
+        tx: NodeId,
+        rx: NodeId,
+        channel: ChannelId,
+        interferer_senders: &[NodeId],
+        external_mw: f64,
+        fading_db: f64,
+    ) -> f64 {
+        let base = self.topo.prr(tx, rx, channel).value();
+        if base == 0.0 {
+            return 0.0;
+        }
+        let interference_mw: f64 = interferer_senders
+            .iter()
+            .map(|&s| dbm_to_mw(self.received_power_dbm(s, rx, channel)))
+            .sum::<f64>()
+            + external_mw;
+        if interference_mw <= 0.0 {
+            return base;
+        }
+        let signal_mw = dbm_to_mw(self.received_power_dbm(tx, rx, channel));
+        let sir_db = 10.0 * (signal_mw / interference_mw).log10() + fading_db;
+        base * self.capture.capture_probability(sir_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_net::{Position, Prr};
+
+    fn ch(n: u8) -> ChannelId {
+        ChannelId::new(n).unwrap()
+    }
+
+    /// Three nodes on a line: 0 --10m-- 1 --30m-- 2.
+    fn topo() -> Topology {
+        let mut t = Topology::new(
+            "phy-test",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(10.0, 0.0, 0.0),
+                Position::new(40.0, 0.0, 0.0),
+            ],
+        );
+        t.set_propagation_model(PropagationModel::default());
+        for a in 0..3 {
+            for b in 0..3 {
+                if a != b {
+                    t.set_prr(NodeId::new(a), NodeId::new(b), ch(11), Prr::new(0.95).unwrap())
+                        .unwrap();
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn no_interference_returns_base_prr() {
+        let t = topo();
+        let phy = Phy::new(&t, CaptureModel::default());
+        let p = phy.success_probability(NodeId::new(0), NodeId::new(1), ch(11), &[], 0.0, 0.0);
+        // PRR tables store f32; compare at f32 precision.
+        assert!((p - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_base_prr_never_succeeds() {
+        let t = topo();
+        let phy = Phy::new(&t, CaptureModel::default());
+        let p = phy.success_probability(NodeId::new(0), NodeId::new(1), ch(12), &[], 0.0, 0.0);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn nearby_interferer_hurts_more_than_distant() {
+        let t = topo();
+        let phy = Phy::new(&t, CaptureModel::default());
+        // reception 0 → 1 (10 m). Interferer at node 2 is 30 m from rx.
+        let with_far =
+            phy.success_probability(NodeId::new(0), NodeId::new(1), ch(11), &[NodeId::new(2)], 0.0, 0.0);
+        // reception 2 → 1 (30 m) with interferer node 0 at 10 m from rx:
+        // signal weaker than interference → collapse.
+        let with_near =
+            phy.success_probability(NodeId::new(2), NodeId::new(1), ch(11), &[NodeId::new(0)], 0.0, 0.0);
+        assert!(with_far > with_near);
+        assert!(with_far > 0.8, "distant interferer should barely matter, got {with_far}");
+        assert!(with_near < 0.1, "near interferer should break capture, got {with_near}");
+    }
+
+    #[test]
+    fn interference_is_cumulative() {
+        // like topo(), with a fourth node 35 m out
+        let mut t2 = Topology::new(
+            "phy-test4",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(10.0, 0.0, 0.0),
+                Position::new(40.0, 0.0, 0.0),
+                Position::new(0.0, 35.0, 0.0),
+            ],
+        );
+        t2.set_propagation_model(PropagationModel::default());
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    t2.set_prr(NodeId::new(a), NodeId::new(b), ch(11), Prr::new(0.95).unwrap())
+                        .unwrap();
+                }
+            }
+        }
+        let t = t2;
+        let phy = Phy::new(&t, CaptureModel::default());
+        let one = phy.success_probability(
+            NodeId::new(0),
+            NodeId::new(1),
+            ch(11),
+            &[NodeId::new(2)],
+            0.0,
+            0.0,
+        );
+        let two = phy.success_probability(
+            NodeId::new(0),
+            NodeId::new(1),
+            ch(11),
+            &[NodeId::new(2), NodeId::new(3)],
+            0.0,
+            0.0,
+        );
+        assert!(two < one, "adding an interferer must not help ({two} !< {one})");
+    }
+
+    #[test]
+    fn external_power_behaves_like_interference() {
+        let t = topo();
+        let phy = Phy::new(&t, CaptureModel::default());
+        let clean = phy.success_probability(NodeId::new(0), NodeId::new(1), ch(11), &[], 0.0, 0.0);
+        let strong_external = dbm_to_mw(-60.0);
+        let noisy = phy.success_probability(
+            NodeId::new(0),
+            NodeId::new(1),
+            ch(11),
+            &[],
+            strong_external,
+            0.0,
+        );
+        assert!(noisy < clean);
+    }
+
+    #[test]
+    fn shadowing_feeds_received_power() {
+        let mut t = topo();
+        let before = {
+            let phy = Phy::new(&t, CaptureModel::default());
+            phy.received_power_dbm(NodeId::new(0), NodeId::new(1), ch(11))
+        };
+        t.set_shadowing_db(NodeId::new(0), NodeId::new(1), ch(11), 6.0);
+        let after = {
+            let phy = Phy::new(&t, CaptureModel::default());
+            phy.received_power_dbm(NodeId::new(0), NodeId::new(1), ch(11))
+        };
+        assert!((after - before - 6.0).abs() < 1e-9);
+    }
+}

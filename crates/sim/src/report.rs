@@ -1,0 +1,219 @@
+//! Simulation outputs: delivery ratios and per-link condition statistics.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use wsan_net::DirectedLink;
+
+/// Whether a transmission's slot shares its channel with other scheduled
+/// transmissions.
+///
+/// The label comes from the *schedule*, not the runtime: a node knows from
+/// the slotframe which of its cells are reuse cells, exactly as in §VI of
+/// the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkCondition {
+    /// The cell holds a single transmission.
+    ContentionFree,
+    /// The cell is shared under channel reuse.
+    Reuse,
+}
+
+/// One PRR sample: transmissions attempted and acknowledged within one
+/// sample window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrrSample {
+    /// Packets transmitted.
+    pub sent: u32,
+    /// Packets acknowledged.
+    pub acked: u32,
+}
+
+impl PrrSample {
+    /// The packet reception ratio of the window; `None` when nothing was
+    /// sent.
+    pub fn prr(&self) -> Option<f64> {
+        if self.sent == 0 {
+            None
+        } else {
+            Some(f64::from(self.acked) / f64::from(self.sent))
+        }
+    }
+}
+
+/// Delivery accounting of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets released (jobs × repetitions).
+    pub released: u32,
+    /// Packets delivered to the destination within the deadline.
+    pub delivered: u32,
+}
+
+impl FlowStats {
+    /// Packet Delivery Ratio of the flow.
+    pub fn pdr(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            f64::from(self.delivered) / f64::from(self.released)
+        }
+    }
+}
+
+/// The full output of a simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-flow delivery statistics, indexed by flow priority position.
+    pub flows: Vec<FlowStats>,
+    /// Per-(link, condition) PRR samples, one per sample window in which the
+    /// link transmitted under that condition.
+    pub link_samples: BTreeMap<(DirectedLink, LinkCondition), Vec<PrrSample>>,
+    /// Delivery latencies (slots from release to the delivering slot,
+    /// inclusive) of every delivered packet, grouped per flow. Undelivered
+    /// packets contribute nothing here — they are visible in
+    /// [`FlowStats::pdr`].
+    pub latencies: Vec<Vec<u32>>,
+}
+
+impl SimReport {
+    /// PDR of each flow, in priority order.
+    pub fn flow_pdrs(&self) -> Vec<f64> {
+        self.flows.iter().map(FlowStats::pdr).collect()
+    }
+
+    /// Network-wide PDR: delivered / released over all flows.
+    pub fn network_pdr(&self) -> f64 {
+        let released: u32 = self.flows.iter().map(|f| f.released).sum();
+        let delivered: u32 = self.flows.iter().map(|f| f.delivered).sum();
+        if released == 0 {
+            0.0
+        } else {
+            f64::from(delivered) / f64::from(released)
+        }
+    }
+
+    /// The worst per-flow PDR (the paper's headline reliability number).
+    pub fn worst_flow_pdr(&self) -> f64 {
+        self.flow_pdrs().into_iter().fold(f64::INFINITY, f64::min).min(1.0)
+    }
+
+    /// PRR values (one per window) of `link` under `condition`, skipping
+    /// windows in which the link never transmitted.
+    pub fn prr_distribution(&self, link: DirectedLink, condition: LinkCondition) -> Vec<f64> {
+        self.link_samples
+            .get(&(link, condition))
+            .map(|samples| samples.iter().filter_map(PrrSample::prr).collect())
+            .unwrap_or_default()
+    }
+
+    /// Links that have at least one sample under both conditions — the
+    /// candidate set for the reuse-degradation classifier.
+    pub fn links_with_reuse(&self) -> Vec<DirectedLink> {
+        let mut out = Vec::new();
+        for (link, cond) in self.link_samples.keys() {
+            if *cond == LinkCondition::Reuse && !out.contains(link) {
+                out.push(*link);
+            }
+        }
+        out
+    }
+
+    /// Mean delivery latency of `flow` in slots, over delivered packets.
+    pub fn mean_latency(&self, flow: usize) -> Option<f64> {
+        let samples = self.latencies.get(flow)?;
+        if samples.is_empty() {
+            None
+        } else {
+            Some(samples.iter().map(|&v| f64::from(v)).sum::<f64>() / samples.len() as f64)
+        }
+    }
+
+    /// Worst observed delivery latency of `flow` in slots.
+    pub fn max_latency(&self, flow: usize) -> Option<u32> {
+        self.latencies.get(flow)?.iter().max().copied()
+    }
+
+    /// Overall PRR of `link` under `condition` across all windows.
+    pub fn overall_prr(&self, link: DirectedLink, condition: LinkCondition) -> Option<f64> {
+        let samples = self.link_samples.get(&(link, condition))?;
+        let sent: u32 = samples.iter().map(|s| s.sent).sum();
+        let acked: u32 = samples.iter().map(|s| s.acked).sum();
+        if sent == 0 {
+            None
+        } else {
+            Some(f64::from(acked) / f64::from(sent))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_net::NodeId;
+
+    fn link(a: usize, b: usize) -> DirectedLink {
+        DirectedLink::new(NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn prr_sample_ratios() {
+        assert_eq!(PrrSample { sent: 0, acked: 0 }.prr(), None);
+        assert_eq!(PrrSample { sent: 4, acked: 3 }.prr(), Some(0.75));
+    }
+
+    #[test]
+    fn flow_stats_pdr() {
+        assert_eq!(FlowStats { released: 0, delivered: 0 }.pdr(), 0.0);
+        assert_eq!(FlowStats { released: 10, delivered: 9 }.pdr(), 0.9);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = SimReport {
+            flows: vec![
+                FlowStats { released: 10, delivered: 10 },
+                FlowStats { released: 10, delivered: 5 },
+            ],
+            ..SimReport::default()
+        };
+        assert_eq!(r.network_pdr(), 0.75);
+        assert_eq!(r.worst_flow_pdr(), 0.5);
+        assert_eq!(r.flow_pdrs(), vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn link_queries() {
+        let mut r = SimReport::default();
+        r.link_samples.insert(
+            (link(0, 1), LinkCondition::Reuse),
+            vec![PrrSample { sent: 2, acked: 1 }, PrrSample { sent: 0, acked: 0 }],
+        );
+        r.link_samples.insert(
+            (link(0, 1), LinkCondition::ContentionFree),
+            vec![PrrSample { sent: 4, acked: 4 }],
+        );
+        r.link_samples.insert(
+            (link(2, 3), LinkCondition::ContentionFree),
+            vec![PrrSample { sent: 4, acked: 2 }],
+        );
+        assert_eq!(r.prr_distribution(link(0, 1), LinkCondition::Reuse), vec![0.5]);
+        assert_eq!(r.links_with_reuse(), vec![link(0, 1)]);
+        assert_eq!(r.overall_prr(link(0, 1), LinkCondition::Reuse), Some(0.5));
+        assert_eq!(r.overall_prr(link(2, 3), LinkCondition::Reuse), None);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn latency_summaries() {
+        let r = SimReport { latencies: vec![vec![3, 5, 4], vec![]], ..SimReport::default() };
+        assert!((r.mean_latency(0).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(r.max_latency(0), Some(5));
+        assert_eq!(r.mean_latency(1), None);
+        assert_eq!(r.max_latency(1), None);
+        assert_eq!(r.mean_latency(9), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! Event tracing for simulation debugging.
+//!
+//! The engine's reports aggregate; sometimes one needs the slot-by-slot
+//! story of a single packet ("why did flow 7 miss at repetition 31?").
+//! [`TraceBuffer`] collects bounded, structured events that tests and the
+//! CLI can filter and print. Tracing is opt-in and zero-cost when no buffer
+//! is installed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wsan_flow::FlowId;
+use wsan_net::DirectedLink;
+
+/// One simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A transmission attempt resolved.
+    Attempt {
+        /// Absolute slot number.
+        asn: u64,
+        /// The transmitting link.
+        link: DirectedLink,
+        /// Owning flow.
+        flow: FlowId,
+        /// Number of concurrent same-channel transmissions (0 = exclusive).
+        interferers: usize,
+        /// Whether the reception succeeded.
+        success: bool,
+    },
+    /// A packet reached its destination.
+    Delivered {
+        /// Absolute slot number.
+        asn: u64,
+        /// Owning flow.
+        flow: FlowId,
+        /// Slots from release to delivery.
+        latency: u32,
+    },
+    /// A packet passed its deadline undelivered.
+    Expired {
+        /// Absolute slot number.
+        asn: u64,
+        /// Owning flow.
+        flow: FlowId,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Attempt { asn, link, flow, interferers, success } => write!(
+                f,
+                "t={asn} {flow} {link} {} (interferers {interferers})",
+                if *success { "ok" } else { "LOST" }
+            ),
+            TraceEvent::Delivered { asn, flow, latency } => {
+                write!(f, "t={asn} {flow} delivered after {latency} slots")
+            }
+            TraceEvent::Expired { asn, flow } => write!(f, "t={asn} {flow} EXPIRED"),
+        }
+    }
+}
+
+/// A bounded event buffer.
+///
+/// Keeps at most `capacity` events; once full, further events are counted
+/// but dropped, so a runaway simulation cannot exhaust memory.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events concerning one flow.
+    pub fn for_flow(&self, flow: FlowId) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TraceEvent::Attempt { flow: f, .. }
+                | TraceEvent::Delivered { flow: f, .. }
+                | TraceEvent::Expired { flow: f, .. } => *f == flow,
+            })
+            .collect()
+    }
+
+    /// Lost attempts (failed receptions), in order.
+    pub fn losses(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Attempt { success: false, .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_net::NodeId;
+
+    fn link() -> DirectedLink {
+        DirectedLink::new(NodeId::new(0), NodeId::new(1))
+    }
+
+    #[test]
+    fn buffer_caps_and_counts_drops() {
+        let mut buf = TraceBuffer::with_capacity(2);
+        for asn in 0..5 {
+            buf.push(TraceEvent::Expired { asn, flow: FlowId::new(0) });
+        }
+        assert_eq!(buf.events().len(), 2);
+        assert_eq!(buf.dropped(), 3);
+    }
+
+    #[test]
+    fn flow_filter() {
+        let mut buf = TraceBuffer::with_capacity(16);
+        buf.push(TraceEvent::Attempt {
+            asn: 1,
+            link: link(),
+            flow: FlowId::new(0),
+            interferers: 0,
+            success: true,
+        });
+        buf.push(TraceEvent::Delivered { asn: 2, flow: FlowId::new(1), latency: 2 });
+        buf.push(TraceEvent::Expired { asn: 3, flow: FlowId::new(0) });
+        assert_eq!(buf.for_flow(FlowId::new(0)).len(), 2);
+        assert_eq!(buf.for_flow(FlowId::new(1)).len(), 1);
+        assert_eq!(buf.for_flow(FlowId::new(9)).len(), 0);
+    }
+
+    #[test]
+    fn losses_filter_and_display() {
+        let mut buf = TraceBuffer::with_capacity(16);
+        buf.push(TraceEvent::Attempt {
+            asn: 7,
+            link: link(),
+            flow: FlowId::new(3),
+            interferers: 2,
+            success: false,
+        });
+        buf.push(TraceEvent::Attempt {
+            asn: 8,
+            link: link(),
+            flow: FlowId::new(3),
+            interferers: 0,
+            success: true,
+        });
+        let losses = buf.losses();
+        assert_eq!(losses.len(), 1);
+        let text = losses[0].to_string();
+        assert!(text.contains("LOST"));
+        assert!(text.contains("interferers 2"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Statistical consistency of the simulator with the planning data: in the
+//! absence of reuse and interference, a link's simulated PRR converges to
+//! its table PRR — the property that makes scheduler decisions and
+//! simulated outcomes commensurable.
+
+use wsan_core::{NetworkModel, NoReuse, Scheduler};
+use wsan_flow::{priority, Flow, FlowId, Period};
+use wsan_net::propagation::PropagationModel;
+use wsan_net::{ChannelId, NodeId, Position, Prr, Route, Topology};
+use wsan_sim::{LinkCondition, SimConfig, Simulator};
+
+#[test]
+fn simulated_prr_matches_table_prr_without_interference() {
+    let n = |i: usize| NodeId::new(i);
+    let mut topo = Topology::new(
+        "consistency",
+        vec![Position::new(0.0, 0.0, 0.0), Position::new(10.0, 0.0, 0.0)],
+    );
+    topo.set_propagation_model(PropagationModel::default());
+    let channels = ChannelId::range(11, 14).unwrap();
+    // distinct PRR per channel to check the hopping average
+    let per_channel = [0.95, 0.85, 0.75, 0.65];
+    for (ch, p) in channels.iter().zip(per_channel) {
+        topo.set_prr(n(0), n(1), ch, Prr::new(p).unwrap()).unwrap();
+        topo.set_prr(n(1), n(0), ch, Prr::new(p).unwrap()).unwrap();
+    }
+    // Period 5 is coprime with the 4-channel set, so the cell's physical
+    // channel rotates through all four across repetitions. (With a period
+    // divisible by |M|, `(ASN + offset) mod |M|` pins a periodic cell to
+    // one channel forever — real TSCH deployments pick coprime slotframe
+    // lengths for exactly this reason.)
+    let flow = Flow::new(
+        FlowId::new(0),
+        Route::new(vec![n(0), n(1)]),
+        Period::from_slots(5).unwrap(),
+        5,
+    )
+    .unwrap();
+    let flows = priority::deadline_monotonic(vec![flow], vec![]);
+    let model = NetworkModel::new(&topo, &channels);
+    let schedule = NoReuse::new()
+        .schedule_with(&flows, &model, &wsan_core::SchedulerConfig { retries: false })
+        .unwrap();
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let report = sim.run(&SimConfig {
+        repetitions: 4000,
+        window_reps: 4000,
+        discovery_probes: 0,
+        ..SimConfig::default()
+    });
+    // the single scheduled slot hops over all four channels uniformly, so
+    // the long-run PRR is the per-channel mean
+    let expected = per_channel.iter().sum::<f64>() / 4.0;
+    let measured = report
+        .overall_prr(wsan_net::DirectedLink::new(n(0), n(1)), LinkCondition::ContentionFree)
+        .expect("samples exist");
+    assert!(
+        (measured - expected).abs() < 0.02,
+        "simulated PRR {measured:.3} should match the hopping mean {expected:.3}"
+    );
+    // PDR equals PRR for a single-link flow without retries
+    assert!((report.network_pdr() - expected).abs() < 0.02);
+}

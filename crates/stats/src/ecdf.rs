@@ -1,0 +1,119 @@
+//! Empirical cumulative distribution functions.
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// `F(x)` is the fraction of sample points `≤ x`. The constructor sorts a
+/// copy of the data; evaluation is a binary search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty sample and
+    /// [`StatsError::NanSample`] if any value is NaN.
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::NanSample);
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true: construction requires data).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: the fraction of sample points `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x when we search
+        // for the first element strictly greater than x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample points (useful for stepping through jump points).
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest sample value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_rejected() {
+        assert_eq!(Ecdf::new(&[]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        assert_eq!(Ecdf::new(&[1.0, f64::NAN]), Err(StatsError::NanSample));
+    }
+
+    #[test]
+    fn step_function_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn ties_jump_together() {
+        let e = Ecdf::new(&[1.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(1.0), 0.75);
+        assert_eq!(e.eval(0.999), 0.0);
+    }
+
+    #[test]
+    fn eval_is_monotone() {
+        let e = Ecdf::new(&[0.3, 0.9, 0.1, 0.5, 0.5]).unwrap();
+        let mut last = 0.0;
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            let v = e.eval(x);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn min_max_and_support_sorted() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert_eq!(e.support(), &[1.0, 2.0, 3.0]);
+        assert_eq!(e.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Discrete histograms over small integer categories.
+//!
+//! The paper's efficiency figures are categorical distributions: number of
+//! transmissions per channel (Figs. 4, 9) and channel-reuse hop count
+//! (Fig. 5). [`Histogram`] counts occurrences of small unsigned categories
+//! and reports proportions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over unsigned integer categories (0, 1, 2, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds one observation of `category`.
+    pub fn record(&mut self, category: usize) {
+        if category >= self.counts.len() {
+            self.counts.resize(category + 1, 0);
+        }
+        self.counts[category] += 1;
+    }
+
+    /// Adds `weight` observations of `category`.
+    pub fn record_n(&mut self, category: usize, weight: u64) {
+        if category >= self.counts.len() {
+            self.counts.resize(category + 1, 0);
+        }
+        self.counts[category] += weight;
+    }
+
+    /// Count of observations in `category`.
+    pub fn count(&self, category: usize) -> u64 {
+        self.counts.get(category).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observations in `category` (0 for an empty histogram).
+    pub fn proportion(&self, category: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(category) as f64 / total as f64
+        }
+    }
+
+    /// Largest category with a nonzero count, if any.
+    pub fn max_category(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// `(category, count)` pairs with nonzero counts, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (cat, count) in other.iter() {
+            self.record_n(cat, count);
+        }
+    }
+
+    /// Proportions for categories `0..=max`, with everything above `max`
+    /// folded into the last bucket — the "4+" style tail used in the
+    /// paper's bar charts.
+    pub fn proportions_with_tail(&self, max: usize) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; max + 1];
+        }
+        let mut out = vec![0.0; max + 1];
+        for (cat, count) in self.iter() {
+            let bucket = cat.min(max);
+            out[bucket] += count as f64 / total as f64;
+        }
+        out
+    }
+}
+
+impl Extend<usize> for Histogram {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for c in iter {
+            self.record(c);
+        }
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.proportion(0), 0.0);
+        assert_eq!(h.max_category(), None);
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h: Histogram = [1, 2, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(2), 2);
+        assert!((h.proportion(3) - 0.5).abs() < 1e-12);
+        assert_eq!(h.max_category(), Some(3));
+    }
+
+    #[test]
+    fn weighted_record() {
+        let mut h = Histogram::new();
+        h.record_n(5, 10);
+        assert_eq!(h.count(5), 10);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: Histogram = [1, 1].into_iter().collect();
+        let b: Histogram = [1, 2].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.count(2), 1);
+    }
+
+    #[test]
+    fn tail_folding() {
+        let h: Histogram = [1, 2, 3, 4, 5, 6].into_iter().collect();
+        let props = h.proportions_with_tail(3);
+        assert_eq!(props.len(), 4);
+        assert!((props[1] - 1.0 / 6.0).abs() < 1e-12);
+        // categories 3,4,5,6 fold into bucket 3 → 4/6
+        assert!((props[3] - 4.0 / 6.0).abs() < 1e-12);
+        let sum: f64 = props.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_skips_zero_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(4);
+        let cats: Vec<usize> = h.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats, vec![0, 4]);
+    }
+}

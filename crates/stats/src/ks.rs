@@ -1,0 +1,205 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper's detection policy (§VI) compares a link's PRR distribution in
+//! channel-reuse slots against its distribution in contention-free slots.
+//! The K-S test is chosen there precisely because it is distribution-free
+//! and places no restriction on sample size.
+//!
+//! The statistic is `D = sup_x |F_1(x) − F_2(x)|`; the p-value uses the
+//! standard asymptotic Kolmogorov distribution with the small-sample
+//! correction of Numerical Recipes:
+//! `p = Q_KS((√n_e + 0.12 + 0.11/√n_e) · D)` with
+//! `n_e = n₁·n₂/(n₁+n₂)` and `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+
+use crate::{Ecdf, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Decision of the hypothesis test at a significance level α.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KsOutcome {
+    /// `p < α`: the two samples come from significantly different
+    /// distributions (in the paper: channel reuse degrades the link).
+    Reject,
+    /// `p ≥ α`: no significant difference (degradation, if any, has another
+    /// cause).
+    Accept,
+}
+
+/// Result of a two-sample K-S test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    statistic: f64,
+    p_value: f64,
+    n1: usize,
+    n2: usize,
+}
+
+impl KsResult {
+    /// The K-S statistic `D = sup |F₁ − F₂|`, in `[0, 1]`.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// The asymptotic p-value in `(0, 1]`.
+    pub fn p_value(&self) -> f64 {
+        self.p_value
+    }
+
+    /// Sizes of the two samples.
+    pub fn sample_sizes(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// The null-hypothesis decision at significance level `alpha`
+    /// (the paper uses α = 0.05).
+    pub fn outcome(&self, alpha: f64) -> KsOutcome {
+        if self.p_value < alpha {
+            KsOutcome::Reject
+        } else {
+            KsOutcome::Accept
+        }
+    }
+}
+
+/// Runs the two-sample K-S test on `a` and `b`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if either sample is empty, or
+/// [`StatsError::NanSample`] if either contains NaN.
+pub fn two_sample(a: &[f64], b: &[f64]) -> Result<KsResult, StatsError> {
+    let fa = Ecdf::new(a)?;
+    let fb = Ecdf::new(b)?;
+    // D is attained at a jump point of either ECDF.
+    let mut d: f64 = 0.0;
+    for &x in fa.support().iter().chain(fb.support()) {
+        let diff = (fa.eval(x) - fb.eval(x)).abs();
+        if diff > d {
+            d = diff;
+        }
+        // also check just below the jump (left limit)
+        let eps = f64::EPSILON.max(x.abs() * f64::EPSILON * 4.0);
+        let diff_left = (fa.eval(x - eps) - fb.eval(x - eps)).abs();
+        if diff_left > d {
+            d = diff_left;
+        }
+    }
+    let n1 = fa.len() as f64;
+    let n2 = fb.len() as f64;
+    let ne = n1 * n2 / (n1 + n2);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    let p = q_ks(lambda);
+    Ok(KsResult { statistic: d, p_value: p, n1: fa.len(), n2: fb.len() })
+}
+
+/// The Kolmogorov survival function
+/// `Q_KS(λ) = 2 Σ_{j=1..∞} (−1)^{j−1} exp(−2 j² λ²)`, clamped to `[0, 1]`.
+fn q_ks(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let l2 = lambda * lambda;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * l2).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_accept() {
+        let a = [0.9, 0.95, 0.92, 0.97, 0.91, 0.94];
+        let r = two_sample(&a, &a).unwrap();
+        assert_eq!(r.statistic(), 0.0);
+        assert_eq!(r.p_value(), 1.0);
+        assert_eq!(r.outcome(0.05), KsOutcome::Accept);
+    }
+
+    #[test]
+    fn disjoint_samples_reject() {
+        let a: Vec<f64> = (0..18).map(|i| 0.9 + 0.005 * i as f64).collect();
+        let b: Vec<f64> = (0..18).map(|i| 0.3 + 0.005 * i as f64).collect();
+        let r = two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic(), 1.0);
+        assert!(r.p_value() < 1e-6);
+        assert_eq!(r.outcome(0.05), KsOutcome::Reject);
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // a = {1,2,3}, b = {2,3,4}: D = 1/3 at x in [1,2) and elsewhere.
+        let r = two_sample(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]).unwrap();
+        assert!((r.statistic() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_with_interleaved_ties() {
+        // a = {1,1,2}, b = {1,2,2}: F_a(1)=2/3, F_b(1)=1/3 → D = 1/3.
+        let r = two_sample(&[1.0, 1.0, 2.0], &[1.0, 2.0, 2.0]).unwrap();
+        assert!((r.statistic() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_shifts_on_small_samples_accept() {
+        // 6 points shifted slightly: underpowered, should accept.
+        let a = [0.90, 0.91, 0.92, 0.93, 0.94, 0.95];
+        let b = [0.905, 0.915, 0.925, 0.935, 0.945, 0.955];
+        let r = two_sample(&a, &b).unwrap();
+        assert_eq!(r.outcome(0.05), KsOutcome::Accept);
+    }
+
+    #[test]
+    fn paper_scale_samples_detect_reuse_degradation() {
+        // 18 samples per epoch as in §VII-E: healthy vs. clearly degraded.
+        let cf: Vec<f64> = (0..18).map(|i| 0.93 + 0.004 * (i % 5) as f64).collect();
+        let reuse: Vec<f64> = (0..18).map(|i| 0.70 + 0.01 * (i % 4) as f64).collect();
+        let r = two_sample(&cf, &reuse).unwrap();
+        assert_eq!(r.outcome(0.05), KsOutcome::Reject);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        assert_eq!(two_sample(&[], &[1.0]), Err(StatsError::EmptySample));
+        assert_eq!(two_sample(&[1.0], &[]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn q_ks_limits() {
+        assert_eq!(q_ks(0.0), 1.0);
+        assert!(q_ks(0.2) > 0.999);
+        assert!(q_ks(3.0) < 1e-6);
+        // monotone decreasing
+        let mut last = 1.0;
+        for i in 1..40 {
+            let v = q_ks(i as f64 * 0.1);
+            assert!(v <= last + 1e-15);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn q_ks_known_value() {
+        // Q_KS(1.0) ≈ 0.26999967... (classic tabulated value 0.27)
+        assert!((q_ks(1.0) - 0.27).abs() < 0.001);
+    }
+
+    #[test]
+    fn asymmetric_sample_sizes_work() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64) / 50.0).collect();
+        let b: Vec<f64> = (0..8).map(|i| 0.5 + (i as f64) / 16.0).collect();
+        let r = two_sample(&a, &b).unwrap();
+        assert_eq!(r.sample_sizes(), (50, 8));
+        assert!(r.statistic() > 0.4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Statistics toolkit for the WSAN reproduction.
+//!
+//! Provides the two-sample Kolmogorov–Smirnov test at the heart of the
+//! paper's reliability-degradation classifier (§VI), plus the descriptive
+//! statistics used by the evaluation: empirical CDFs, box-plot summaries
+//! (Fig. 8), and histograms (Figs. 4, 5, 9).
+//!
+//! # Example: the paper's statistical test
+//!
+//! ```
+//! use wsan_stats::ks::{two_sample, KsOutcome};
+//!
+//! // PRR samples of a link in contention-free slots vs. reuse slots.
+//! let contention_free = [0.96, 0.98, 0.94, 1.0, 0.97, 0.95, 0.99, 0.96];
+//! let with_reuse      = [0.52, 0.61, 0.55, 0.48, 0.60, 0.51, 0.57, 0.49];
+//! let result = two_sample(&contention_free, &with_reuse).unwrap();
+//! assert_eq!(result.outcome(0.05), KsOutcome::Reject); // distributions differ
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod histogram;
+pub mod ks;
+pub mod summary;
+
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use ks::{two_sample, KsOutcome, KsResult};
+pub use summary::{BoxPlot, Summary};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A sample set was empty where data is required.
+    EmptySample,
+    /// A sample contained NaN, which has no order.
+    NanSample,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "statistic requires a non-empty sample"),
+            StatsError::NanSample => write!(f, "sample contains NaN"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Descriptive summaries: mean/stddev and box-plot five-number summaries.
+
+use crate::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Mean, standard deviation, and extremes of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub stddev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] or [`StatsError::NanSample`].
+    pub fn of(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::NanSample);
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary { n, mean, stddev: var.sqrt(), min, max })
+    }
+}
+
+/// The five-number summary behind a box plot (Fig. 8 of the paper), with
+/// Tukey-style whiskers at 1.5 × IQR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum observed value (including outliers).
+    pub min: f64,
+    /// Lower whisker: smallest value ≥ `q1 − 1.5·IQR`.
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker: largest value ≤ `q3 + 1.5·IQR`.
+    pub whisker_high: f64,
+    /// Maximum observed value (including outliers).
+    pub max: f64,
+}
+
+impl BoxPlot {
+    /// Computes the box-plot summary of `sample`.
+    ///
+    /// Quartiles use linear interpolation between order statistics (type-7,
+    /// the numpy/R default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] or [`StatsError::NanSample`].
+    pub fn of(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::NanSample);
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers reach the most extreme data inside the fences but never
+        // retreat inside the box: with few points and a strong outlier the
+        // interpolated quartile can exceed every in-fence datum, and the
+        // whisker then clamps to the box edge (the matplotlib convention).
+        let whisker_low = sorted
+            .iter()
+            .cloned()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let whisker_high = sorted
+            .iter()
+            .cloned()
+            .rev()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(*sorted.last().expect("non-empty"))
+            .max(q3);
+        Ok(BoxPlot {
+            n: sorted.len(),
+            min: sorted[0],
+            whisker_low,
+            q1,
+            median,
+            q3,
+            whisker_high,
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Quantile `q ∈ [0, 1]` of pre-sorted data, with linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty (callers validate).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // sample stddev with n-1: var = 32/7
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_single_point() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert_eq!(Summary::of(&[]), Err(StatsError::EmptySample));
+        assert_eq!(Summary::of(&[f64::NAN]), Err(StatsError::NanSample));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 4.0);
+        assert!((quantile_sorted(&sorted, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile_sorted(&sorted, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_of_uniform_run() {
+        let data: Vec<f64> = (1..=9).map(f64::from).collect();
+        let b = BoxPlot::of(&data).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 9.0);
+        // no outliers: whiskers reach the extremes
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 9.0);
+    }
+
+    #[test]
+    fn boxplot_excludes_outliers_from_whiskers() {
+        let mut data: Vec<f64> = (1..=9).map(f64::from).collect();
+        data.push(100.0); // far outlier
+        let b = BoxPlot::of(&data).unwrap();
+        assert_eq!(b.max, 100.0);
+        assert!(b.whisker_high < 100.0);
+    }
+
+    #[test]
+    fn boxplot_of_constant_data() {
+        let b = BoxPlot::of(&[0.9; 10]).unwrap();
+        assert_eq!(b.median, 0.9);
+        assert_eq!(b.q1, 0.9);
+        assert_eq!(b.q3, 0.9);
+        assert_eq!(b.whisker_low, 0.9);
+        assert_eq!(b.whisker_high, 0.9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Factory monitoring: centralized control traffic through the gateway.
+//!
+//! Models the classic process-monitoring deployment: sensors report to a
+//! controller behind the gateway and control output returns to actuators,
+//! so every flow is routed through an access point. The example grows the
+//! sensor population and shows where the standard WirelessHART scheduler
+//! (NR) runs out of capacity while conservative reuse (RC) keeps going —
+//! the Fig. 1(c) story on a single topology.
+//!
+//! ```sh
+//! cargo run --release --example factory_monitoring
+//! ```
+
+use wsan::core::NetworkModel;
+use wsan::expr::Algorithm;
+use wsan::flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan::net::{testbeds, ChannelId, Prr};
+
+fn main() {
+    let topology = testbeds::indriya(2026);
+    let channels = ChannelId::range(11, 14).expect("valid channel range");
+    let comm = topology.comm_graph(&channels, Prr::new(0.9).expect("valid threshold"));
+    let model = NetworkModel::new(&topology, &channels);
+    let aps = comm.select_access_points(2);
+    println!(
+        "factory network: {} nodes, access points {} and {}",
+        topology.node_count(),
+        aps[0],
+        aps[1]
+    );
+    println!("control loops run at 1-4 s periods through the gateway\n");
+
+    println!("{:>8}  {:>12}  {:>12}  {:>12}", "sensors", "NR", "RA", "RC");
+    for flow_count in [10, 20, 30, 40, 50, 60] {
+        let config = FlowSetConfig::new(
+            flow_count,
+            PeriodRange::new(0, 2).expect("valid period range"),
+            TrafficPattern::Centralized,
+        );
+        // ten workloads per size; report how many each scheduler handles
+        let mut ok = [0u32; 3];
+        let algos = Algorithm::paper_suite();
+        for seed in 0..10u64 {
+            let mut generator = FlowSetGenerator::new(1000 + seed);
+            let Ok(flows) = generator.generate(&comm, &config) else {
+                continue;
+            };
+            for (i, algo) in algos.iter().enumerate() {
+                if algo.build().schedule(&flows, &model).is_ok() {
+                    ok[i] += 1;
+                }
+            }
+        }
+        println!(
+            "{flow_count:>8}  {:>11}  {:>11}  {:>11}",
+            format!("{}%", ok[0] * 10),
+            format!("{}%", ok[1] * 10),
+            format!("{}%", ok[2] * 10)
+        );
+    }
+    println!("\n(each cell: fraction of 10 random workloads schedulable)");
+    println!("centralized routes pile up around the access points, so reuse helps less");
+    println!("than peer-to-peer — but RC still extends the schedulable load beyond NR.");
+}

@@ -1,0 +1,64 @@
+//! Diagnosing link degradation: channel reuse or external interference?
+//!
+//! Reproduces the §VI workflow end to end: schedule a workload with
+//! aggressive reuse, run it under WiFi interference, collect each reused
+//! link's PRR distributions in reuse vs. contention-free slots, and let the
+//! Kolmogorov–Smirnov classifier attribute every unreliable link to its
+//! cause. Links the classifier *rejects* need rescheduling; links it
+//! *accepts* would not improve if reuse were removed.
+//!
+//! ```sh
+//! cargo run --release --example interference_detection
+//! ```
+
+use wsan::detect::LinkVerdict;
+use wsan::expr::detection::{evaluate, DetectionConfig};
+use wsan::expr::Algorithm;
+use wsan::net::{testbeds, ChannelId};
+
+fn main() {
+    let topology = testbeds::wustl(2025);
+    let channels = ChannelId::range(11, 14).expect("valid channel range");
+    let cfg = DetectionConfig {
+        flow_count: 30,
+        epochs: 3,
+        samples_per_epoch: 18,
+        window_reps: 10,
+        ..DetectionConfig::default()
+    };
+    println!(
+        "30 peer-to-peer flows at 1 s on channels 11-14; WiFi interferers on every floor\n"
+    );
+    let runs = evaluate(&topology, &channels, &[Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }], &cfg);
+    for run in &runs {
+        println!("=== scheduler {} ===", run.algorithm);
+        println!("links involved in channel reuse: {}", run.links_with_reuse);
+        for (label, epochs) in [("clean", &run.clean), ("under WiFi", &run.interfered)] {
+            println!("  {label} environment:");
+            for epoch in epochs {
+                let rejected = epoch.rejected();
+                let accepted = epoch.accepted();
+                println!(
+                    "    epoch {}: {} below PRR_t → {} reuse-degraded (reject), {} external (accept)",
+                    epoch.epoch,
+                    epoch.below_threshold(cfg.policy.prr_threshold).len(),
+                    rejected.len(),
+                    accepted.len()
+                );
+                for record in &epoch.records {
+                    if record.verdict != LinkVerdict::Healthy {
+                        println!(
+                            "      {} PRR_r={:.2} → {:?}",
+                            record.link,
+                            record.prr_r.unwrap_or(0.0),
+                            record.verdict
+                        );
+                    }
+                }
+            }
+        }
+        println!();
+    }
+    println!("rejected links would be moved to different channels/slots by the manager;");
+    println!("accepted links are victims of the WiFi interference itself.");
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the conservative channel reuse (ICDCS'18) WSAN stack.
+//!
+//! Re-exports every layer of the reproduction so downstream users (and the
+//! examples and integration tests in this repository) need a single
+//! dependency:
+//!
+//! * [`net`] — topologies, PRR tables, communication/reuse graphs, routing,
+//! * [`flow`] — periodic real-time flows and flow-set generation,
+//! * [`core`] — the RC scheduler and its NR/RA baselines,
+//! * [`sim`] — the TSCH network simulator with a capture-effect PHY,
+//! * [`detect`] — the reuse-degradation classifier (K-S test),
+//! * [`stats`] — ECDF / K-S / summary statistics,
+//! * [`expr`] — the experiment harness reproducing the paper's figures.
+
+#![forbid(unsafe_code)]
+
+pub use wsan_core as core;
+pub use wsan_detect as detect;
+pub use wsan_expr as expr;
+pub use wsan_flow as flow;
+pub use wsan_net as net;
+pub use wsan_sim as sim;
+pub use wsan_stats as stats;

@@ -1,0 +1,74 @@
+//! Workspace-level check of §II's positioning: under deadline-constrained
+//! delivery, managed conservative reuse beats the autonomous best-effort
+//! slotframe on the same workload and radio.
+
+use wsan::core::orchestra::AutonomousSlotframe;
+use wsan::core::NetworkModel;
+use wsan::expr::Algorithm;
+use wsan::flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan::net::{testbeds, ChannelId, Prr};
+use wsan::sim::{AutonomousSimulator, SimConfig, Simulator};
+
+#[test]
+fn managed_reuse_beats_autonomous_on_deadline_pdr() {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg = FlowSetConfig::new(
+        30,
+        PeriodRange::new(-1, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(0x0DDC0DE ^ 1).generate(&comm, &cfg).unwrap();
+
+    let schedule = Algorithm::Rc { rho_t: 2 }
+        .build()
+        .schedule(&set, &model)
+        .expect("RC schedules 30 flows");
+    let sim_cfg = SimConfig { repetitions: 40, discovery_probes: 0, ..SimConfig::default() };
+    let managed = Simulator::new(&topo, &channels, &set, &schedule).run(&sim_cfg);
+
+    let frame = AutonomousSlotframe::receiver_based(topo.node_count(), 17, channels.len());
+    let autonomous =
+        AutonomousSimulator::new(&topo, &channels, &set, &frame).run(&sim_cfg);
+
+    assert!(
+        managed.network_pdr() > autonomous.network_pdr() + 0.05,
+        "managed {} must clearly beat autonomous {}",
+        managed.network_pdr(),
+        autonomous.network_pdr()
+    );
+    assert!(
+        managed.worst_flow_pdr() > autonomous.worst_flow_pdr(),
+        "worst-flow ordering must hold: managed {} vs autonomous {}",
+        managed.worst_flow_pdr(),
+        autonomous.worst_flow_pdr()
+    );
+}
+
+#[test]
+fn autonomous_degrades_gracefully_with_frame_length() {
+    // longer slotframes = fewer wake-ups = more deadline misses; the trend
+    // must be monotone (up to simulation noise, hence generous steps)
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let cfg = FlowSetConfig::new(
+        20,
+        PeriodRange::new(-1, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(0x0DDC0DE ^ 2).generate(&comm, &cfg).unwrap();
+    let sim_cfg = SimConfig { repetitions: 30, discovery_probes: 0, ..SimConfig::default() };
+    let pdr_at = |len: u32| {
+        let frame = AutonomousSlotframe::receiver_based(topo.node_count(), len, channels.len());
+        AutonomousSimulator::new(&topo, &channels, &set, &frame).run(&sim_cfg).network_pdr()
+    };
+    let short = pdr_at(7);
+    let long = pdr_at(47);
+    assert!(
+        short > long,
+        "a 7-slot frame ({short}) must outperform a 47-slot frame ({long})"
+    );
+}

@@ -1,0 +1,234 @@
+//! Property-based tests over the core invariants: any schedule a scheduler
+//! emits — for any random workload on any random network — passes the
+//! independent validator, and the statistics substrate behaves like the
+//! mathematics it implements.
+
+use proptest::prelude::*;
+use wsan::core::{validate, NetworkModel, Scheduler};
+use wsan::expr::Algorithm;
+use wsan::flow::{priority, Flow, FlowId, Period};
+use wsan::net::{NodeId, ReuseGraph, Route};
+use wsan::stats::ks::two_sample;
+use wsan::stats::{BoxPlot, Ecdf, Histogram};
+
+/// A random connected reuse graph: a spanning chain plus random extra edges.
+fn arb_reuse_graph(max_nodes: usize) -> impl Strategy<Value = ReuseGraph> {
+    (4..max_nodes, proptest::collection::vec((0usize..64, 0usize..64), 0..24)).prop_map(
+        |(n, extra)| {
+            let mut edges: Vec<(NodeId, NodeId)> =
+                (0..n - 1).map(|i| (NodeId::new(i), NodeId::new(i + 1))).collect();
+            for (a, b) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    edges.push((NodeId::new(a), NodeId::new(b)));
+                }
+            }
+            ReuseGraph::from_edges(n, &edges)
+        },
+    )
+}
+
+/// Random flows over a graph: single- or multi-hop walks along node indexes.
+fn arb_flows(n_nodes: usize) -> impl Strategy<Value = Vec<Flow>> {
+    proptest::collection::vec(
+        (0usize..1000, 2usize..5, 1u32..4, proptest::num::f64::POSITIVE),
+        1..8,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start, len, period_scale, frac))| {
+                let start = start % n_nodes;
+                // a path along consecutive node ids, wrapping within range
+                let nodes: Vec<NodeId> =
+                    (0..len).map(|k| NodeId::new((start + k) % n_nodes)).collect();
+                // ensure no immediate repeats after wrap (len < n_nodes here)
+                let route = Route::new(nodes);
+                let period = Period::from_slots(32 * period_scale).unwrap();
+                let frac = frac.fract();
+                let frac = if frac.is_finite() { frac } else { 0.5 };
+                let deadline =
+                    ((period.slots() / 2) as f64 + frac * (period.slots() / 2) as f64) as u32;
+                let deadline = deadline.clamp(1, period.slots());
+                Flow::new(FlowId::new(i), route, period, deadline).unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever any scheduler outputs validates against the §V-A
+    /// constraints, for arbitrary workloads on arbitrary reuse graphs.
+    #[test]
+    fn every_emitted_schedule_validates(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+        channels in 1usize..4,
+    ) {
+        // flows were built for up to 8 nodes; graph has >= 4. Clamp node ids
+        // by rebuilding flows only if they fit the graph.
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, channels);
+        for algo in [Algorithm::Nr, Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }, Algorithm::RcPerFlow { rho_t: 2 }] {
+            if let Ok(schedule) = algo.build().schedule(&set, &model) {
+                let rho_t = match algo { Algorithm::Nr => None, _ => Some(2) };
+                if let Err(violations) = validate::check(&schedule, &set, &model, rho_t) {
+                    return Err(TestCaseError::fail(format!("{algo}: {violations:?}")));
+                }
+            }
+        }
+    }
+
+    /// RC never reuses more cells than RA on the same workload.
+    #[test]
+    fn rc_never_reuses_more_than_ra(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+    ) {
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, 2);
+        let shared = |s: &wsan::core::Schedule| {
+            s.occupied_cells().filter(|(_, _, c)| c.len() > 1).count()
+        };
+        if let (Ok(ra), Ok(rc)) = (
+            Algorithm::Ra { rho: 2 }.build().schedule(&set, &model),
+            Algorithm::Rc { rho_t: 2 }.build().schedule(&set, &model),
+        ) {
+            // Not a strict theorem (greedy schedules diverge), but with the
+            // shared workload RC reusing *more* would betray its design;
+            // allow a tiny slack for divergence artifacts.
+            prop_assert!(shared(&rc) <= shared(&ra) + 2,
+                "RC shared {} cells, RA {}", shared(&rc), shared(&ra));
+        }
+    }
+
+    /// ECDF is a valid CDF: monotone, 0 before min, 1 at max.
+    #[test]
+    fn ecdf_is_a_cdf(sample in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let e = Ecdf::new(&sample).unwrap();
+        prop_assert_eq!(e.eval(e.min() - 1.0), 0.0);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        let mut last = 0.0;
+        for x in e.support() {
+            let v = e.eval(*x);
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// K-S statistic is within [0,1], symmetric in its arguments, and zero
+    /// for identical samples.
+    #[test]
+    fn ks_statistic_properties(
+        a in proptest::collection::vec(0.0f64..1.0, 2..30),
+        b in proptest::collection::vec(0.0f64..1.0, 2..30),
+    ) {
+        let r1 = two_sample(&a, &b).unwrap();
+        let r2 = two_sample(&b, &a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r1.statistic()));
+        prop_assert!((r1.statistic() - r2.statistic()).abs() < 1e-12);
+        prop_assert!((r1.p_value() - r2.p_value()).abs() < 1e-12);
+        let same = two_sample(&a, &a).unwrap();
+        prop_assert_eq!(same.statistic(), 0.0);
+        prop_assert_eq!(same.p_value(), 1.0);
+    }
+
+    /// Box plots order their five numbers and bound them by the extremes.
+    #[test]
+    fn boxplot_numbers_are_ordered(sample in proptest::collection::vec(0.0f64..1.0, 1..60)) {
+        let b = BoxPlot::of(&sample).unwrap();
+        prop_assert!(b.min <= b.whisker_low + 1e-12);
+        prop_assert!(b.whisker_low <= b.q1 + 1e-12);
+        prop_assert!(b.q1 <= b.median + 1e-12);
+        prop_assert!(b.median <= b.q3 + 1e-12);
+        prop_assert!(b.q3 <= b.whisker_high + 1e-12);
+        prop_assert!(b.whisker_high <= b.max + 1e-12);
+    }
+
+    /// Histogram totals and proportions are consistent.
+    #[test]
+    fn histogram_proportions_sum_to_one(cats in proptest::collection::vec(0usize..12, 1..100)) {
+        let h: Histogram = cats.iter().copied().collect();
+        prop_assert_eq!(h.total(), cats.len() as u64);
+        let max = h.max_category().unwrap();
+        let sum: f64 = (0..=max).map(|c| h.proportion(c)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let tail = h.proportions_with_tail(3);
+        prop_assert!((tail.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The delay analysis is *sufficient*: any random workload it accepts
+    /// must be schedulable by the greedy NR scheduler.
+    #[test]
+    fn analysis_acceptance_implies_nr_schedulability(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+        channels in 1usize..4,
+    ) {
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, channels);
+        let report = wsan::core::analysis::analyse(&set, &model, 2);
+        if report.schedulable() {
+            prop_assert!(
+                wsan::core::NoReuse::new().schedule(&set, &model).is_ok(),
+                "analysis accepted a set NR cannot schedule"
+            );
+        }
+    }
+
+    /// Analysis response-time bounds dominate the response times NR
+    /// actually achieves.
+    #[test]
+    fn analysis_bounds_dominate_measured_response_times(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+    ) {
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, 2);
+        let report = wsan::core::analysis::analyse(&set, &model, 2);
+        if !report.schedulable() {
+            return Ok(());
+        }
+        let Ok(schedule) = wsan::core::NoReuse::new().schedule(&set, &model) else {
+            return Err(TestCaseError::fail("sufficiency violated"));
+        };
+        for (flow, job, measured) in wsan::core::metrics::response_times(&schedule, &set) {
+            let bound = report.response_time(flow.index()).expect("schedulable");
+            prop_assert!(
+                measured <= bound,
+                "flow {flow} job {job}: measured {measured} > bound {bound}"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration: the full detect → repair → re-simulate loop recovers the
+//! reliability of reuse-degraded links (the operational purpose of §VI).
+
+use wsan::core::{repair, validate, NetworkModel};
+use wsan::detect::DetectionPolicy;
+use wsan::expr::Algorithm;
+use wsan::flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan::net::{testbeds, ChannelId, Prr};
+use wsan::sim::{LinkCondition, SimConfig, Simulator};
+
+#[test]
+fn detect_repair_resimulate_recovers_prr() {
+    let topology = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topology.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topology, &channels);
+    let config = FlowSetConfig::new(
+        110,
+        PeriodRange::new(0, 0).unwrap(),
+        TrafficPattern::PeerToPeer,
+    );
+    let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &config).unwrap();
+    let schedule =
+        Algorithm::Ra { rho: 2 }.build().schedule(&flows, &model).expect("RA schedules");
+
+    let sim_cfg = SimConfig { repetitions: 120, window_reps: 10, ..SimConfig::default() };
+    let before = Simulator::new(&topology, &channels, &flows, &schedule).run(&sim_cfg);
+
+    // classify reuse-involved links with the paper's policy
+    let policy = DetectionPolicy::default();
+    let mut rejected = Vec::new();
+    for link in before.links_with_reuse() {
+        let reuse = before.prr_distribution(link, LinkCondition::Reuse);
+        let cf = before.prr_distribution(link, LinkCondition::ContentionFree);
+        if policy.classify(&reuse, &cf) == wsan::detect::LinkVerdict::ReuseDegraded {
+            rejected.push(link);
+        }
+    }
+    assert!(
+        rejected.len() >= 5,
+        "dense RA workload should produce clearly degraded links, got {}",
+        rejected.len()
+    );
+
+    // repair and re-validate
+    let (repaired, report) = repair::reassign_degraded(&schedule, &model, &flows, 2, &rejected);
+    assert!(report.repaired_jobs.len() + report.failed_jobs.len() > 0);
+    validate::check(&repaired, &flows, &model, Some(2)).expect("repaired schedule is valid");
+
+    // every successfully repaired rejected link must now be contention-free
+    let failed_links: std::collections::HashSet<_> = report
+        .failed_jobs
+        .iter()
+        .flat_map(|(f, j)| {
+            repaired
+                .entries()
+                .iter()
+                .filter(move |e| e.tx.flow == *f && e.tx.job_index == *j)
+                .map(|e| e.tx.link)
+        })
+        .collect();
+    for (_, _, cell) in repaired.occupied_cells() {
+        if cell.len() > 1 {
+            for tx in cell {
+                assert!(
+                    !rejected.contains(&tx.link) || failed_links.contains(&tx.link),
+                    "rejected link {} still shares a cell after repair",
+                    tx.link
+                );
+            }
+        }
+    }
+
+    // re-simulate: the repaired links' PRR improves in aggregate
+    let after = Simulator::new(&topology, &channels, &flows, &repaired).run(&sim_cfg);
+    let mean = |report: &wsan::sim::SimReport, cond_first: LinkCondition| {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for link in &rejected {
+            let value = report
+                .overall_prr(*link, cond_first)
+                .or_else(|| report.overall_prr(*link, LinkCondition::Reuse))
+                .or_else(|| report.overall_prr(*link, LinkCondition::ContentionFree));
+            if let Some(v) = value {
+                sum += v;
+                n += 1;
+            }
+        }
+        sum / n.max(1) as f64
+    };
+    let before_prr = mean(&before, LinkCondition::Reuse);
+    let after_prr = mean(&after, LinkCondition::ContentionFree);
+    assert!(
+        after_prr > before_prr + 0.02,
+        "repair should lift the rejected links' PRR: {before_prr:.3} → {after_prr:.3}"
+    );
+    assert!(
+        after.network_pdr() >= before.network_pdr() - 1e-9,
+        "repair must not hurt the network: {} → {}",
+        before.network_pdr(),
+        after.network_pdr()
+    );
+}
