@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Repository CI gate: formatting, lints, build, and the full test suite.
+# Run from the repository root:  ./ci.sh
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier 1)"
+cargo test -q --workspace
+
+echo "CI green."

@@ -11,11 +11,8 @@ fn workload(topo: &Topology, flows: usize, seed: u64) -> Option<(FlowSet, Networ
     let channels = ChannelId::all().take(5);
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(topo, &channels);
-    let cfg = FlowSetConfig::new(
-        flows,
-        PeriodRange::new(0, 2).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg =
+        FlowSetConfig::new(flows, PeriodRange::new(0, 2).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(seed).generate(&comm, &cfg).ok()?;
     Some((set, model))
 }
@@ -34,11 +31,9 @@ fn bench_schedulers(c: &mut Criterion) {
             if scheduler.schedule(&set, &model).is_err() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.to_string(), flows),
-                &flows,
-                |b, _| b.iter(|| scheduler.schedule(&set, &model).expect("schedulable")),
-            );
+            group.bench_with_input(BenchmarkId::new(algo.to_string(), flows), &flows, |b, _| {
+                b.iter(|| scheduler.schedule(&set, &model).expect("schedulable"))
+            });
         }
     }
     group.finish();

@@ -13,11 +13,7 @@ fn bench_simulator(c: &mut Criterion) {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(&topo, &channels);
-    let cfg = FlowSetConfig::new(
-        40,
-        PeriodRange::new(-1, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(40, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(7).generate(&comm, &cfg).expect("generation");
     let schedule = Algorithm::Ra { rho: 2 }.build().schedule(&set, &model).expect("schedulable");
     let sim = Simulator::new(&topo, &channels, &set, &schedule);

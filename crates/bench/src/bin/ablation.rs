@@ -65,12 +65,11 @@ fn main() {
             ..ReliabilityConfig::default()
         };
         let res = reliability(&wustl, &channels4, &[Algorithm::Rc { rho_t }], &cfg);
-        let mean_worst = res.iter().map(|s| s.algorithms[0].worst_pdr).sum::<f64>() / res.len() as f64;
-        let mean_reuse: f64 = res
-            .iter()
-            .map(|s| 1.0 - s.algorithms[0].tx_per_channel.proportion(1))
-            .sum::<f64>()
-            / res.len() as f64;
+        let mean_worst =
+            res.iter().map(|s| s.algorithms[0].worst_pdr).sum::<f64>() / res.len() as f64;
+        let mean_reuse: f64 =
+            res.iter().map(|s| 1.0 - s.algorithms[0].tx_per_channel.proportion(1)).sum::<f64>()
+                / res.len() as f64;
         rows.push(vec![rho_t.to_string(), table::f3(mean_worst), table::pct(mean_reuse)]);
     }
     print!("{}", table::render(&["ρ_t", "mean worst PDR", "shared cells"], &rows));
@@ -108,11 +107,8 @@ fn main() {
     println!("\n-- reuse volume at 110 flows (single workload) --");
     let comm = wustl.comm_graph(&channels4, Prr::new(0.9).expect("valid"));
     let model = NetworkModel::new(&wustl, &channels4);
-    let fsc = FlowSetConfig::new(
-        110,
-        PeriodRange::new(0, 0).expect("valid"),
-        TrafficPattern::PeerToPeer,
-    );
+    let fsc =
+        FlowSetConfig::new(110, PeriodRange::new(0, 0).expect("valid"), TrafficPattern::PeerToPeer);
     if let Ok(set) = FlowSetGenerator::new(set_seed(opts.seed, 0)).generate(&comm, &fsc) {
         let mut rows = Vec::new();
         for algo in algos {
@@ -169,10 +165,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print!(
-        "{}",
-        table::render(&["#ch", "first-m", "best-mean", "most-links"], &rows)
-    );
+    print!("{}", table::render(&["#ch", "first-m", "best-mean", "most-links"], &rows));
 
     // ---- 5. response times: why reuse buys schedulability ---------------
     println!("\n== ablation 5: mean job response time, slots (WUSTL, p2p, 4 channels) ==");
@@ -237,6 +230,8 @@ fn main() {
     println!("(with deadlines drawn from [P/2, P], DM and RM orders mostly agree)");
 
     std::fs::create_dir_all(results_dir()).expect("results dir");
-    println!("\n(ablation tables are printed only; figure JSONs live beside them in {})",
-        results_dir().display());
+    println!(
+        "\n(ablation tables are printed only; figure JSONs live beside them in {})",
+        results_dir().display()
+    );
 }

@@ -8,16 +8,22 @@
 use std::process::Command;
 use wsan_bench::{results_dir, RunOptions};
 
-const FIGURES: &[&str] =
-    &["fig1_2_3", "fig4_5", "fig6", "fig7", "fig8_9", "fig10_11", "ablation", "orchestra_cmp", "coexistence"];
+const FIGURES: &[&str] = &[
+    "fig1_2_3",
+    "fig4_5",
+    "fig6",
+    "fig7",
+    "fig8_9",
+    "fig10_11",
+    "ablation",
+    "orchestra_cmp",
+    "coexistence",
+];
 
 fn main() {
     let opts = RunOptions::parse(100);
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("own path").parent().expect("bin dir").to_path_buf();
     let log_dir = results_dir().join("logs");
     std::fs::create_dir_all(&log_dir).expect("create log dir");
     let mut failures = Vec::new();

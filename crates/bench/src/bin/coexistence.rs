@@ -14,13 +14,13 @@
 //! ```
 
 use wsan_bench::{results_dir, RunOptions};
+use wsan_core::Schedule;
 use wsan_core::{NetworkModel, NoReuse, Scheduler};
 use wsan_expr::{table, Algorithm};
 use wsan_flow::{FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
 use wsan_net::{testbeds, ChannelId, Position, Prr, Topology};
 use wsan_sim::coexistence::merge;
 use wsan_sim::{SimConfig, Simulator};
-use wsan_core::Schedule;
 
 fn plan(seed: u64, flows: usize) -> Option<(Topology, FlowSet, Schedule)> {
     let topo = testbeds::wustl(seed);
@@ -102,15 +102,16 @@ fn main() {
     match FlowSetGenerator::new(opts.seed).generate(&comm, &cfg) {
         Ok(set) => match (Algorithm::Rc { rho_t: 2 }).build().schedule(&set, &model) {
             Ok(schedule) => {
-                let report =
-                    Simulator::new(&topo, &channels, &set, &schedule).run(&sim_cfg);
+                let report = Simulator::new(&topo, &channels, &set, &schedule).run(&sim_cfg);
                 println!(
                     "RC with {} flows in one building: PDR {:.4}, worst flow {:.4}",
                     set.len(),
                     report.network_pdr(),
                     report.worst_flow_pdr()
                 );
-                println!("coordinated reuse degrades gracefully; blind coexistence at 0 m does not.");
+                println!(
+                    "coordinated reuse degrades gracefully; blind coexistence at 0 m does not."
+                );
             }
             Err(e) => println!("RC could not schedule the doubled load: {e}"),
         },

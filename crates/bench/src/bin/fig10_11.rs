@@ -39,7 +39,10 @@ fn main() {
         evaluate(&topo, &channels, &[Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }], &cfg);
 
     for run in &runs {
-        println!("\n==== scheduler {} ({} links involved in reuse) ====", run.algorithm, run.links_with_reuse);
+        println!(
+            "\n==== scheduler {} ({} links involved in reuse) ====",
+            run.algorithm, run.links_with_reuse
+        );
         for (env, epochs) in [("clean", &run.clean), ("wifi", &run.interfered)] {
             // fig11: rejected per epoch
             println!("-- fig11 [{env}]: verdicts per epoch --");

@@ -36,18 +36,15 @@ fn main() {
     let algos = [Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }];
     let mut all_rows: Vec<EfficiencyRow> = Vec::new();
 
-    for (pattern, flows) in
-        [(TrafficPattern::Centralized, 16), (TrafficPattern::PeerToPeer, 60)]
-    {
+    for (pattern, flows) in [(TrafficPattern::Centralized, 16), (TrafficPattern::PeerToPeer, 60)] {
         let cfg = WorkloadConfig {
             flow_sets: opts.sets,
             seed: opts.seed,
             ..WorkloadConfig::new(flows, PeriodRange::new(0, 2).expect("valid"), pattern)
         };
         println!("\n== {pattern:?} traffic, {flows} flows, Indriya ==");
-        let headers = [
-            "#ch", "algo", "sets", "1 Tx", "2 Tx", "3 Tx", "4+ Tx", "2 hops", "3 hops", "4+ hops",
-        ];
+        let headers =
+            ["#ch", "algo", "sets", "1 Tx", "2 Tx", "3 Tx", "4+ Tx", "2 hops", "3 hops", "4+ hops"];
         let mut rows: Vec<Vec<String>> = Vec::new();
         for m in [3usize, 4, 5, 6, 7, 8] {
             for result in evaluate(&topo, m, &algos, &cfg) {

@@ -22,11 +22,7 @@ fn main() {
     let cfg = WorkloadConfig {
         flow_sets: opts.sets,
         seed: opts.seed,
-        ..WorkloadConfig::new(
-            0,
-            PeriodRange::new(0, 2).expect("valid"),
-            TrafficPattern::PeerToPeer,
-        )
+        ..WorkloadConfig::new(0, PeriodRange::new(0, 2).expect("valid"), TrafficPattern::PeerToPeer)
     };
     let flow_counts = [40, 60, 80, 100, 120, 140, 160];
     let points = measure(&topo, 5, &flow_counts, &Algorithm::paper_suite(), &cfg);

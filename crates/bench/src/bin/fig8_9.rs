@@ -31,8 +31,7 @@ fn main() {
     let results = evaluate(&topo, &channels, &Algorithm::paper_suite(), &cfg);
 
     println!("== fig8: per-flow PDR box plots (WUSTL, {} flows, 4 channels) ==", cfg.flow_count);
-    let headers =
-        ["set", "algo", "median", "q1", "q3", "whisk-lo", "worst", "mean reuse Tx/ch"];
+    let headers = ["set", "algo", "median", "q1", "q3", "whisk-lo", "worst", "mean reuse Tx/ch"];
     let mut rows = Vec::new();
     for set in &results {
         for algo in &set.algorithms {

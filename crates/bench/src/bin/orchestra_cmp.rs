@@ -21,8 +21,7 @@ use wsan_net::{testbeds, ChannelId, Prr};
 use wsan_sim::{AutonomousSimulator, SimConfig, SimReport, Simulator};
 
 fn summarize(name: &str, report: &SimReport, flows: usize) -> Vec<String> {
-    let mut latencies: Vec<f64> =
-        (0..flows).filter_map(|f| report.mean_latency(f)).collect();
+    let mut latencies: Vec<f64> = (0..flows).filter_map(|f| report.mean_latency(f)).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let mean_latency = if latencies.is_empty() {
         f64::NAN

@@ -54,9 +54,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("--{key} expects a {}, got '{raw}'", std::any::type_name::<T>())),
+            Some(raw) => raw.parse().map_err(|_| {
+                format!("--{key} expects a {}, got '{raw}'", std::any::type_name::<T>())
+            }),
         }
     }
 
@@ -67,9 +67,8 @@ impl Args {
     /// Returns a message for malformed ranges.
     pub fn channel_range(&self) -> Result<(u8, u8), String> {
         let raw = self.get("channels").unwrap_or("11-14");
-        let (a, b) = raw
-            .split_once('-')
-            .ok_or_else(|| format!("--channels expects 'a-b', got '{raw}'"))?;
+        let (a, b) =
+            raw.split_once('-').ok_or_else(|| format!("--channels expects 'a-b', got '{raw}'"))?;
         let first: u8 = a.parse().map_err(|_| format!("bad channel '{a}'"))?;
         let last: u8 = b.parse().map_err(|_| format!("bad channel '{b}'"))?;
         Ok((first, last))

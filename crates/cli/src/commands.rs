@@ -4,6 +4,7 @@ use crate::args::Args;
 use wsan_core::{metrics, repair, NetworkModel};
 use wsan_detect::LinkVerdict;
 use wsan_expr::detection::{evaluate as detection, DetectionConfig};
+use wsan_expr::recovery::{campaign, SupervisorConfig};
 use wsan_expr::Algorithm;
 use wsan_flow::{FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
 use wsan_net::{testbeds, ChannelId, ChannelSet, Prr, Topology};
@@ -18,7 +19,10 @@ pub const USAGE: &str = "usage:
   wsan simulate (schedule options) [--reps N] [--wifi] [--autonomous L]
   wsan export   (schedule options) --out FILE     # CSV slotframe
   wsan detect   --testbed <indriya|wustl> --flows N [--epochs N] [--seed N]
-                [--channels a-b] [--algo ra|rc] [--repair]";
+                [--channels a-b] [--algo ra|rc] [--repair]
+  wsan faults   --testbed <indriya|wustl> --flows N [--collapse k1,k2,..]
+                [--epochs N] [--algo nr|ra|rc] [--channels a-b] [--seed N]
+                [--out FILE]                    # fault campaign → JSON";
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -36,6 +40,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(&args),
         "export" => cmd_export(&args),
         "detect" => cmd_detect(&args),
+        "faults" => cmd_faults(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -122,10 +127,7 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
     let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
     let reuse = topo.reuse_graph(&channels);
     println!("topology {} ({} nodes)", topo.name(), topo.node_count());
-    println!(
-        "channels {:?}",
-        channels.iter().map(|c| c.number()).collect::<Vec<_>>()
-    );
+    println!("channels {:?}", channels.iter().map(|c| c.number()).collect::<Vec<_>>());
     println!(
         "communication graph: {} edges, diameter {}, connected: {}",
         comm.edge_count(),
@@ -164,8 +166,10 @@ fn cmd_topology(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const SCHEDULE_OPTS: &[&str] =
-    &["testbed", "seed", "channels", "flows", "algo", "pattern", "periods", "rho", "load", "analysis", "show"];
+const SCHEDULE_OPTS: &[&str] = &[
+    "testbed", "seed", "channels", "flows", "algo", "pattern", "periods", "rho", "load",
+    "analysis", "show",
+];
 
 fn cmd_schedule(args: &Args) -> Result<(), String> {
     args.ensure_known(SCHEDULE_OPTS)?;
@@ -193,10 +197,7 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
         Ok(schedule) => {
             let m = metrics::compute(&schedule, &model);
             println!("{algo}: SCHEDULABLE — {} transmissions placed", schedule.entry_count());
-            println!(
-                "  cells without reuse: {:.1}%",
-                100.0 * m.no_reuse_fraction()
-            );
+            println!("  cells without reuse: {:.1}%", 100.0 * m.no_reuse_fraction());
             for (hops, count) in m.reuse_hop_count.iter() {
                 println!("  shared cells at {hops} reuse hops: {count}");
             }
@@ -231,12 +232,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         Vec::new()
     };
     let seed: u64 = args.get_or("seed", 1)?;
-    let sim_config = SimConfig {
-        seed: seed ^ 0xD00D,
-        repetitions: reps,
-        interferers,
-        ..SimConfig::default()
-    };
+    let sim_config =
+        SimConfig { seed: seed ^ 0xD00D, repetitions: reps, interferers, ..SimConfig::default() };
     if args.has("autonomous") {
         let len: u32 = args.get_or("autonomous", 17)?;
         let frame = wsan_core::orchestra::AutonomousSlotframe::receiver_based(
@@ -285,10 +282,7 @@ fn cmd_export(args: &Args) -> Result<(), String> {
     match args.get("out") {
         Some(path) if !path.is_empty() => {
             std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-            println!(
-                "slotframe with {} transmissions written to {path}",
-                schedule.entry_count()
-            );
+            println!("slotframe with {} transmissions written to {path}", schedule.entry_count());
         }
         _ => print!("{csv}"),
     }
@@ -296,7 +290,9 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    args.ensure_known(&["testbed", "seed", "channels", "flows", "epochs", "algo", "repair", "rho"])?;
+    args.ensure_known(&[
+        "testbed", "seed", "channels", "flows", "epochs", "algo", "repair", "rho",
+    ])?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let algo = algorithm_of(args, Algorithm::Ra { rho: 2 })?;
@@ -347,13 +343,12 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
             PeriodRange::new(0, 0).expect("valid"),
             TrafficPattern::PeerToPeer,
         );
-        let set = FlowSetGenerator::new(seed)
-            .generate(&comm, &fsc)
-            .map_err(|e| e.to_string())?;
+        let set = FlowSetGenerator::new(seed).generate(&comm, &fsc).map_err(|e| e.to_string())?;
         let schedule =
             algo.build().schedule(&set, &model).map_err(|e| format!("reschedule failed: {e}"))?;
         let rho: u32 = args.get_or("rho", 2)?;
-        let (_, report) = repair::reassign_degraded(&schedule, &model, &set, rho, &rejected);
+        let (_, report) = repair::reassign_degraded(&schedule, &model, &set, rho, &rejected)
+            .map_err(|e| format!("repair failed: {e}"))?;
         println!(
             "repair: {} jobs re-placed ({} transmissions moved), {} jobs need a full reschedule",
             report.repaired_jobs.len(),
@@ -361,6 +356,57 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
             report.failed_jobs.len()
         );
     }
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "testbed", "seed", "channels", "flows", "pattern", "periods", "algo", "rho", "epochs",
+        "collapse", "out", "load",
+    ])?;
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let (set, _) = build_workload(args, &topo, &channels)?;
+    let algo = algorithm_of(args, Algorithm::Rc { rho_t: 2 })?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let epochs: u32 = args.get_or("epochs", 4)?;
+    let intensities: Vec<usize> = args
+        .get("collapse")
+        .unwrap_or("0,1,2,4")
+        .split(',')
+        .map(|k| k.trim().parse().map_err(|_| format!("bad collapse count '{k}'")))
+        .collect::<Result<_, String>>()?;
+    let cfg = SupervisorConfig { seed, epochs, ..SupervisorConfig::default() };
+    let result = campaign(&topo, &channels, &set, algo, &cfg, &intensities)
+        .map_err(|e| format!("fault campaign failed: {e}"))?;
+    println!(
+        "{algo} fault campaign: {} flows, fault-free network PDR {:.4}",
+        result.flows, result.baseline_pdr
+    );
+    let headers = ["collapsed", "shed", "surviving", "residual PDR", "converged"];
+    let rows: Vec<Vec<String>> = result
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.collapsed_links.to_string(),
+                p.shed_flows.to_string(),
+                p.surviving_flows.to_string(),
+                format!("{:.4}", p.residual_pdr),
+                p.converged.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", wsan_expr::table::render(&headers, &rows));
+    let out = args.get("out").unwrap_or("results/fault_campaign.json");
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    wsan_expr::table::write_json(out, &result).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("campaign written to {out}");
     Ok(())
 }
 
@@ -402,24 +448,20 @@ mod tests {
 
     #[test]
     fn schedule_small_workload() {
-        run(&[
-            "schedule", "--testbed", "wustl", "--flows", "8", "--algo", "rc", "--seed", "3",
-        ])
-        .unwrap();
+        run(&["schedule", "--testbed", "wustl", "--flows", "8", "--algo", "rc", "--seed", "3"])
+            .unwrap();
     }
 
     #[test]
     fn simulate_small_workload() {
-        run(&[
-            "simulate", "--testbed", "wustl", "--flows", "8", "--reps", "5", "--seed", "3",
-        ])
-        .unwrap();
+        run(&["simulate", "--testbed", "wustl", "--flows", "8", "--reps", "5", "--seed", "3"])
+            .unwrap();
     }
 
     #[test]
     fn unknown_option_is_rejected() {
-        let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--zap", "1"])
-            .unwrap_err();
+        let err =
+            run(&["schedule", "--testbed", "wustl", "--flows", "8", "--zap", "1"]).unwrap_err();
         assert!(err.contains("--zap"));
     }
 
@@ -445,7 +487,14 @@ mod export_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("frame.csv");
         run(&[
-            "export", "--testbed", "wustl", "--flows", "6", "--seed", "4", "--out",
+            "export",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "6",
+            "--seed",
+            "4",
+            "--out",
             path.to_str().unwrap(),
         ])
         .unwrap();
@@ -458,8 +507,44 @@ mod export_tests {
     #[test]
     fn autonomous_simulation_runs() {
         run(&[
-            "simulate", "--testbed", "wustl", "--flows", "6", "--reps", "3", "--autonomous", "7",
+            "simulate",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "6",
+            "--reps",
+            "3",
+            "--autonomous",
+            "7",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn fault_campaign_writes_json() {
+        let dir = std::env::temp_dir().join("wsan-cli-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        run(&[
+            "faults",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "6",
+            "--seed",
+            "5",
+            "--epochs",
+            "2",
+            "--collapse",
+            "0,1",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let result: wsan_expr::recovery::CampaignResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[0].collapsed_links, 0);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -90,15 +90,8 @@ fn demand(flow: &Flow, attempts: u32) -> u32 {
 /// Transmissions of one job of `hp` that conflict with `flow`'s route
 /// (share a node with any of its links).
 fn conflict_count(flow: &Flow, hp: &Flow, attempts: u32) -> u32 {
-    let nodes: HashSet<NodeId> = flow
-        .links()
-        .iter()
-        .flat_map(|l| [l.tx, l.rx])
-        .collect();
-    hp.links()
-        .iter()
-        .filter(|l| nodes.contains(&l.tx) || nodes.contains(&l.rx))
-        .count() as u32
+    let nodes: HashSet<NodeId> = flow.links().iter().flat_map(|l| [l.tx, l.rx]).collect();
+    hp.links().iter().filter(|l| nodes.contains(&l.tx) || nodes.contains(&l.rx)).count() as u32
         * attempts
 }
 
@@ -117,7 +110,9 @@ pub fn analyse(flows: &FlowSet, model: &NetworkModel, attempts: u32) -> Analysis
             // precompute interference of each higher-priority flow
             let hp: Vec<(u32, u32, u32)> = all[..i]
                 .iter()
-                .map(|j| (j.period().slots(), conflict_count(flow, j, attempts), demand(j, attempts)))
+                .map(|j| {
+                    (j.period().slots(), conflict_count(flow, j, attempts), demand(j, attempts))
+                })
                 .collect();
             let mut r = c_i;
             loop {

@@ -143,7 +143,7 @@ mod tests {
         let mut s = Schedule::new(10, 1, 6);
         s.place(0, 0, stx(0, 1));
         s.place(0, 0, stx(5, 4)); // coexists with 0→1 at rho ≤ 4
-        // now 2→3 is close to both occupants
+                                  // now 2→3 is close to both occupants
         let cand = DirectedLink::new(n(2), n(3));
         assert!(!channel_ok(&s, &model, 0, 0, cand, Rho::AtLeast(2)));
     }
@@ -165,10 +165,10 @@ mod tests {
         s.place(0, 0, stx(0, 1));
         s.place(0, 0, stx(4, 5)); // offset 0 holds 2 occupants (3+ hops apart)
         s.place(0, 1, stx(2, 3)); // offset 1 holds 1 occupant
-        // A rho=1 candidate (distances ≥ 1 are trivially met by distinct
-        // nodes) must pick offset 1, the cell with fewer occupants. The
-        // candidate's own node-conflict is find_slot's concern, not
-        // best_offset's, so reuse nodes 0→1 for the query.
+                                  // A rho=1 candidate (distances ≥ 1 are trivially met by distinct
+                                  // nodes) must pick offset 1, the cell with fewer occupants. The
+                                  // candidate's own node-conflict is find_slot's concern, not
+                                  // best_offset's, so reuse nodes 0→1 for the query.
         let cand = DirectedLink::new(n(0), n(1));
         assert_eq!(best_offset(&s, &model, 0, cand, Rho::AtLeast(1)), Some(1));
         // In an empty slot, the lowest empty offset wins.

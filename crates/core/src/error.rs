@@ -22,6 +22,12 @@ pub enum ScheduleError {
     /// The minimum reuse hop distance `ρ_t` must be at least 1 (a distance
     /// of 0 would allow a node to interfere with itself).
     InvalidRhoFloor(u32),
+    /// The schedule and flow set disagree (a referenced job or placement is
+    /// missing), so repair or recovery cannot proceed on them.
+    Inconsistent {
+        /// Human-readable explanation of the mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -33,6 +39,9 @@ impl fmt::Display for ScheduleError {
             ScheduleError::NoChannels => write!(f, "scheduling requires at least one channel"),
             ScheduleError::InvalidRhoFloor(rho) => {
                 write!(f, "minimum channel reuse hop distance must be ≥ 1, got {rho}")
+            }
+            ScheduleError::Inconsistent { reason } => {
+                write!(f, "schedule and flow set are inconsistent: {reason}")
             }
         }
     }

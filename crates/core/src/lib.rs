@@ -60,6 +60,7 @@ mod nr;
 pub mod orchestra;
 mod ra;
 mod rc;
+pub mod recovery;
 pub mod render;
 pub mod repair;
 mod schedule;

@@ -111,10 +111,7 @@ mod tests {
         let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
         let m = compute(&schedule, &model);
         // every occupied cell recorded
-        assert_eq!(
-            m.tx_per_channel.total() as usize,
-            schedule.occupied_cells().count()
-        );
+        assert_eq!(m.tx_per_channel.total() as usize, schedule.occupied_cells().count());
         // shared cells exist and their hop counts respect the floor
         assert!(m.tx_per_channel.max_category().unwrap() >= 2);
         for (hops, _) in m.reuse_hop_count.iter() {

@@ -41,9 +41,8 @@ impl AutonomousSlotframe {
     pub fn receiver_based(node_count: usize, slotframe_len: u32, channels: usize) -> Self {
         assert!(slotframe_len >= 1, "slotframe needs at least one slot");
         assert!(channels >= 1, "slotframe needs at least one channel");
-        let rx_slot = (0..node_count)
-            .map(|i| (hash(i as u64) % u64::from(slotframe_len)) as u32)
-            .collect();
+        let rx_slot =
+            (0..node_count).map(|i| (hash(i as u64) % u64::from(slotframe_len)) as u32).collect();
         let rx_offset = (0..node_count)
             .map(|i| (hash(i as u64 ^ 0xABCD_EF12_3456_789A) % channels as u64) as usize)
             .collect();

@@ -126,7 +126,7 @@ mod tests {
     }
 
     #[test]
-    fn ra_output_validates(){
+    fn ra_output_validates() {
         let (flows, reuse) = parallel_set(6, 4, 60, 30);
         let model = model_for(&reuse, 2);
         let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();

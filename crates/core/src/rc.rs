@@ -220,15 +220,9 @@ mod tests {
         let model = model_for(&reuse, 2);
         let ra = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
         let rc = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
-        let shared = |s: &crate::Schedule| {
-            s.occupied_cells().filter(|(_, _, c)| c.len() > 1).count()
-        };
-        assert!(
-            shared(&rc) <= shared(&ra),
-            "RC shared {} cells, RA {}",
-            shared(&rc),
-            shared(&ra)
-        );
+        let shared =
+            |s: &crate::Schedule| s.occupied_cells().filter(|(_, _, c)| c.len() > 1).count();
+        assert!(shared(&rc) <= shared(&ra), "RC shared {} cells, RA {}", shared(&rc), shared(&ra));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! deadline, the repair of that job fails and is reported, and the caller
 //! can fall back to a full reschedule.
 
-use crate::{NetworkModel, Rho, Schedule, ScheduledTx};
+use crate::{NetworkModel, Rho, Schedule, ScheduleError, ScheduledTx};
 use std::collections::HashSet;
 use wsan_flow::{FlowId, FlowSet};
 use wsan_net::DirectedLink;
@@ -47,27 +47,30 @@ impl RepairReport {
 /// degraded, or any cell satisfying the original floor `rho_t` otherwise.
 /// All other jobs keep their placement. On failure the job keeps its
 /// original cells (the failure is reported instead).
+///
+/// Returns [`ScheduleError::Inconsistent`] when the schedule references a
+/// job the flow set cannot produce (or vice versa) — the two inputs were
+/// not built from each other, and repairing them would corrupt the
+/// schedule further.
 pub fn reassign_degraded(
     schedule: &Schedule,
     model: &NetworkModel,
     flows: &FlowSet,
     rho_t: u32,
     degraded: &[DirectedLink],
-) -> (Schedule, RepairReport) {
+) -> Result<(Schedule, RepairReport), ScheduleError> {
     let degraded: HashSet<DirectedLink> = degraded.iter().copied().collect();
     // Jobs needing repair: they own a degraded-link transmission in a
     // shared cell.
     let mut affected: HashSet<(FlowId, u32)> = HashSet::new();
     for entry in schedule.entries() {
-        if degraded.contains(&entry.tx.link)
-            && schedule.cell(entry.slot, entry.offset).len() > 1
-        {
+        if degraded.contains(&entry.tx.link) && schedule.cell(entry.slot, entry.offset).len() > 1 {
             affected.insert((entry.tx.flow, entry.tx.job_index));
         }
     }
     let mut report = RepairReport::default();
     if affected.is_empty() {
-        return (schedule.clone(), report);
+        return Ok((schedule.clone(), report));
     }
     // Base schedule: everything except affected jobs.
     let mut repaired =
@@ -82,11 +85,15 @@ pub fn reassign_degraded(
     affected.sort();
     for (flow_id, job_index) in affected {
         let flow = flows.flow(flow_id);
-        let job = flow
-            .jobs(schedule.horizon())
-            .into_iter()
-            .find(|j| j.index() == job_index)
-            .expect("job exists within the horizon");
+        let Some(job) = flow.jobs(schedule.horizon()).into_iter().find(|j| j.index() == job_index)
+        else {
+            return Err(ScheduleError::Inconsistent {
+                reason: format!(
+                    "schedule places job {job_index} of {flow_id}, but the flow releases no \
+                     such job within the horizon"
+                ),
+            });
+        };
         let mut entries: Vec<ScheduledTx> = schedule
             .entries()
             .iter()
@@ -101,8 +108,7 @@ pub fn reassign_degraded(
         let mut ok = true;
         for tx in &entries {
             let earliest = prev.map_or(job.release_slot(), |p| p + 1);
-            let rho =
-                if degraded.contains(&tx.link) { Rho::NoReuse } else { Rho::AtLeast(rho_t) };
+            let rho = if degraded.contains(&tx.link) { Rho::NoReuse } else { Rho::AtLeast(rho_t) };
             match find_slot_quarantined(&scratch, model, tx.link, earliest, d_i, rho, &degraded) {
                 Some((slot, offset)) => {
                     scratch.place(slot, offset, *tx);
@@ -132,18 +138,22 @@ pub fn reassign_degraded(
             repaired = scratch;
         } else {
             // keep the original placement for this job
-            for (i, tx) in entries.iter().enumerate() {
-                let original = schedule
-                    .entries()
-                    .iter()
-                    .find(|e| e.tx == *tx)
-                    .unwrap_or_else(|| panic!("original entry missing for seq {i}"));
+            for tx in &entries {
+                let Some(original) = schedule.entries().iter().find(|e| e.tx == *tx) else {
+                    return Err(ScheduleError::Inconsistent {
+                        reason: format!(
+                            "original cell of {flow_id} job {job_index} seq {} vanished \
+                             mid-repair",
+                            tx.seq
+                        ),
+                    });
+                };
                 repaired.place(original.slot, original.offset, *tx);
             }
             report.failed_jobs.push((flow_id, job_index));
         }
     }
-    (repaired, report)
+    Ok((repaired, report))
 }
 
 /// `findSlot` with a quarantine: cells already holding a degraded link's
@@ -205,7 +215,8 @@ mod tests {
             .find(|(_, _, c)| c.len() > 1)
             .map(|(_, _, c)| c[0].link)
             .expect("RA shares under this load");
-        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[degraded]);
+        let (repaired, report) =
+            reassign_degraded(&schedule, &model, &flows, 2, &[degraded]).unwrap();
         assert!(report.is_complete(), "failed jobs: {:?}", report.failed_jobs);
         assert!(report.moved_transmissions > 0);
         for (_, _, cell) in repaired.occupied_cells() {
@@ -227,7 +238,7 @@ mod tests {
             .flat_map(|(_, _, c)| c.iter().map(|t| t.link))
             .take(2)
             .collect();
-        let (repaired, _) = reassign_degraded(&schedule, &model, &flows, 2, &degraded);
+        let (repaired, _) = reassign_degraded(&schedule, &model, &flows, 2, &degraded).unwrap();
         crate::validate::check(&repaired, &flows, &model, Some(2)).unwrap();
     }
 
@@ -236,7 +247,7 @@ mod tests {
         let (flows, reuse) = parallel_set(4, 4, 60, 30);
         let model = model_for(&reuse, 2);
         let schedule = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
-        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[]);
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[]).unwrap();
         assert!(report.repaired_jobs.is_empty());
         assert_eq!(repaired.entries(), schedule.entries());
     }
@@ -247,7 +258,7 @@ mod tests {
         let model = model_for(&reuse, 2);
         let schedule = crate::NoReuse::new().schedule(&flows, &model).unwrap();
         let link = flows.iter().next().unwrap().links()[0];
-        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[link]);
+        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &[link]).unwrap();
         assert!(report.repaired_jobs.is_empty());
         assert_eq!(repaired.entries(), schedule.entries());
     }
@@ -265,7 +276,8 @@ mod tests {
             .flat_map(|(_, _, c)| c.iter().map(|t| t.link))
             .collect();
         assert!(!degraded.is_empty(), "test requires sharing");
-        let (repaired, report) = reassign_degraded(&schedule, &model, &flows, 2, &degraded);
+        let (repaired, report) =
+            reassign_degraded(&schedule, &model, &flows, 2, &degraded).unwrap();
         // at this load not everything fits exclusively (NR failed on it)
         assert!(!report.is_complete());
         // no transmission lost either way

@@ -105,10 +105,8 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
         policy.begin_flow();
         let links: Vec<DirectedLink> = flow.links();
         // The job's transmission sequence: every link primary + retries.
-        let seq: Vec<(DirectedLink, u8)> = links
-            .iter()
-            .flat_map(|l| (0..attempts).map(move |a| (*l, a)))
-            .collect();
+        let seq: Vec<(DirectedLink, u8)> =
+            links.iter().flat_map(|l| (0..attempts).map(move |a| (*l, a))).collect();
         let remaining_links: Vec<DirectedLink> = seq.iter().map(|(l, _)| *l).collect();
         for job in flow.jobs(horizon) {
             let d_i = job.deadline_slot() - 1; // last usable slot

@@ -61,10 +61,9 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::WrongTransmissionCount { flow, job, expected, found } => write!(
-                f,
-                "flow {flow} job {job}: expected {expected} transmissions, found {found}"
-            ),
+            Violation::WrongTransmissionCount { flow, job, expected, found } => {
+                write!(f, "flow {flow} job {job}: expected {expected} transmissions, found {found}")
+            }
             Violation::BadSequencing { flow, job, why } => {
                 write!(f, "flow {flow} job {job}: {why}")
             }

@@ -32,9 +32,8 @@ fn retries_disabled_halves_the_schedule() {
     let flows = one_flow(40, 40, &[0, 1, 2]);
     let model = NetworkModel::from_reuse_graph(&path_graph(3), 2);
     let with = NoReuse::new().schedule(&flows, &model).unwrap();
-    let without = NoReuse::new()
-        .schedule_with(&flows, &model, &SchedulerConfig { retries: false })
-        .unwrap();
+    let without =
+        NoReuse::new().schedule_with(&flows, &model, &SchedulerConfig { retries: false }).unwrap();
     assert_eq!(with.entry_count(), 4); // 2 links × 2 attempts
     assert_eq!(without.entry_count(), 2); // primaries only
     validate::check(&without, &flows, &model, None).unwrap();
@@ -47,9 +46,8 @@ fn deadline_of_one_slot_fits_a_single_hop_without_retry() {
     // with retries two slots are needed: unschedulable
     assert!(NoReuse::new().schedule(&flows, &model).is_err());
     // without retries the single slot suffices
-    let schedule = NoReuse::new()
-        .schedule_with(&flows, &model, &SchedulerConfig { retries: false })
-        .unwrap();
+    let schedule =
+        NoReuse::new().schedule_with(&flows, &model, &SchedulerConfig { retries: false }).unwrap();
     assert_eq!(schedule.entry_count(), 1);
     assert_eq!(schedule.entries()[0].slot, 0);
 }
@@ -58,13 +56,9 @@ fn deadline_of_one_slot_fits_a_single_hop_without_retry() {
 fn every_job_of_a_fast_flow_is_scheduled() {
     // period 8, hyperperiod 8 → 1 job; bump with a slower flow to force a
     // 24-slot hyperperiod (LCM of 8 and 24 via slots 8 and 24)
-    let fast = Flow::new(
-        FlowId::new(0),
-        Route::new(vec![n(0), n(1)]),
-        Period::from_slots(8).unwrap(),
-        8,
-    )
-    .unwrap();
+    let fast =
+        Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(8).unwrap(), 8)
+            .unwrap();
     let slow = Flow::new(
         FlowId::new(1),
         Route::new(vec![n(2), n(3)]),

@@ -88,11 +88,7 @@ impl EpochReport {
 
     /// Links that fail the reliability requirement for any reason.
     pub fn below_threshold(&self, prr_t: f64) -> Vec<DirectedLink> {
-        self.records
-            .iter()
-            .filter(|r| r.prr_r.is_some_and(|p| p < prr_t))
-            .map(|r| r.link)
-            .collect()
+        self.records.iter().filter(|r| r.prr_r.is_some_and(|p| p < prr_t)).map(|r| r.link).collect()
     }
 }
 
@@ -120,9 +116,9 @@ mod tests {
             0,
             &policy,
             vec![
-                (link(0, 1), degraded(), healthy()), // reuse degraded
+                (link(0, 1), degraded(), healthy()),  // reuse degraded
                 (link(2, 3), degraded(), degraded()), // external
-                (link(4, 5), healthy(), healthy()),  // healthy
+                (link(4, 5), healthy(), healthy()),   // healthy
             ],
         );
         assert_eq!(report.rejected(), vec![link(0, 1)]);

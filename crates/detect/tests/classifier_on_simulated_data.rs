@@ -14,19 +14,11 @@ fn clean_environment_yields_no_external_verdicts() {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(&topo, &channels);
-    let cfg = FlowSetConfig::new(
-        60,
-        PeriodRange::new(0, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(60, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(0xFEED).generate(&comm, &cfg).unwrap();
     let schedule = ReuseAggressively::new(2).schedule(&set, &model).unwrap();
     let sim = Simulator::new(&topo, &channels, &set, &schedule);
-    let report = sim.run(&SimConfig {
-        repetitions: 180,
-        window_reps: 10,
-        ..SimConfig::default()
-    });
+    let report = sim.run(&SimConfig { repetitions: 180, window_reps: 10, ..SimConfig::default() });
     let policy = DetectionPolicy::default();
     let naive = NaivePolicy::default();
     let mut external = 0;
@@ -60,11 +52,7 @@ fn wifi_environment_splits_the_verdicts() {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(&topo, &channels);
-    let cfg = FlowSetConfig::new(
-        60,
-        PeriodRange::new(0, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(60, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(0xFEED).generate(&comm, &cfg).unwrap();
     let schedule = ReuseAggressively::new(2).schedule(&set, &model).unwrap();
     let sim = Simulator::new(&topo, &channels, &set, &schedule);

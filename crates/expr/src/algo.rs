@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use wsan_core::{NoReuse, ReuseAggressively, ReuseConservatively, ReuseTrigger, RhoReset, Scheduler};
+use wsan_core::{
+    NoReuse, ReuseAggressively, ReuseConservatively, ReuseTrigger, RhoReset, Scheduler,
+};
 
 /// One of the evaluated scheduling algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -72,8 +74,7 @@ mod tests {
 
     #[test]
     fn paper_suite_is_nr_ra_rc() {
-        let names: Vec<String> =
-            Algorithm::paper_suite().iter().map(|a| a.to_string()).collect();
+        let names: Vec<String> = Algorithm::paper_suite().iter().map(|a| a.to_string()).collect();
         assert_eq!(names, vec!["NR", "RA", "RC"]);
     }
 

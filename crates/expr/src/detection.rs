@@ -135,9 +135,8 @@ pub fn evaluate(
         PeriodRange::new(0, 0).expect("valid"),
         TrafficPattern::PeerToPeer,
     );
-    let set = FlowSetGenerator::new(cfg.seed)
-        .generate(&comm, &fsc)
-        .expect("workload generation failed");
+    let set =
+        FlowSetGenerator::new(cfg.seed).generate(&comm, &fsc).expect("workload generation failed");
     let interferers = per_floor_interferers(topology, cfg.wifi_power_dbm, cfg.wifi_duty);
     let mut runs = Vec::new();
     for algo in algorithms {
@@ -156,6 +155,7 @@ pub fn evaluate(
                         capture: cfg.capture,
                         interferers: if wifi { interferers.clone() } else { Vec::new() },
                         discovery_probes: 1,
+                        ..SimConfig::default()
                     });
                     let samples = report.links_with_reuse().into_iter().map(|link| {
                         (

@@ -22,6 +22,7 @@ pub mod detection;
 pub mod efficiency;
 pub mod exectime;
 pub mod parallel;
+pub mod recovery;
 pub mod reliability;
 pub mod schedulable;
 pub mod table;

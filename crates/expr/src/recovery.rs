@@ -1,0 +1,551 @@
+//! Closed-loop fault recovery: simulate under injected faults, classify per
+//! §VI, repair with bounded retries and exponential backoff, and degrade
+//! gracefully when repair cannot restore feasibility.
+//!
+//! Each *epoch* plays one health-report period: the current schedule runs on
+//! the faulted PHY, every reuse-involved link is classified with the
+//! [`DetectionPolicy`], and links whose contention-free PRR collapsed below
+//! [`SupervisorConfig::dead_prr`] are declared dead (a crashed endpoint or a
+//! jammed link — no schedule change can serve them). On degradation the
+//! supervisor calls [`wsan_core::recovery::recover`]; between attempts it
+//! backs off exponentially (in epochs), and after
+//! [`SupervisorConfig::max_attempts`] failed repairs it escalates the
+//! stubborn links to dead, shedding the flows that cross them. Sacrificed
+//! flows and residual PDR are reported per epoch.
+
+use crate::schedulable::set_seed;
+use crate::Algorithm;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use wsan_core::recovery::{recover, RecoveryPolicy};
+use wsan_core::{NetworkModel, Schedule, ScheduleError};
+use wsan_detect::{DetectionPolicy, LinkVerdict};
+use wsan_flow::FlowSet;
+use wsan_net::{ChannelSet, DirectedLink, Topology};
+use wsan_sim::{
+    CaptureModel, FaultPlan, LinkCondition, SimConfig, SimError, Simulator, WifiInterferer,
+};
+
+/// Why the supervisor could not run at all. Degradation is *not* an error —
+/// it is handled by repair and shedding; these are structural failures of
+/// the inputs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The initial workload was unschedulable, or schedule and flow set
+    /// went inconsistent.
+    Schedule(ScheduleError),
+    /// The simulator rejected its inputs (bad fault plan, mismatched
+    /// channel set, …).
+    Sim(SimError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            RecoveryError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<ScheduleError> for RecoveryError {
+    fn from(e: ScheduleError) -> Self {
+        RecoveryError::Schedule(e)
+    }
+}
+
+impl From<SimError> for RecoveryError {
+    fn from(e: SimError) -> Self {
+        RecoveryError::Sim(e)
+    }
+}
+
+/// Parameters of the recovery supervisor.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Base seed (epoch seeds derive from it).
+    pub seed: u64,
+    /// Health-report epochs to supervise.
+    pub epochs: u32,
+    /// PRR samples per link per condition per epoch.
+    pub samples_per_epoch: u32,
+    /// Schedule repetitions aggregated into one PRR sample.
+    pub window_reps: u32,
+    /// Capture model of the PHY.
+    pub capture: CaptureModel,
+    /// The §VI detection policy classifying reuse-involved links.
+    pub policy: DetectionPolicy,
+    /// Repair / shed policy handed to [`wsan_core::recovery::recover`].
+    pub recovery: RecoveryPolicy,
+    /// Repair attempts before stubbornly degraded links are escalated to
+    /// dead (their flows shed).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, in epochs; doubles with
+    /// every further attempt.
+    pub backoff_epochs: u32,
+    /// A scheduled link whose contention-free PRR falls below this is
+    /// considered dead: no reassignment can revive it.
+    pub dead_prr: f64,
+    /// Baseline environment interferers (present every epoch).
+    pub interferers: Vec<WifiInterferer>,
+    /// The faults injected into epoch 0; later epochs see
+    /// [`FaultPlan::settled`].
+    pub faults: FaultPlan,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            seed: 0xFA11,
+            epochs: 6,
+            samples_per_epoch: 12,
+            window_reps: 5,
+            capture: CaptureModel::default(),
+            policy: DetectionPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            max_attempts: 3,
+            backoff_epochs: 1,
+            dead_prr: 0.05,
+            interferers: Vec::new(),
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// What the supervisor did in one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EpochAction {
+    /// No degraded or dead links were observed.
+    Healthy,
+    /// Degradation persists but a previous attempt's backoff window is
+    /// still open — wait before re-attempting.
+    Backoff {
+        /// Epochs left in the window after this one.
+        remaining: u32,
+    },
+    /// Recovery ran: repair, reschedule, and possibly shed flows.
+    Recovered {
+        /// Transmissions moved by the repair pass.
+        moved_transmissions: usize,
+        /// Scheduler invocations (0 = in-place repair sufficed).
+        reschedules: u32,
+        /// Flows sacrificed this epoch, by their index in the *original*
+        /// flow set.
+        shed: Vec<usize>,
+    },
+}
+
+/// One epoch of the supervised run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch number.
+    pub epoch: u32,
+    /// Links the policy classified as reuse-degraded.
+    pub reuse_degraded: usize,
+    /// Scheduled links whose contention-free PRR collapsed below the dead
+    /// threshold.
+    pub dead_links: usize,
+    /// Fault events that fired during the epoch.
+    pub faults_fired: usize,
+    /// Network PDR over the surviving flows this epoch.
+    pub network_pdr: f64,
+    /// Flows still being served at the end of the epoch.
+    pub surviving_flows: usize,
+    /// What the supervisor did.
+    pub action: EpochAction,
+}
+
+/// Serializable summary of a supervised run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoverySummary {
+    /// Algorithm that built (and rebuilds) the schedule.
+    pub algorithm: String,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// All sacrificed flows, by original index, in shedding order.
+    pub shed_flows: Vec<usize>,
+    /// Network PDR over the surviving flows in the final epoch.
+    pub residual_pdr: f64,
+    /// Whether the final epoch observed no degradation at all.
+    pub converged: bool,
+}
+
+/// Full outcome of a supervised run: the summary plus the live final state
+/// (not serialized — the schedule and flow set are for callers that keep
+/// operating the network or want to re-validate).
+#[derive(Debug, Clone)]
+pub struct SupervisorOutcome {
+    /// The serializable run summary.
+    pub summary: RecoverySummary,
+    /// The final schedule (validated by recovery whenever it changed).
+    pub schedule: Schedule,
+    /// The final surviving flow set (ids re-tagged dense).
+    pub flows: FlowSet,
+    /// Original flow index of each surviving flow, by its dense id.
+    pub survivors: Vec<usize>,
+    /// Final-epoch PDR of each surviving flow, by its dense id.
+    pub final_flow_pdr: Vec<f64>,
+}
+
+/// Runs the closed loop: simulate → classify → repair/reschedule/shed →
+/// re-validate, epoch by epoch.
+///
+/// # Errors
+///
+/// Returns [`RecoveryError`] when the *initial* workload cannot be
+/// scheduled at all or the simulator rejects its inputs. Fault-induced
+/// infeasibility is not an error — it surfaces as shed flows in the
+/// summary.
+pub fn supervise(
+    topology: &Topology,
+    channels: &ChannelSet,
+    flows: &FlowSet,
+    algorithm: Algorithm,
+    cfg: &SupervisorConfig,
+) -> Result<SupervisorOutcome, RecoveryError> {
+    let model = NetworkModel::new(topology, channels);
+    let scheduler = algorithm.build();
+    let mut schedule = scheduler.schedule(flows, &model)?;
+    let mut current = flows.clone();
+    // original flow index of each currently-served flow, by dense id
+    let mut survivors: Vec<usize> = (0..flows.len()).collect();
+    let mut shed_total: Vec<usize> = Vec::new();
+    let mut attempts = 0u32;
+    let mut backoff_left = 0u32;
+    let mut epochs = Vec::new();
+    let mut residual_pdr = 0.0;
+    let mut final_flow_pdr: Vec<f64> = Vec::new();
+    let reps = cfg.samples_per_epoch * cfg.window_reps;
+
+    for epoch in 0..cfg.epochs {
+        if current.is_empty() {
+            // everything shed: nothing to measure or recover
+            residual_pdr = 0.0;
+            final_flow_pdr.clear();
+            epochs.push(EpochRecord {
+                epoch,
+                reuse_degraded: 0,
+                dead_links: 0,
+                faults_fired: 0,
+                network_pdr: 0.0,
+                surviving_flows: 0,
+                action: EpochAction::Healthy,
+            });
+            continue;
+        }
+        let plan = if epoch == 0 { cfg.faults.clone() } else { cfg.faults.settled() };
+        let sim = Simulator::try_new(topology, channels, &current, &schedule)?;
+        let (report, fault_log) = sim.try_run_faulted(&SimConfig {
+            seed: set_seed(cfg.seed, epoch as usize),
+            repetitions: reps,
+            window_reps: cfg.window_reps,
+            capture: cfg.capture,
+            interferers: cfg.interferers.clone(),
+            discovery_probes: 1,
+            faults: plan,
+        })?;
+        residual_pdr = report.network_pdr();
+        final_flow_pdr = report.flow_pdrs();
+
+        let mut degraded: Vec<DirectedLink> = Vec::new();
+        for link in report.links_with_reuse() {
+            let reuse = report.prr_distribution(link, LinkCondition::Reuse);
+            let cf = report.prr_distribution(link, LinkCondition::ContentionFree);
+            if cfg.policy.classify(&reuse, &cf) == LinkVerdict::ReuseDegraded {
+                degraded.push(link);
+            }
+        }
+        let scheduled_links: BTreeSet<DirectedLink> =
+            schedule.entries().iter().map(|e| e.tx.link).collect();
+        let mut dead: Vec<DirectedLink> = scheduled_links
+            .iter()
+            .copied()
+            .filter(|l| {
+                report
+                    .overall_prr(*l, LinkCondition::ContentionFree)
+                    .is_some_and(|p| p < cfg.dead_prr)
+            })
+            .collect();
+        let reuse_degraded = degraded.len();
+        let dead_links = dead.len();
+
+        if degraded.is_empty() && dead.is_empty() {
+            attempts = 0;
+            backoff_left = 0;
+            epochs.push(EpochRecord {
+                epoch,
+                reuse_degraded,
+                dead_links,
+                faults_fired: fault_log.fired(),
+                network_pdr: residual_pdr,
+                surviving_flows: current.len(),
+                action: EpochAction::Healthy,
+            });
+            continue;
+        }
+        if backoff_left > 0 {
+            backoff_left -= 1;
+            epochs.push(EpochRecord {
+                epoch,
+                reuse_degraded,
+                dead_links,
+                faults_fired: fault_log.fired(),
+                network_pdr: residual_pdr,
+                surviving_flows: current.len(),
+                action: EpochAction::Backoff { remaining: backoff_left },
+            });
+            continue;
+        }
+        attempts += 1;
+        if attempts > cfg.max_attempts {
+            // repair keeps failing on these links: stop trying to save
+            // them and shed the flows that depend on them instead
+            dead.append(&mut degraded);
+        }
+        let out = recover(
+            &schedule,
+            &model,
+            &current,
+            scheduler.as_ref(),
+            &cfg.recovery,
+            &degraded,
+            &dead,
+        )?;
+        let shed_this: Vec<usize> = out.shed.iter().map(|id| survivors[id.index()]).collect();
+        survivors = out.survivors.iter().map(|id| survivors[id.index()]).collect();
+        shed_total.extend(shed_this.iter().copied());
+        schedule = out.schedule;
+        current = out.flows;
+        backoff_left = cfg.backoff_epochs.saturating_mul(1u32 << (attempts - 1).min(16));
+        epochs.push(EpochRecord {
+            epoch,
+            reuse_degraded,
+            dead_links,
+            faults_fired: fault_log.fired(),
+            network_pdr: residual_pdr,
+            surviving_flows: current.len(),
+            action: EpochAction::Recovered {
+                moved_transmissions: out.repair.moved_transmissions,
+                reschedules: out.reschedules,
+                shed: shed_this,
+            },
+        });
+    }
+
+    let converged =
+        matches!(epochs.last(), None | Some(EpochRecord { action: EpochAction::Healthy, .. }));
+    Ok(SupervisorOutcome {
+        summary: RecoverySummary {
+            algorithm: algorithm.to_string(),
+            epochs,
+            shed_flows: shed_total,
+            residual_pdr,
+            converged,
+        },
+        schedule,
+        flows: current,
+        survivors,
+        final_flow_pdr,
+    })
+}
+
+/// One point of a fault-intensity sweep: `collapsed_links` of the busiest
+/// scheduled links collapse to PRR 0 mid-epoch, and the supervisor recovers
+/// what it can.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPoint {
+    /// Links collapsed by the fault plan.
+    pub collapsed_links: usize,
+    /// Flows sacrificed across the run.
+    pub shed_flows: usize,
+    /// Flows still served at the end.
+    pub surviving_flows: usize,
+    /// Network PDR over the surviving flows in the final epoch.
+    pub residual_pdr: f64,
+    /// Whether the final epoch observed no degradation.
+    pub converged: bool,
+    /// Total fault events that fired in the onset epoch.
+    pub faults_fired: usize,
+}
+
+/// A full fault-intensity sweep for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Algorithm that built and rebuilt the schedules.
+    pub algorithm: String,
+    /// Flows in the (pre-fault) workload.
+    pub flows: usize,
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// Fault-free network PDR of the same workload (the recovery target).
+    pub baseline_pdr: f64,
+    /// One point per swept intensity.
+    pub points: Vec<CampaignPoint>,
+}
+
+/// Sweeps fault intensity vs. recovered PDR: for each entry of
+/// `intensities`, the that-many busiest scheduled links collapse to PRR 0
+/// halfway through epoch 0, and [`supervise`] runs the closed loop.
+///
+/// # Errors
+///
+/// See [`supervise`]; the sweep aborts on the first structural failure.
+pub fn campaign(
+    topology: &Topology,
+    channels: &ChannelSet,
+    flows: &FlowSet,
+    algorithm: Algorithm,
+    cfg: &SupervisorConfig,
+    intensities: &[usize],
+) -> Result<CampaignResult, RecoveryError> {
+    let model = NetworkModel::new(topology, channels);
+    let scheduler = algorithm.build();
+    let schedule = scheduler.schedule(flows, &model)?;
+    let reps = cfg.samples_per_epoch * cfg.window_reps;
+
+    // fault-free reference run: the PDR recovery aims back to
+    let sim = Simulator::try_new(topology, channels, flows, &schedule)?;
+    let baseline = sim.try_run(&SimConfig {
+        seed: set_seed(cfg.seed, 0),
+        repetitions: reps,
+        window_reps: cfg.window_reps,
+        capture: cfg.capture,
+        interferers: cfg.interferers.clone(),
+        discovery_probes: 1,
+        ..SimConfig::default()
+    })?;
+
+    // busiest links first: collapsing them hurts the most flows
+    let mut load: std::collections::BTreeMap<DirectedLink, usize> =
+        std::collections::BTreeMap::new();
+    for entry in schedule.entries() {
+        *load.entry(entry.tx.link).or_default() += 1;
+    }
+    let mut by_load: Vec<(DirectedLink, usize)> = load.into_iter().collect();
+    by_load.sort_by_key(|&(link, count)| (std::cmp::Reverse(count), link));
+    let onset = u64::from(schedule.horizon()) * u64::from(reps / 2);
+
+    let mut points = Vec::new();
+    for &k in intensities {
+        let mut plan = FaultPlan::new(cfg.faults.seed ^ k as u64);
+        for &(link, _) in by_load.iter().take(k) {
+            plan = plan.collapse_link_at(onset, link, 0.0);
+        }
+        let out = supervise(
+            topology,
+            channels,
+            flows,
+            algorithm,
+            &SupervisorConfig { faults: plan, ..cfg.clone() },
+        )?;
+        points.push(CampaignPoint {
+            collapsed_links: k.min(by_load.len()),
+            shed_flows: out.summary.shed_flows.len(),
+            surviving_flows: out.flows.len(),
+            residual_pdr: out.summary.residual_pdr,
+            converged: out.summary.converged,
+            faults_fired: out.summary.epochs.first().map_or(0, |e| e.faults_fired),
+        });
+    }
+    Ok(CampaignResult {
+        algorithm: algorithm.to_string(),
+        flows: flows.len(),
+        seed: cfg.seed,
+        baseline_pdr: baseline.network_pdr(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+    use wsan_net::{testbeds, ChannelId, Prr};
+
+    fn workload() -> (Topology, ChannelSet, FlowSet) {
+        let topo = testbeds::wustl(5);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let fsc =
+            FlowSetConfig::new(12, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
+        let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &fsc).unwrap();
+        (topo, channels, flows)
+    }
+
+    fn small_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            epochs: 3,
+            samples_per_epoch: 6,
+            window_reps: 4,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn faultless_supervision_stays_healthy() {
+        let (topo, channels, flows) = workload();
+        let out =
+            supervise(&topo, &channels, &flows, Algorithm::Rc { rho_t: 2 }, &small_cfg()).unwrap();
+        assert!(out.summary.shed_flows.is_empty());
+        assert!(out.summary.converged);
+        assert_eq!(out.flows.len(), flows.len());
+        assert_eq!(out.survivors, (0..flows.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dead_link_sheds_its_flows_and_revalidates() {
+        let (topo, channels, flows) = workload();
+        let model = NetworkModel::new(&topo, &channels);
+        let algo = Algorithm::Rc { rho_t: 2 };
+        // the supervisor will build this exact schedule (same inputs)
+        let schedule = algo.build().schedule(&flows, &model).unwrap();
+        let victim = schedule.entries()[0].tx.link;
+        let cfg = SupervisorConfig {
+            faults: FaultPlan::new(11).collapse_link_at(0, victim, 0.0),
+            ..small_cfg()
+        };
+        let out = supervise(&topo, &channels, &flows, algo, &cfg).unwrap();
+        // every flow crossing the dead link was sacrificed, and only those
+        let doomed: Vec<usize> =
+            flows.iter().filter(|f| f.links().contains(&victim)).map(|f| f.id().index()).collect();
+        assert!(!doomed.is_empty());
+        for f in &doomed {
+            assert!(out.summary.shed_flows.contains(f), "flow {f} crosses the dead link");
+        }
+        for s in &out.survivors {
+            assert!(!doomed.contains(s));
+        }
+        // the surviving schedule is still independently valid
+        wsan_core::validate::check(&out.schedule, &out.flows, &model, Some(2)).unwrap();
+        assert!(out.schedule.entries().iter().all(|e| e.tx.link != victim));
+    }
+
+    #[test]
+    fn campaign_zero_intensity_matches_baseline_shape() {
+        let (topo, channels, flows) = workload();
+        let cfg = SupervisorConfig { epochs: 2, ..small_cfg() };
+        let result =
+            campaign(&topo, &channels, &flows, Algorithm::Rc { rho_t: 2 }, &cfg, &[0, 1]).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[0].collapsed_links, 0);
+        assert_eq!(result.points[0].shed_flows, 0, "no faults, nothing shed");
+        assert!(result.baseline_pdr > 0.0);
+        // collapsing the busiest link cannot *increase* the survivor count
+        assert!(result.points[1].surviving_flows <= result.points[0].surviving_flows);
+    }
+
+    #[test]
+    fn unschedulable_workload_is_a_structured_error() {
+        let (topo, channels, _) = workload();
+        let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+        let fsc =
+            FlowSetConfig::new(600, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
+        let heavy = FlowSetGenerator::new(1).generate(&comm, &fsc).unwrap();
+        let err = supervise(&topo, &channels, &heavy, Algorithm::Nr, &small_cfg());
+        assert!(matches!(err, Err(RecoveryError::Schedule(_))));
+    }
+}

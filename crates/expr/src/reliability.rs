@@ -116,10 +116,8 @@ pub fn evaluate(
             let Ok(set) = FlowSetGenerator::new(seed).generate(&comm, &fsc) else {
                 continue;
             };
-            let schedules: Vec<_> = algorithms
-                .iter()
-                .filter_map(|a| a.build().schedule(&set, &model).ok())
-                .collect();
+            let schedules: Vec<_> =
+                algorithms.iter().filter_map(|a| a.build().schedule(&set, &model).ok()).collect();
             if schedules.len() == algorithms.len() {
                 break (seed, set, schedules);
             }
@@ -136,6 +134,7 @@ pub fn evaluate(
                     capture: cfg.capture,
                     interferers: Vec::new(),
                     discovery_probes: 0,
+                    ..SimConfig::default()
                 });
                 let pdrs = report.flow_pdrs();
                 let boxplot = BoxPlot::of(&pdrs).expect("at least one flow");

@@ -72,10 +72,9 @@ pub fn ratio_at(
     let outcomes: Vec<Vec<bool>> = parallel_map(cfg.flow_sets, |i| {
         let mut generator = FlowSetGenerator::new(set_seed(cfg.seed, i));
         match generator.generate(&comm, &fsc) {
-            Ok(set) => algorithms
-                .iter()
-                .map(|a| a.build().schedule(&set, &model).is_ok())
-                .collect(),
+            Ok(set) => {
+                algorithms.iter().map(|a| a.build().schedule(&set, &model).is_ok()).collect()
+            }
             Err(_) => vec![false; algorithms.len()],
         }
     });
@@ -157,11 +156,7 @@ mod tests {
         let topo = testbeds::wustl(2);
         let ratios = ratio_at(&topo, 3, &Algorithm::paper_suite(), &small_cfg());
         let get = |name: &str| {
-            ratios
-                .iter()
-                .find(|(a, _)| a.to_string() == name)
-                .map(|(_, r)| *r)
-                .unwrap()
+            ratios.iter().find(|(a, _)| a.to_string() == name).map(|(_, r)| *r).unwrap()
         };
         for (_, r) in &ratios {
             assert!((0.0..=1.0).contains(r));

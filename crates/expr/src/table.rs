@@ -101,7 +101,8 @@ mod tests {
         let dir = std::env::temp_dir().join("wsan-table-test");
         let path = dir.join("x.json");
         write_json(&path, &vec![1, 2, 3]).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -15,11 +15,7 @@ fn small_workload(flows: usize) -> WorkloadConfig {
     WorkloadConfig {
         flow_sets: 6,
         seed: 3,
-        ..WorkloadConfig::new(
-            flows,
-            PeriodRange::new(0, 2).unwrap(),
-            TrafficPattern::PeerToPeer,
-        )
+        ..WorkloadConfig::new(flows, PeriodRange::new(0, 2).unwrap(), TrafficPattern::PeerToPeer)
     }
 }
 

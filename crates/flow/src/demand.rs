@@ -51,7 +51,10 @@ pub fn demand(flows: &FlowSet, channels: usize, attempts: u32) -> DemandReport {
             *per_node.entry(link.rx).or_default() += n;
         }
     }
-    let busiest_node = per_node.iter().max_by_key(|(id, n)| (**n, std::cmp::Reverse(id.index()))).map(|(id, n)| (*id, *n));
+    let busiest_node = per_node
+        .iter()
+        .max_by_key(|(id, n)| (**n, std::cmp::Reverse(id.index())))
+        .map(|(id, n)| (*id, *n));
     DemandReport {
         hyperperiod,
         transmissions,
@@ -135,8 +138,8 @@ mod tests {
         // node 1 is in both links: 4 transmissions per 4 slots → 1.0
         assert!((r.node_utilization - 1.0).abs() < 1e-12);
         assert!(!r.obviously_infeasible()); // exactly 1.0 is the edge
-        // on one channel the same 4 transmissions fill every slot (1.0);
-        // doubling the rate overflows both bounds
+                                            // on one channel the same 4 transmissions fill every slot (1.0);
+                                            // doubling the rate overflows both bounds
         let tighter = demand(&flows, 1, 2);
         assert!((tighter.channel_utilization - 1.0).abs() < 1e-12);
         let doubled = demand(&flows, 1, 4);

@@ -58,7 +58,12 @@ impl Flow {
     /// # Errors
     ///
     /// Returns [`FlowError::InvalidDeadline`] unless `1 ≤ deadline ≤ period`.
-    pub fn new(id: FlowId, route: Route, period: Period, deadline_slots: u32) -> Result<Self, FlowError> {
+    pub fn new(
+        id: FlowId,
+        route: Route,
+        period: Period,
+        deadline_slots: u32,
+    ) -> Result<Self, FlowError> {
         Flow::with_segments(id, vec![route], period, deadline_slots)
     }
 
@@ -80,7 +85,10 @@ impl Flow {
     ) -> Result<Self, FlowError> {
         assert!(!segments.is_empty(), "a flow needs at least one route segment");
         if deadline_slots == 0 || deadline_slots > period.slots() {
-            return Err(FlowError::InvalidDeadline { deadline: deadline_slots, period: period.slots() });
+            return Err(FlowError::InvalidDeadline {
+                deadline: deadline_slots,
+                period: period.slots(),
+            });
         }
         Ok(Flow { id, segments, period, deadline_slots })
     }
@@ -179,11 +187,7 @@ impl FlowSet {
     ///
     /// Flows are re-tagged with dense ids matching their position.
     pub fn new(flows: Vec<Flow>, access_points: Vec<NodeId>) -> Self {
-        let flows = flows
-            .into_iter()
-            .enumerate()
-            .map(|(i, f)| f.with_id(FlowId::new(i)))
-            .collect();
+        let flows = flows.into_iter().enumerate().map(|(i, f)| f.with_id(FlowId::new(i))).collect();
         FlowSet { flows, access_points }
     }
 
@@ -233,10 +237,7 @@ impl FlowSet {
     /// provisioning: `Σ_i (jobs_i × hops_i)`.
     pub fn transmission_demand(&self) -> usize {
         let h = self.hyperperiod();
-        self.flows
-            .iter()
-            .map(|f| (h / f.period().slots()) as usize * f.hop_count())
-            .sum()
+        self.flows.iter().map(|f| (h / f.period().slots()) as usize * f.hop_count()).sum()
     }
 }
 

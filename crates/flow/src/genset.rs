@@ -61,12 +61,14 @@ impl FlowSetGenerator {
     /// Returns [`FlowError::GenerationFailed`] when the graph has fewer than
     /// two eligible endpoints or when route construction keeps failing
     /// (after `64 × flow_count` rejected draws).
-    pub fn generate(&mut self, graph: &CommGraph, config: &FlowSetConfig) -> Result<FlowSet, FlowError> {
+    pub fn generate(
+        &mut self,
+        graph: &CommGraph,
+        config: &FlowSetConfig,
+    ) -> Result<FlowSet, FlowError> {
         let aps = graph.select_access_points(config.access_points);
-        let candidates: Vec<NodeId> = (0..graph.node_count())
-            .map(NodeId::new)
-            .filter(|n| !aps.contains(n))
-            .collect();
+        let candidates: Vec<NodeId> =
+            (0..graph.node_count()).map(NodeId::new).filter(|n| !aps.contains(n)).collect();
         if candidates.len() < 2 {
             return Err(FlowError::GenerationFailed(format!(
                 "only {} candidate endpoints after excluding access points",
@@ -211,7 +213,8 @@ mod tests {
         let graph = grid3();
         let aps = graph.select_access_points(2);
         let mut g = FlowSetGenerator::new(7);
-        let config = FlowSetConfig::new(10, PeriodRange::new(0, 1).unwrap(), TrafficPattern::Centralized);
+        let config =
+            FlowSetConfig::new(10, PeriodRange::new(0, 1).unwrap(), TrafficPattern::Centralized);
         let set = g.generate(&graph, &config).unwrap();
         // every route either passes an AP or was legitimately truncated
         // because the destination sat on the uplink — in a 3x3 grid with

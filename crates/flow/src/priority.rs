@@ -61,10 +61,8 @@ mod tests {
 
     #[test]
     fn rm_orders_by_period() {
-        let set = rate_monotonic(
-            vec![flow(0, 400, 100), flow(1, 100, 90), flow(2, 200, 80)],
-            vec![],
-        );
+        let set =
+            rate_monotonic(vec![flow(0, 400, 100), flow(1, 100, 90), flow(2, 200, 80)], vec![]);
         let periods: Vec<u32> = set.iter().map(|f| f.period().slots()).collect();
         assert_eq!(periods, vec![100, 200, 400]);
     }

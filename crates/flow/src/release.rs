@@ -23,10 +23,7 @@ impl Job {
     /// Panics if `deadline_slot <= release_slot` (a job needs at least one
     /// slot to transmit).
     pub fn new(flow: FlowId, index: u32, release_slot: u32, deadline_slot: u32) -> Self {
-        assert!(
-            deadline_slot > release_slot,
-            "job deadline must fall after its release"
-        );
+        assert!(deadline_slot > release_slot, "job deadline must fall after its release");
         Job { flow, index, release_slot, deadline_slot }
     }
 

@@ -155,8 +155,7 @@ mod tests {
     #[test]
     fn centralized_without_aps_fails() {
         let g = line();
-        let err =
-            TrafficPattern::Centralized.build_segments(&g, n(0), n(4), &[]).unwrap_err();
+        let err = TrafficPattern::Centralized.build_segments(&g, n(0), n(4), &[]).unwrap_err();
         assert!(matches!(err, FlowError::GenerationFailed(_)));
     }
 
@@ -188,9 +187,8 @@ mod tests {
     #[test]
     fn centralized_between_two_aps_is_wired_only() {
         let g = line();
-        let err = TrafficPattern::Centralized
-            .build_segments(&g, n(1), n(3), &[n(1), n(3)])
-            .unwrap_err();
+        let err =
+            TrafficPattern::Centralized.build_segments(&g, n(1), n(3), &[n(1), n(3)]).unwrap_err();
         assert!(matches!(err, FlowError::GenerationFailed(_)));
     }
 
@@ -203,9 +201,7 @@ mod tests {
     #[test]
     fn centralized_unreachable_ap_fails() {
         let g = CommGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
-        let err = TrafficPattern::Centralized
-            .build_segments(&g, n(0), n(1), &[n(3)])
-            .unwrap_err();
+        let err = TrafficPattern::Centralized.build_segments(&g, n(0), n(1), &[n(3)]).unwrap_err();
         assert!(matches!(err, FlowError::GenerationFailed(_)));
     }
 }

@@ -9,11 +9,7 @@ fn centralized_routes_split_at_access_points() {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let aps = comm.select_access_points(2);
-    let cfg = FlowSetConfig::new(
-        30,
-        PeriodRange::new(0, 2).unwrap(),
-        TrafficPattern::Centralized,
-    );
+    let cfg = FlowSetConfig::new(30, PeriodRange::new(0, 2).unwrap(), TrafficPattern::Centralized);
     let set = FlowSetGenerator::new(8).generate(&comm, &cfg).unwrap();
     let mut two_segment = 0;
     for flow in &set {
@@ -43,22 +39,13 @@ fn p2p_routes_are_shortest_paths() {
     let topo = testbeds::wustl(4);
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
-    let cfg = FlowSetConfig::new(
-        25,
-        PeriodRange::new(0, 1).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(25, PeriodRange::new(0, 1).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(9).generate(&comm, &cfg).unwrap();
     let hm = comm.hop_matrix();
     for flow in &set {
         assert_eq!(flow.segments().len(), 1);
         let shortest = hm.hops(flow.source(), flow.destination()) as usize;
-        assert_eq!(
-            flow.hop_count(),
-            shortest,
-            "route of {} is not a shortest path",
-            flow.id()
-        );
+        assert_eq!(flow.hop_count(), shortest, "route of {} is not a shortest path", flow.id());
     }
 }
 
@@ -67,11 +54,7 @@ fn generation_scales_to_large_sets() {
     let topo = testbeds::wustl(5);
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
-    let cfg = FlowSetConfig::new(
-        160,
-        PeriodRange::new(-1, 3).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(160, PeriodRange::new(-1, 3).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(10).generate(&comm, &cfg).unwrap();
     assert_eq!(set.len(), 160);
     assert_eq!(set.hyperperiod(), 800);

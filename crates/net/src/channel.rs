@@ -145,7 +145,11 @@ impl ChannelSet {
     ///
     /// Panics if `m` exceeds the set size or is zero.
     pub fn take(&self, m: usize) -> ChannelSet {
-        assert!(m >= 1 && m <= self.channels.len(), "cannot take {m} channels from a set of {}", self.channels.len());
+        assert!(
+            m >= 1 && m <= self.channels.len(),
+            "cannot take {m} channels from a set of {}",
+            self.channels.len()
+        );
         ChannelSet { channels: self.channels[..m].to_vec() }
     }
 }
@@ -210,7 +214,7 @@ mod tests {
     #[test]
     fn hopping_formula_matches_standard() {
         let set = ChannelId::range(11, 14).unwrap(); // m = 4
-        // (ASN + offset) mod 4 indexes the mapping table.
+                                                     // (ASN + offset) mod 4 indexes the mapping table.
         assert_eq!(set.physical(0, 0).number(), 11);
         assert_eq!(set.physical(0, 3).number(), 14);
         assert_eq!(set.physical(1, 3).number(), 11); // (1+3)%4 = 0
@@ -220,7 +224,8 @@ mod tests {
     #[test]
     fn hopping_cycles_all_channels_for_fixed_offset() {
         let set = ChannelId::range(11, 16).unwrap();
-        let mut seen: Vec<u8> = (0..set.len()).map(|asn| set.physical(asn as u64, 2).number()).collect();
+        let mut seen: Vec<u8> =
+            (0..set.len()).map(|asn| set.physical(asn as u64, 2).number()).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![11, 12, 13, 14, 15, 16]);
     }

@@ -355,9 +355,9 @@ mod tests {
         );
         let aps = g.select_access_points(2);
         assert_eq!(aps[0], n(2)); // degree 4 hub
-        // diameter 3 ⇒ separation ⌈3/2⌉ = 2: node 5 is the only node 2 hops
-        // from the hub with the best degree among those (degree 1), node 4
-        // (degree 2) is only 1 hop away
+                                  // diameter 3 ⇒ separation ⌈3/2⌉ = 2: node 5 is the only node 2 hops
+                                  // from the hub with the best degree among those (degree 1), node 4
+                                  // (degree 2) is only 1 hop away
         assert_eq!(aps[1], n(5));
     }
 

@@ -78,11 +78,7 @@ impl Route {
     ///
     /// Panics if `self.destination() != second.source()`.
     pub fn join(&self, second: &Route) -> Route {
-        assert_eq!(
-            self.destination(),
-            second.source(),
-            "segments must share the junction node"
-        );
+        assert_eq!(self.destination(), second.source(), "segments must share the junction node");
         let mut nodes = self.nodes.clone();
         nodes.extend_from_slice(&second.nodes[1..]);
         Route::new(nodes)

@@ -39,10 +39,8 @@ impl ChannelSelection {
         match self {
             ChannelSelection::FirstM => ChannelId::all().take(m),
             ChannelSelection::BestMeanPrr => {
-                let mut scored: Vec<(f64, ChannelId)> = ChannelId::all()
-                    .iter()
-                    .map(|ch| (mean_prr(topology, ch), ch))
-                    .collect();
+                let mut scored: Vec<(f64, ChannelId)> =
+                    ChannelId::all().iter().map(|ch| (mean_prr(topology, ch), ch)).collect();
                 rank_and_take(&mut scored, m)
             }
             ChannelSelection::MostReliableLinks { prr_t } => {
@@ -119,7 +117,11 @@ mod tests {
         // hand-build: channel 20 perfect everywhere, others zero
         let mut topo = Topology::new(
             "sel",
-            vec![Position::new(0.0, 0.0, 0.0), Position::new(5.0, 0.0, 0.0), Position::new(10.0, 0.0, 0.0)],
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(5.0, 0.0, 0.0),
+                Position::new(10.0, 0.0, 0.0),
+            ],
         );
         let c20 = ChannelId::new(20).unwrap();
         for a in 0..3 {
@@ -135,10 +137,8 @@ mod tests {
 
     #[test]
     fn most_reliable_links_counts_bidirectional_pairs() {
-        let mut topo = Topology::new(
-            "sel2",
-            vec![Position::new(0.0, 0.0, 0.0), Position::new(5.0, 0.0, 0.0)],
-        );
+        let mut topo =
+            Topology::new("sel2", vec![Position::new(0.0, 0.0, 0.0), Position::new(5.0, 0.0, 0.0)]);
         let (c12, c13) = (ChannelId::new(12).unwrap(), ChannelId::new(13).unwrap());
         // c12: one direction only (does not count); c13: both directions
         topo.set_prr(NodeId::new(0), NodeId::new(1), c12, Prr::ONE).unwrap();

@@ -49,15 +49,10 @@ pub fn summarize(topology: &Topology, channels: &ChannelSet, prr_t: Prr) -> Topo
     let n = topology.node_count();
 
     // floors
-    let floor_height = topology
-        .propagation_model()
-        .map(|m| m.floor_height_m)
-        .unwrap_or(3.5);
+    let floor_height = topology.propagation_model().map(|m| m.floor_height_m).unwrap_or(3.5);
     let mut floors = std::collections::BTreeMap::<i64, usize>::new();
     for node in topology.nodes() {
-        *floors
-            .entry((topology.position(node).z / floor_height).round() as i64)
-            .or_default() += 1;
+        *floors.entry((topology.position(node).z / floor_height).round() as i64).or_default() += 1;
     }
 
     // degrees

@@ -1,7 +1,9 @@
 //! The measured network topology: nodes, positions, and per-channel PRR.
 
 use crate::channel::BAND_SIZE;
-use crate::{ChannelId, ChannelSet, CommGraph, DirectedLink, NetError, NodeId, Position, Prr, ReuseGraph};
+use crate::{
+    ChannelId, ChannelSet, CommGraph, DirectedLink, NetError, NodeId, Position, Prr, ReuseGraph,
+};
 use serde::{Deserialize, Serialize};
 
 /// A network topology: a set of field devices plus the PRR of every directed
@@ -104,7 +106,13 @@ impl Topology {
     /// # Errors
     ///
     /// Returns [`NetError::UnknownNode`] for out-of-range nodes.
-    pub fn set_prr(&mut self, tx: NodeId, rx: NodeId, channel: ChannelId, prr: Prr) -> Result<(), NetError> {
+    pub fn set_prr(
+        &mut self,
+        tx: NodeId,
+        rx: NodeId,
+        channel: ChannelId,
+        prr: Prr,
+    ) -> Result<(), NetError> {
         let n = self.node_count();
         for id in [tx, rx] {
             if id.index() >= n {

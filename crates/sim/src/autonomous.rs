@@ -118,11 +118,8 @@ impl<'a> AutonomousSimulator<'a> {
             if attempt_of_sender.is_empty() {
                 continue;
             }
-            let active_wifi: Vec<&WifiInterferer> = config
-                .interferers
-                .iter()
-                .filter(|w| rng.gen::<f64>() < w.duty_cycle)
-                .collect();
+            let active_wifi: Vec<&WifiInterferer> =
+                config.interferers.iter().filter(|w| rng.gen::<f64>() < w.duty_cycle).collect();
             // group attempts by physical channel
             let mut by_channel: BTreeMap<u8, Vec<usize>> = BTreeMap::new();
             for (&sender, &pi) in &attempt_of_sender {
@@ -222,8 +219,20 @@ mod tests {
     fn flows_one_hop(period: u32, deadline: u32) -> FlowSet {
         priority::deadline_monotonic(
             vec![
-                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(period).unwrap(), deadline).unwrap(),
-                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(period).unwrap(), deadline).unwrap(),
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1)]),
+                    Period::from_slots(period).unwrap(),
+                    deadline,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(2), n(3)]),
+                    Period::from_slots(period).unwrap(),
+                    deadline,
+                )
+                .unwrap(),
             ],
             vec![],
         )
@@ -267,8 +276,20 @@ mod tests {
         let (topo, channels) = perfect_pair_topo();
         let flows = priority::deadline_monotonic(
             vec![
-                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(8).unwrap(), 8).unwrap(),
-                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(1)]), Period::from_slots(8).unwrap(), 8).unwrap(),
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1)]),
+                    Period::from_slots(8).unwrap(),
+                    8,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(2), n(1)]),
+                    Period::from_slots(8).unwrap(),
+                    8,
+                )
+                .unwrap(),
             ],
             vec![],
         );
@@ -354,10 +375,8 @@ mod multi_hop_tests {
     /// after their deadline.
     #[test]
     fn expired_packets_are_dropped() {
-        let mut topo = Topology::new(
-            "exp",
-            vec![Position::new(0.0, 0.0, 0.0), Position::new(10.0, 0.0, 0.0)],
-        );
+        let mut topo =
+            Topology::new("exp", vec![Position::new(0.0, 0.0, 0.0), Position::new(10.0, 0.0, 0.0)]);
         topo.set_propagation_model(PropagationModel::default());
         let channels = ChannelId::range(11, 11).unwrap();
         // PRR zero: nothing ever gets through

@@ -63,10 +63,7 @@ pub fn merge(
         let p = topo_b.position(NodeId::new(i));
         Position::new(p.x + b_shift.x, p.y + b_shift.y, p.z + b_shift.z)
     }));
-    let mut topology = Topology::new(
-        format!("{}+{}", topo_a.name(), topo_b.name()),
-        positions,
-    );
+    let mut topology = Topology::new(format!("{}+{}", topo_a.name(), topo_b.name()), positions);
     if let Some(model) = topo_a.propagation_model() {
         topology.set_propagation_model(model.clone());
     }
@@ -114,7 +111,8 @@ pub fn merge(
     }
 
     // --- flows ---
-    let remap_route = |r: &Route| Route::new(r.nodes().iter().map(|nd| NodeId::new(nd.index() + n_a)).collect());
+    let remap_route =
+        |r: &Route| Route::new(r.nodes().iter().map(|nd| NodeId::new(nd.index() + n_a)).collect());
     let mut flows: Vec<Flow> = flows_a.iter().cloned().collect();
     for f in flows_b.iter() {
         let segments: Vec<Route> = f.segments().iter().map(&remap_route).collect();
@@ -132,8 +130,7 @@ pub fn merge(
     let flows = FlowSet::new(flows, access_points);
 
     // --- schedule ---
-    let mut schedule =
-        Schedule::new(sched_a.horizon(), sched_a.channel_count(), n_a + n_b);
+    let mut schedule = Schedule::new(sched_a.horizon(), sched_a.channel_count(), n_a + n_b);
     for e in sched_a.entries() {
         schedule.place(e.slot, e.offset, e.tx);
     }
@@ -167,11 +164,8 @@ mod tests {
         let channels = ChannelId::range(11, 14).unwrap();
         let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
         let model = NetworkModel::new(&topo, &channels);
-        let cfg = FlowSetConfig::new(
-            20,
-            PeriodRange::new(0, 0).unwrap(),
-            TrafficPattern::PeerToPeer,
-        );
+        let cfg =
+            FlowSetConfig::new(20, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
         let flows = FlowSetGenerator::new(seed).generate(&comm, &cfg).unwrap();
         let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
         (topo, flows, schedule)
@@ -181,11 +175,7 @@ mod tests {
     fn merge_preserves_both_networks() {
         let a = plan(1);
         let b = plan(2);
-        let merged = merge(
-            (&a.0, &a.1, &a.2),
-            (&b.0, &b.1, &b.2),
-            Position::new(200.0, 0.0, 0.0),
-        );
+        let merged = merge((&a.0, &a.1, &a.2), (&b.0, &b.1, &b.2), Position::new(200.0, 0.0, 0.0));
         assert_eq!(merged.topology.node_count(), 120);
         assert_eq!(merged.flows.len(), 40);
         assert_eq!(merged.schedule.entry_count(), a.2.entry_count() + b.2.entry_count());
@@ -216,17 +206,11 @@ mod tests {
         // standalone baselines
         let solo_a = Simulator::new(&a.0, &channels, &a.1, &a.2).run(&sim_cfg).network_pdr();
         // merged at 1 km: radio-isolated
-        let merged = merge(
-            (&a.0, &a.1, &a.2),
-            (&b.0, &b.1, &b.2),
-            Position::new(1000.0, 0.0, 0.0),
-        );
-        let report =
-            Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
-                .run(&sim_cfg);
+        let merged = merge((&a.0, &a.1, &a.2), (&b.0, &b.1, &b.2), Position::new(1000.0, 0.0, 0.0));
+        let report = Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
+            .run(&sim_cfg);
         // network A's flows are the first 20 in the merged set
-        let merged_a_pdr: f64 =
-            report.flow_pdrs()[..20].iter().sum::<f64>() / 20.0;
+        let merged_a_pdr: f64 = report.flow_pdrs()[..20].iter().sum::<f64>() / 20.0;
         let solo_mean: f64 = Simulator::new(&a.0, &channels, &a.1, &a.2)
             .run(&sim_cfg)
             .flow_pdrs()
@@ -250,14 +234,9 @@ mod tests {
             r.network_pdr()
         };
         // overlapping buildings: B right on top of A
-        let merged = merge(
-            (&a.0, &a.1, &a.2),
-            (&b.0, &b.1, &b.2),
-            Position::new(0.0, 0.0, 0.0),
-        );
-        let report =
-            Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
-                .run(&sim_cfg);
+        let merged = merge((&a.0, &a.1, &a.2), (&b.0, &b.1, &b.2), Position::new(0.0, 0.0, 0.0));
+        let report = Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
+            .run(&sim_cfg);
         let merged_a_released: u32 = report.flows[..20].iter().map(|f| f.released).sum();
         let merged_a_delivered: u32 = report.flows[..20].iter().map(|f| f.delivered).sum();
         let merged_a_pdr = f64::from(merged_a_delivered) / f64::from(merged_a_released);

@@ -1,5 +1,6 @@
 //! Simulation configuration: capture model, fading, and run parameters.
 
+use crate::faults::FaultPlan;
 use crate::WifiInterferer;
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +141,10 @@ pub struct SimConfig {
     /// contention-free PRR distribution of every link — including links
     /// whose every *data* slot is shared under channel reuse.
     pub discovery_probes: u32,
+    /// Scripted faults injected during the run (crashes, link collapses,
+    /// roaming interferers). An empty plan — the default — leaves the
+    /// simulation bit-identical to a build without fault support.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -151,6 +156,7 @@ impl Default for SimConfig {
             capture: CaptureModel::default(),
             interferers: Vec::new(),
             discovery_probes: 1,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -200,8 +206,9 @@ mod tests {
     fn lognormal_fading_matches_sigma() {
         let mut rng = StdRng::seed_from_u64(2);
         let sigma = 6.0;
-        let draws: Vec<f64> =
-            (0..20_000).map(|_| FadingModel::LogNormal { sigma_db: sigma }.sample_db(&mut rng)).collect();
+        let draws: Vec<f64> = (0..20_000)
+            .map(|_| FadingModel::LogNormal { sigma_db: sigma }.sample_db(&mut rng))
+            .collect();
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
         let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws.len() as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");

@@ -1,5 +1,7 @@
 //! The slot-by-slot simulation engine.
 
+use crate::error::SimError;
+use crate::faults::{FaultInjector, FaultLog};
 use crate::phy::Phy;
 use crate::{FlowStats, LinkCondition, PrrSample, SimConfig, SimReport, WifiInterferer};
 use rand::rngs::StdRng;
@@ -62,11 +64,50 @@ impl<'a> Simulator<'a> {
         flows: &'a FlowSet,
         schedule: &Schedule,
     ) -> Self {
-        assert_eq!(
-            channels.len(),
-            schedule.channel_count(),
-            "channel set size must match the schedule's channel offsets"
-        );
+        match Self::try_new(topo, channels, flows, schedule) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Simulator::new`]: validates that the schedule,
+    /// channel set, flow set, and topology are mutually consistent, and
+    /// returns a typed [`SimError`] instead of panicking when they are not.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ChannelMismatch`] when `channels` does not match the
+    /// schedule's channel-offset count; [`SimError::UnknownFlow`] /
+    /// [`SimError::NodeOutOfRange`] when the schedule references a flow or
+    /// node outside `flows` / `topo`.
+    pub fn try_new(
+        topo: &'a Topology,
+        channels: &'a ChannelSet,
+        flows: &'a FlowSet,
+        schedule: &Schedule,
+    ) -> Result<Self, SimError> {
+        if channels.len() != schedule.channel_count() {
+            return Err(SimError::ChannelMismatch {
+                schedule: schedule.channel_count(),
+                channels: channels.len(),
+            });
+        }
+        for e in schedule.entries() {
+            if e.tx.flow.index() >= flows.len() {
+                return Err(SimError::UnknownFlow {
+                    flow_index: e.tx.flow.index(),
+                    flows: flows.len(),
+                });
+            }
+            for node in [e.tx.link.tx, e.tx.link.rx] {
+                if node.index() >= topo.node_count() {
+                    return Err(SimError::NodeOutOfRange {
+                        node: node.index(),
+                        nodes: topo.node_count(),
+                    });
+                }
+            }
+        }
         let horizon = schedule.horizon();
         // flat job indexing
         let mut job_base = Vec::with_capacity(flows.len());
@@ -114,7 +155,7 @@ impl<'a> Simulator<'a> {
             schedule.entries().iter().map(|e| e.tx.link).collect();
         scheduled_links.sort();
         scheduled_links.dedup();
-        Simulator {
+        Ok(Simulator {
             topo,
             channels,
             flows,
@@ -126,25 +167,80 @@ impl<'a> Simulator<'a> {
             job_flow,
             job_release,
             scheduled_links,
-        }
+        })
     }
 
     /// Runs the schedule `config.repetitions` times and reports delivery and
     /// link statistics. Deterministic in `(self, config)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.faults` is inconsistent with the simulated world;
+    /// use [`Simulator::try_run`] to get a typed error instead.
     pub fn run(&self, config: &SimConfig) -> SimReport {
-        self.run_impl(config, None)
+        self.run_faulted(config).0
+    }
+
+    /// Like [`Simulator::run`], but also returns the [`FaultLog`] of fault
+    /// events that fired during the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.faults` is inconsistent with the simulated world;
+    /// use [`Simulator::try_run_faulted`] to get a typed error instead.
+    pub fn run_faulted(&self, config: &SimConfig) -> (SimReport, FaultLog) {
+        match self.try_run_faulted(config) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Simulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] when `config.faults` references nodes or
+    /// interferers outside the simulated world or carries out-of-range
+    /// probabilities.
+    pub fn try_run(&self, config: &SimConfig) -> Result<SimReport, SimError> {
+        self.try_run_faulted(config).map(|(report, _)| report)
+    }
+
+    /// Fallible variant of [`Simulator::run_faulted`]: validates the fault
+    /// plan up front so injected faults surface as recoverable errors, not
+    /// panics mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_faulted(&self, config: &SimConfig) -> Result<(SimReport, FaultLog), SimError> {
+        config.faults.validate(self.topo.node_count(), config.interferers.len())?;
+        Ok(self.run_impl(config, None))
     }
 
     /// Like [`Simulator::run`], but records per-event history into `trace`
     /// (attempts with their interference counts, deliveries, expiries).
     /// Tracing does not perturb the RNG stream: a traced run returns the
     /// same report as an untraced one with the same config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.faults` is inconsistent with the simulated world.
     pub fn run_traced(&self, config: &SimConfig, trace: &mut crate::TraceBuffer) -> SimReport {
-        self.run_impl(config, Some(trace))
+        if let Err(e) = config.faults.validate(self.topo.node_count(), config.interferers.len()) {
+            panic!("{e}");
+        }
+        self.run_impl(config, Some(trace)).0
     }
 
-    fn run_impl(&self, config: &SimConfig, mut trace: Option<&mut crate::TraceBuffer>) -> SimReport {
+    fn run_impl(
+        &self,
+        config: &SimConfig,
+        mut trace: Option<&mut crate::TraceBuffer>,
+    ) -> (SimReport, FaultLog) {
         let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut injector = FaultInjector::new(&config.faults);
         let phy = Phy::new(self.topo, config.capture);
         let mut flow_stats = vec![FlowStats::default(); self.flows.len()];
         let mut window_acc: BTreeMap<(DirectedLink, LinkCondition), PrrSample> = BTreeMap::new();
@@ -160,15 +256,28 @@ impl<'a> Simulator<'a> {
             progress.fill(0);
             for slot in 0..self.horizon {
                 let asn = u64::from(rep) * u64::from(self.horizon) + u64::from(slot);
-                let active_wifi: Vec<&WifiInterferer> = config
+                injector.advance(asn);
+                // Environment interferers gate on the engine RNG (one draw
+                // each, silenced or not, so an active fault plan never
+                // perturbs the fault-free stream); injected interferers
+                // gate on the injector's own RNG.
+                let spawned = injector.sample_spawned_wifi();
+                let mut active_wifi: Vec<&WifiInterferer> = config
                     .interferers
                     .iter()
-                    .filter(|w| rng.gen::<f64>() < w.duty_cycle)
+                    .enumerate()
+                    .filter(|(_, w)| rng.gen::<f64>() < w.duty_cycle)
+                    .filter(|(i, _)| !injector.interferer_silenced(*i))
+                    .map(|(_, w)| w)
                     .collect();
+                active_wifi.extend(spawned.iter());
                 // Which scheduled transmissions actually fire this slot?
+                // A crashed sender transmits nothing at all.
                 let actives: Vec<&SlotTx> = self.per_slot[slot as usize]
                     .iter()
-                    .filter(|t| progress[t.job_flat] == t.hop_index)
+                    .filter(|t| {
+                        progress[t.job_flat] == t.hop_index && !injector.node_down(t.link.tx)
+                    })
                     .collect();
                 // Resolve receptions against the slot-start active set.
                 let mut advanced: Vec<usize> = Vec::with_capacity(actives.len());
@@ -187,25 +296,36 @@ impl<'a> Simulator<'a> {
                     } else {
                         config.capture.fading.sample_db(&mut rng)
                     };
-                    let p = phy.success_probability(
-                        t.link.tx,
-                        t.link.rx,
-                        channel,
-                        &interferers,
-                        external,
-                        fading,
-                    );
+                    // A crashed receiver hears (and acknowledges) nothing;
+                    // a collapsed link caps the base PRR the PHY sees.
+                    let p = if injector.node_down(t.link.rx) {
+                        0.0
+                    } else {
+                        phy.success_probability_faulted(
+                            t.link.tx,
+                            t.link.rx,
+                            channel,
+                            &interferers,
+                            external,
+                            fading,
+                            injector.link_prr_override(t.link, channel),
+                        )
+                    };
                     let success = rng.gen::<f64>() < p;
                     if let Some(buf) = trace.as_deref_mut() {
                         buf.push(crate::TraceEvent::Attempt {
                             asn,
                             link: t.link,
-                            flow: self.flows.flow(wsan_flow::FlowId::new(self.job_flow[t.job_flat])).id(),
+                            flow: self
+                                .flows
+                                .flow(wsan_flow::FlowId::new(self.job_flow[t.job_flat]))
+                                .id(),
                             interferers: interferers.len(),
                             success,
                         });
                     }
-                    let cond = if t.reuse { LinkCondition::Reuse } else { LinkCondition::ContentionFree };
+                    let cond =
+                        if t.reuse { LinkCondition::Reuse } else { LinkCondition::ContentionFree };
                     let sample = window_acc.entry((t.link, cond)).or_default();
                     sample.sent += 1;
                     if success {
@@ -233,21 +353,43 @@ impl<'a> Simulator<'a> {
             for _ in 0..config.discovery_probes {
                 for (i, link) in self.scheduled_links.iter().enumerate() {
                     let channel = self.channels.at((rep as usize + i) % self.channels.len());
-                    let wifi_active: Vec<&WifiInterferer> = config
+                    let spawned = injector.sample_spawned_wifi();
+                    let mut wifi_active: Vec<&WifiInterferer> = config
                         .interferers
                         .iter()
-                        .filter(|w| rng.gen::<f64>() < w.duty_cycle)
+                        .enumerate()
+                        .filter(|(_, w)| rng.gen::<f64>() < w.duty_cycle)
+                        .filter(|(idx, _)| !injector.interferer_silenced(*idx))
+                        .map(|(_, w)| w)
                         .collect();
+                    wifi_active.extend(spawned.iter());
                     let external = phy.external_mw(link.rx, channel, &wifi_active);
                     let fading = if external <= 0.0 {
                         0.0
                     } else {
                         config.capture.fading.sample_db(&mut rng)
                     };
-                    let p = phy.success_probability(link.tx, link.rx, channel, &[], external, fading);
-                    let sample = window_acc
-                        .entry((*link, LinkCondition::ContentionFree))
-                        .or_default();
+                    // a crashed sender probes nothing; a crashed receiver
+                    // acknowledges nothing — probes see faults exactly like
+                    // data slots so the §VI classifier gets honest CF samples
+                    if injector.node_down(link.tx) {
+                        continue;
+                    }
+                    let p = if injector.node_down(link.rx) {
+                        0.0
+                    } else {
+                        phy.success_probability_faulted(
+                            link.tx,
+                            link.rx,
+                            channel,
+                            &[],
+                            external,
+                            fading,
+                            injector.link_prr_override(*link, channel),
+                        )
+                    };
+                    let sample =
+                        window_acc.entry((*link, LinkCondition::ContentionFree)).or_default();
                     sample.sent += 1;
                     if rng.gen::<f64>() < p {
                         sample.acked += 1;
@@ -277,14 +419,11 @@ impl<'a> Simulator<'a> {
         }
         flush(&mut window_acc, &mut report);
         report.flows = flow_stats;
-        report
+        (report, injector.into_log())
     }
 }
 
-fn flush(
-    acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>,
-    report: &mut SimReport,
-) {
+fn flush(acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>, report: &mut SimReport) {
     for (key, sample) in std::mem::take(acc) {
         if sample.sent > 0 {
             report.link_samples.entry(key).or_default().push(sample);
@@ -327,8 +466,20 @@ mod tests {
         }
         let flows = priority::deadline_monotonic(
             vec![
-                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(10).unwrap(), 10).unwrap(),
-                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1)]),
+                    Period::from_slots(10).unwrap(),
+                    10,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(2), n(3)]),
+                    Period::from_slots(10).unwrap(),
+                    10,
+                )
+                .unwrap(),
             ],
             vec![],
         );
@@ -341,20 +492,12 @@ mod tests {
         let model = NetworkModel::new(&topo, &channels);
         let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
         let sim = Simulator::new(&topo, &channels, &flows, &schedule);
-        let report = sim.run(&SimConfig {
-            repetitions: 20,
-            discovery_probes: 0,
-            ..SimConfig::default()
-        });
+        let report =
+            sim.run(&SimConfig { repetitions: 20, discovery_probes: 0, ..SimConfig::default() });
         assert_eq!(report.network_pdr(), 1.0);
         assert_eq!(report.worst_flow_pdr(), 1.0);
         // with PRR 1.0 primaries always succeed: retries never fire
-        let sent: u32 = report
-            .link_samples
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|s| s.sent)
-            .sum();
+        let sent: u32 = report.link_samples.values().flat_map(|v| v.iter()).map(|s| s.sent).sum();
         // 2 flows × 1 primary × 1 job × 20 reps
         assert_eq!(sent, 40);
     }
@@ -370,12 +513,7 @@ mod tests {
         let pdr = report.network_pdr();
         assert!((pdr - 0.96).abs() < 0.03, "pdr {pdr} should be near 0.96");
         // retries fired: more than 1 tx per job on average
-        let sent: u32 = report
-            .link_samples
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|s| s.sent)
-            .sum();
+        let sent: u32 = report.link_samples.values().flat_map(|v| v.iter()).map(|s| s.sent).sum();
         assert!(sent > 1000, "retransmissions should add transmissions, got {sent}");
     }
 
@@ -436,8 +574,20 @@ mod tests {
         }
         let flows = priority::deadline_monotonic(
             vec![
-                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(4).unwrap(), 2).unwrap(),
-                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(4).unwrap(), 2).unwrap(),
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1)]),
+                    Period::from_slots(4).unwrap(),
+                    2,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(2), n(3)]),
+                    Period::from_slots(4).unwrap(),
+                    2,
+                )
+                .unwrap(),
             ],
             vec![],
         );
@@ -472,10 +622,13 @@ mod tests {
             )],
             ..SimConfig::default()
         });
-        assert!(noisy.flow_pdrs()[0] < clean.flow_pdrs()[0] - 0.1 ||
-                noisy.flow_pdrs()[1] < clean.flow_pdrs()[1] - 0.1,
+        assert!(
+            noisy.flow_pdrs()[0] < clean.flow_pdrs()[0] - 0.1
+                || noisy.flow_pdrs()[1] < clean.flow_pdrs()[1] - 0.1,
             "WiFi interference near a link must depress its PDR: clean {:?} noisy {:?}",
-            clean.flow_pdrs(), noisy.flow_pdrs());
+            clean.flow_pdrs(),
+            noisy.flow_pdrs()
+        );
     }
 
     #[test]
@@ -535,11 +688,8 @@ mod segment_tests {
         // 2 links × 2 attempts
         assert_eq!(schedule.entry_count(), 4);
         let sim = Simulator::new(&topo, &channels, &flows, &schedule);
-        let report = sim.run(&SimConfig {
-            repetitions: 25,
-            discovery_probes: 0,
-            ..SimConfig::default()
-        });
+        let report =
+            sim.run(&SimConfig { repetitions: 25, discovery_probes: 0, ..SimConfig::default() });
         assert_eq!(report.network_pdr(), 1.0, "perfect links must deliver across the backbone");
     }
 
@@ -566,14 +716,25 @@ mod segment_tests {
         }
         let flows = priority::deadline_monotonic(
             vec![
-                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(10).unwrap(), 10).unwrap(),
-                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), Period::from_slots(10).unwrap(), 10).unwrap(),
+                Flow::new(
+                    FlowId::new(0),
+                    Route::new(vec![n(0), n(1)]),
+                    Period::from_slots(10).unwrap(),
+                    10,
+                )
+                .unwrap(),
+                Flow::new(
+                    FlowId::new(1),
+                    Route::new(vec![n(2), n(3)]),
+                    Period::from_slots(10).unwrap(),
+                    10,
+                )
+                .unwrap(),
             ],
             vec![],
         );
         let model = NetworkModel::new(&topo, &one);
-        let schedule =
-            wsan_core::ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let schedule = wsan_core::ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
         let sim = Simulator::new(&topo, &one, &flows, &schedule);
         let report = sim.run(&SimConfig {
             repetitions: 20,
@@ -602,10 +763,8 @@ mod latency_tracking_tests {
 
     #[test]
     fn latencies_match_the_schedule_for_perfect_links() {
-        let mut topo = Topology::new(
-            "lat",
-            vec![Position::new(0.0, 0.0, 0.0), Position::new(8.0, 0.0, 0.0)],
-        );
+        let mut topo =
+            Topology::new("lat", vec![Position::new(0.0, 0.0, 0.0), Position::new(8.0, 0.0, 0.0)]);
         topo.set_propagation_model(PropagationModel::default());
         let channels = ChannelId::range(11, 12).unwrap();
         for ch in &channels {
@@ -624,11 +783,8 @@ mod latency_tracking_tests {
         let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
         // primary lands in slot 0: latency = 1 slot, every repetition
         let sim = Simulator::new(&topo, &channels, &flows, &schedule);
-        let report = sim.run(&SimConfig {
-            repetitions: 12,
-            discovery_probes: 0,
-            ..SimConfig::default()
-        });
+        let report =
+            sim.run(&SimConfig { repetitions: 12, discovery_probes: 0, ..SimConfig::default() });
         assert_eq!(report.latencies[0], vec![1; 12]);
         assert_eq!(report.mean_latency(0), Some(1.0));
     }
@@ -666,22 +822,18 @@ mod trace_tests {
         let model = NetworkModel::new(&topo, &channels);
         let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
         let sim = Simulator::new(&topo, &channels, &flows, &schedule);
-        let cfg = SimConfig { repetitions: 40, seed: 9, discovery_probes: 0, ..SimConfig::default() };
+        let cfg =
+            SimConfig { repetitions: 40, seed: 9, discovery_probes: 0, ..SimConfig::default() };
         let plain = sim.run(&cfg);
         let mut buf = TraceBuffer::with_capacity(10_000);
         let traced = sim.run_traced(&cfg, &mut buf);
         assert_eq!(plain, traced);
         // trace is consistent with the report
-        let delivered = buf
-            .events()
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
-            .count() as u32;
-        let expired = buf
-            .events()
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Expired { .. }))
-            .count() as u32;
+        let delivered =
+            buf.events().iter().filter(|e| matches!(e, TraceEvent::Delivered { .. })).count()
+                as u32;
+        let expired =
+            buf.events().iter().filter(|e| matches!(e, TraceEvent::Expired { .. })).count() as u32;
         assert_eq!(delivered, traced.flows[0].delivered);
         assert_eq!(delivered + expired, traced.flows[0].released);
         // with PRR 0.7 both outcomes occur in 40 reps

@@ -1,0 +1,59 @@
+//! Typed simulation errors: construction-time validation failures surface
+//! as values instead of panics, so fault campaigns and recovery loops can
+//! react to them.
+
+use std::fmt;
+
+/// Why a simulator could not be built or a run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The channel set's size differs from the schedule's channel-offset
+    /// count, so channel hopping would be undefined.
+    ChannelMismatch {
+        /// Offsets the schedule was built for.
+        schedule: usize,
+        /// Channels actually supplied.
+        channels: usize,
+    },
+    /// The schedule references a flow index the flow set does not contain.
+    UnknownFlow {
+        /// The out-of-range flow index.
+        flow_index: usize,
+        /// Flows available.
+        flows: usize,
+    },
+    /// The schedule references a node the topology does not contain.
+    NodeOutOfRange {
+        /// The out-of-range node index.
+        node: usize,
+        /// Nodes available.
+        nodes: usize,
+    },
+    /// The fault plan is inconsistent with the simulated world.
+    BadFaultPlan {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ChannelMismatch { schedule, channels } => write!(
+                f,
+                "channel set size must match the schedule's channel offsets \
+                 (schedule has {schedule}, channel set has {channels})"
+            ),
+            SimError::UnknownFlow { flow_index, flows } => {
+                write!(f, "schedule references flow {flow_index}, flow set has {flows}")
+            }
+            SimError::NodeOutOfRange { node, nodes } => {
+                write!(f, "schedule references node {node}, topology has {nodes}")
+            }
+            SimError::BadFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

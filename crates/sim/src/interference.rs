@@ -51,7 +51,8 @@ impl WifiInterferer {
     pub fn power_at(&self, receiver: &Position, model: &PropagationModel) -> f64 {
         let distance = self.position.distance(receiver);
         let floors = self.position.floors_between(receiver, model.floor_height_m);
-        self.power_dbm - model.ref_loss_db
+        self.power_dbm
+            - model.ref_loss_db
             - 10.0 * model.path_loss_exponent * distance.max(0.5).log10()
             - f64::from(floors) * model.floor_loss_db
     }

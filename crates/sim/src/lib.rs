@@ -57,6 +57,8 @@ pub mod autonomous;
 pub mod coexistence;
 mod config;
 mod engine;
+mod error;
+pub mod faults;
 pub mod interference;
 mod phy;
 mod report;
@@ -65,6 +67,8 @@ pub mod trace;
 pub use autonomous::AutonomousSimulator;
 pub use config::{CaptureModel, FadingModel, SimConfig};
 pub use engine::Simulator;
+pub use error::SimError;
+pub use faults::{FaultEvent, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultTrigger};
 pub use interference::WifiInterferer;
 pub use report::{FlowStats, LinkCondition, PrrSample, SimReport};
 pub use trace::{TraceBuffer, TraceEvent};

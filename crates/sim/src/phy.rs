@@ -23,18 +23,15 @@ impl<'a> Phy<'a> {
     pub fn received_power_dbm(&self, tx: NodeId, rx: NodeId, channel: ChannelId) -> f64 {
         let pa = self.topo.position(tx);
         let pb = self.topo.position(rx);
-        let mean = self.model.mean_rssi_dbm(pa.distance(&pb), pa.floors_between(&pb, self.model.floor_height_m));
+        let mean = self
+            .model
+            .mean_rssi_dbm(pa.distance(&pb), pa.floors_between(&pb, self.model.floor_height_m));
         mean + self.topo.shadowing_db(tx, rx, channel)
     }
 
     /// External interference power (mW) at `rx` on `channel` from the
     /// active interferers.
-    pub fn external_mw(
-        &self,
-        rx: NodeId,
-        channel: ChannelId,
-        active: &[&WifiInterferer],
-    ) -> f64 {
+    pub fn external_mw(&self, rx: NodeId, channel: ChannelId, active: &[&WifiInterferer]) -> f64 {
         let pos = self.topo.position(rx);
         active
             .iter()
@@ -63,7 +60,34 @@ impl<'a> Phy<'a> {
         external_mw: f64,
         fading_db: f64,
     ) -> f64 {
-        let base = self.topo.prr(tx, rx, channel).value();
+        self.success_probability_faulted(
+            tx,
+            rx,
+            channel,
+            interferer_senders,
+            external_mw,
+            fading_db,
+            None,
+        )
+    }
+
+    /// Like [`Self::success_probability`], but with an optional injected
+    /// fault ceiling on the link's base PRR: when `base_override` is set,
+    /// the measured PRR is capped at that value (a collapse can only make a
+    /// link worse, never better).
+    #[allow(clippy::too_many_arguments)]
+    pub fn success_probability_faulted(
+        &self,
+        tx: NodeId,
+        rx: NodeId,
+        channel: ChannelId,
+        interferer_senders: &[NodeId],
+        external_mw: f64,
+        fading_db: f64,
+        base_override: Option<f64>,
+    ) -> f64 {
+        let measured = self.topo.prr(tx, rx, channel).value();
+        let base = base_override.map_or(measured, |o| measured.min(o.clamp(0.0, 1.0)));
         if base == 0.0 {
             return 0.0;
         }
@@ -134,12 +158,24 @@ mod tests {
         let t = topo();
         let phy = Phy::new(&t, CaptureModel::default());
         // reception 0 → 1 (10 m). Interferer at node 2 is 30 m from rx.
-        let with_far =
-            phy.success_probability(NodeId::new(0), NodeId::new(1), ch(11), &[NodeId::new(2)], 0.0, 0.0);
+        let with_far = phy.success_probability(
+            NodeId::new(0),
+            NodeId::new(1),
+            ch(11),
+            &[NodeId::new(2)],
+            0.0,
+            0.0,
+        );
         // reception 2 → 1 (30 m) with interferer node 0 at 10 m from rx:
         // signal weaker than interference → collapse.
-        let with_near =
-            phy.success_probability(NodeId::new(2), NodeId::new(1), ch(11), &[NodeId::new(0)], 0.0, 0.0);
+        let with_near = phy.success_probability(
+            NodeId::new(2),
+            NodeId::new(1),
+            ch(11),
+            &[NodeId::new(0)],
+            0.0,
+            0.0,
+        );
         assert!(with_far > with_near);
         assert!(with_far > 0.8, "distant interferer should barely matter, got {with_far}");
         assert!(with_near < 0.1, "near interferer should break capture, got {with_near}");

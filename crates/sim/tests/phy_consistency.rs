@@ -29,13 +29,9 @@ fn simulated_prr_matches_table_prr_without_interference() {
     // divisible by |M|, `(ASN + offset) mod |M|` pins a periodic cell to
     // one channel forever — real TSCH deployments pick coprime slotframe
     // lengths for exactly this reason.)
-    let flow = Flow::new(
-        FlowId::new(0),
-        Route::new(vec![n(0), n(1)]),
-        Period::from_slots(5).unwrap(),
-        5,
-    )
-    .unwrap();
+    let flow =
+        Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), Period::from_slots(5).unwrap(), 5)
+            .unwrap();
     let flows = priority::deadline_monotonic(vec![flow], vec![]);
     let model = NetworkModel::new(&topo, &channels);
     let schedule = NoReuse::new()

@@ -94,12 +94,8 @@ impl BoxPlot {
         // retreat inside the box: with few points and a strong outlier the
         // interpolated quartile can exceed every in-fence datum, and the
         // whisker then clamps to the box edge (the matplotlib convention).
-        let whisker_low = sorted
-            .iter()
-            .cloned()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(sorted[0])
-            .min(q1);
+        let whisker_low =
+            sorted.iter().cloned().find(|&x| x >= lo_fence).unwrap_or(sorted[0]).min(q1);
         let whisker_high = sorted
             .iter()
             .cloned()

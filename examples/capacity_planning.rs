@@ -31,10 +31,7 @@ fn main() {
 
     println!("WUSTL topology, 4 channels, peer-to-peer loops at 1-4 s periods");
     println!("(fraction of {workloads} random workloads admitted per method)\n");
-    println!(
-        "{:>7}  {:>9}  {:>6}  {:>6}  {:>6}",
-        "#flows", "analysis", "NR", "RC", "RA"
-    );
+    println!("{:>7}  {:>9}  {:>6}  {:>6}  {:>6}", "#flows", "analysis", "NR", "RC", "RA");
     for flows in [20usize, 40, 60, 80, 100, 120, 140] {
         let cfg = FlowSetConfig::new(
             flows,
@@ -49,10 +46,9 @@ fn main() {
             if analysis::analyse(&set, &model, 2).schedulable() {
                 admitted[0] += 1;
             }
-            for (i, algo) in
-                [Algorithm::Nr, Algorithm::Rc { rho_t: 2 }, Algorithm::Ra { rho: 2 }]
-                    .iter()
-                    .enumerate()
+            for (i, algo) in [Algorithm::Nr, Algorithm::Rc { rho_t: 2 }, Algorithm::Ra { rho: 2 }]
+                .iter()
+                .enumerate()
             {
                 if algo.build().schedule(&set, &model).is_ok() {
                     admitted[i + 1] += 1;

@@ -39,11 +39,8 @@ fn main() {
     let model = NetworkModel::new(&topology, &channels);
 
     // a dense 1 s workload that forces plenty of reuse under RA
-    let config = FlowSetConfig::new(
-        110,
-        PeriodRange::new(0, 0).expect("valid"),
-        TrafficPattern::PeerToPeer,
-    );
+    let config =
+        FlowSetConfig::new(110, PeriodRange::new(0, 0).expect("valid"), TrafficPattern::PeerToPeer);
     let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &config).expect("generation");
     let schedule = Algorithm::Ra { rho: 2 }.build().schedule(&flows, &model).expect("RA schedules");
 
@@ -66,7 +63,8 @@ fn main() {
     }
 
     // 3: repair
-    let (repaired, report) = repair::reassign_degraded(&schedule, &model, &flows, 2, &rejected);
+    let (repaired, report) = repair::reassign_degraded(&schedule, &model, &flows, 2, &rejected)
+        .expect("schedule and flow set are consistent");
     println!(
         "repair: {} jobs re-placed, {} transmissions moved, {} jobs unrepairable",
         report.repaired_jobs.len(),
@@ -80,9 +78,7 @@ fn main() {
     println!("\n{:>10}  {:>12}  {:>12}", "link", "PRR before", "PRR after");
     let mut recovered = 0usize;
     for link in &rejected {
-        let b = before
-            .overall_prr(*link, LinkCondition::Reuse)
-            .unwrap_or(f64::NAN);
+        let b = before.overall_prr(*link, LinkCondition::Reuse).unwrap_or(f64::NAN);
         // after the repair the link should be contention-free
         let a = after
             .overall_prr(*link, LinkCondition::ContentionFree)

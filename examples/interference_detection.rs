@@ -26,10 +26,13 @@ fn main() {
         window_reps: 10,
         ..DetectionConfig::default()
     };
-    println!(
-        "30 peer-to-peer flows at 1 s on channels 11-14; WiFi interferers on every floor\n"
+    println!("30 peer-to-peer flows at 1 s on channels 11-14; WiFi interferers on every floor\n");
+    let runs = evaluate(
+        &topology,
+        &channels,
+        &[Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }],
+        &cfg,
     );
-    let runs = evaluate(&topology, &channels, &[Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }], &cfg);
     for run in &runs {
         println!("=== scheduler {} ===", run.algorithm);
         println!("links involved in channel reuse: {}", run.links_with_reuse);

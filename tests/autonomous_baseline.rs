@@ -15,23 +15,16 @@ fn managed_reuse_beats_autonomous_on_deadline_pdr() {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(&topo, &channels);
-    let cfg = FlowSetConfig::new(
-        30,
-        PeriodRange::new(-1, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(30, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(0x0DDC0DE ^ 1).generate(&comm, &cfg).unwrap();
 
-    let schedule = Algorithm::Rc { rho_t: 2 }
-        .build()
-        .schedule(&set, &model)
-        .expect("RC schedules 30 flows");
+    let schedule =
+        Algorithm::Rc { rho_t: 2 }.build().schedule(&set, &model).expect("RC schedules 30 flows");
     let sim_cfg = SimConfig { repetitions: 40, discovery_probes: 0, ..SimConfig::default() };
     let managed = Simulator::new(&topo, &channels, &set, &schedule).run(&sim_cfg);
 
     let frame = AutonomousSlotframe::receiver_based(topo.node_count(), 17, channels.len());
-    let autonomous =
-        AutonomousSimulator::new(&topo, &channels, &set, &frame).run(&sim_cfg);
+    let autonomous = AutonomousSimulator::new(&topo, &channels, &set, &frame).run(&sim_cfg);
 
     assert!(
         managed.network_pdr() > autonomous.network_pdr() + 0.05,
@@ -54,11 +47,7 @@ fn autonomous_degrades_gracefully_with_frame_length() {
     let topo = testbeds::wustl(1);
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
-    let cfg = FlowSetConfig::new(
-        20,
-        PeriodRange::new(-1, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let cfg = FlowSetConfig::new(20, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer);
     let set = FlowSetGenerator::new(0x0DDC0DE ^ 2).generate(&comm, &cfg).unwrap();
     let sim_cfg = SimConfig { repetitions: 30, discovery_probes: 0, ..SimConfig::default() };
     let pdr_at = |len: u32| {
@@ -67,8 +56,5 @@ fn autonomous_degrades_gracefully_with_frame_length() {
     };
     let short = pdr_at(7);
     let long = pdr_at(47);
-    assert!(
-        short > long,
-        "a 7-slot frame ({short}) must outperform a 47-slot frame ({long})"
-    );
+    assert!(short > long, "a 7-slot frame ({short}) must outperform a 47-slot frame ({long})");
 }

@@ -28,8 +28,7 @@ fn pipeline(topo: &Topology, pattern: TrafficPattern, flows: usize, seed: u64) {
                     .unwrap_or_else(|v| panic!("{algo} produced invalid schedule: {v:?}"));
                 // and survives simulation with sane outputs
                 let sim = Simulator::new(topo, &channels, &set, &schedule);
-                let report =
-                    sim.run(&SimConfig { repetitions: 10, ..SimConfig::default() });
+                let report = sim.run(&SimConfig { repetitions: 10, ..SimConfig::default() });
                 let pdr = report.network_pdr();
                 assert!(
                     (0.0..=1.0).contains(&pdr) && pdr > 0.5,

@@ -1,0 +1,178 @@
+//! End-to-end fault injection and recovery: a mid-run link collapse must
+//! drive the supervised detect → repair → re-validate loop to a schedule
+//! the independent validator accepts, shedding only the flows that cannot
+//! survive — and an *empty* fault plan must leave the simulator
+//! bit-identical to a build without fault support.
+
+use proptest::prelude::*;
+use wsan::core::{validate, NetworkModel};
+use wsan::expr::recovery::{supervise, SupervisorConfig};
+use wsan::expr::Algorithm;
+use wsan::flow::{FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan::net::{testbeds, ChannelId, ChannelSet, Prr, Topology};
+use wsan::sim::{FaultPlan, FaultTrigger, SimConfig, Simulator};
+
+/// A deterministic peer-to-peer workload on the WUSTL stand-in.
+fn workload(flow_count: usize, seed: u64) -> (Topology, ChannelSet, FlowSet) {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).expect("valid");
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
+    let cfg = FlowSetConfig::new(
+        flow_count,
+        PeriodRange::new(0, 0).expect("valid"),
+        TrafficPattern::PeerToPeer,
+    );
+    let set = FlowSetGenerator::new(seed).generate(&comm, &cfg).expect("schedulable workload");
+    (topo, channels, set)
+}
+
+#[test]
+fn mid_run_link_collapse_converges_and_sheds_only_the_doomed_flows() {
+    let (topo, channels, set) = workload(12, 3);
+    let model = NetworkModel::new(&topo, &channels);
+    let rho_t = 2;
+    let algo = Algorithm::Rc { rho_t };
+    let schedule = algo.build().schedule(&set, &model).expect("schedulable");
+
+    // Collapse the first scheduled link to PRR 0 halfway through the first
+    // epoch; the damage is permanent, so `supervise` carries it forward.
+    let victim = schedule.entries()[0].tx.link;
+    let onset = u64::from(schedule.horizon()) * 6;
+    let cfg = SupervisorConfig {
+        seed: 0xFEED,
+        epochs: 4,
+        samples_per_epoch: 6,
+        window_reps: 4,
+        faults: FaultPlan::new(17).collapse_link_at(onset, victim, 0.0),
+        ..SupervisorConfig::default()
+    };
+    let out = supervise(&topo, &channels, &set, algo, &cfg).expect("supervision ran");
+
+    // The loop converged on a schedule the independent §V-A validator
+    // accepts, for exactly the surviving flows.
+    assert!(out.summary.converged, "supervisor never returned to a healthy epoch");
+    validate::check(&out.schedule, &out.flows, &model, Some(rho_t)).expect("valid residual");
+
+    // Every flow routed over the dead link was shed; no survivor still
+    // crosses it, and nothing else was sacrificed.
+    let doomed: Vec<usize> =
+        set.iter().filter(|f| f.links().contains(&victim)).map(|f| f.id().index()).collect();
+    assert!(!doomed.is_empty(), "victim link carried no flow — test is vacuous");
+    for d in &doomed {
+        assert!(out.summary.shed_flows.contains(d), "doomed flow {d} was not shed");
+    }
+    for (dense, orig) in out.survivors.iter().enumerate() {
+        assert!(!doomed.contains(orig), "doomed flow {orig} survived as {dense}");
+        assert!(!out.flows.flow(wsan::flow::FlowId::new(dense)).links().contains(&victim));
+    }
+    assert_eq!(
+        out.summary.shed_flows.len() + out.survivors.len(),
+        set.len(),
+        "shed + surviving must partition the original flow set"
+    );
+
+    // Graceful degradation: the survivors' delivery is within 5 % of the
+    // same flows' fault-free PDR.
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let baseline = sim
+        .run(&SimConfig {
+            seed: cfg.seed,
+            repetitions: cfg.samples_per_epoch * cfg.window_reps,
+            window_reps: cfg.window_reps,
+            ..SimConfig::default()
+        })
+        .flow_pdrs();
+    for (dense, orig) in out.survivors.iter().enumerate() {
+        assert!(
+            out.final_flow_pdr[dense] >= baseline[*orig] - 0.05,
+            "survivor {orig}: recovered PDR {} vs fault-free {}",
+            out.final_flow_pdr[dense],
+            baseline[*orig]
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical() {
+    let (topo, channels, set) = workload(10, 5);
+    let model = NetworkModel::new(&topo, &channels);
+    let schedule = Algorithm::Rc { rho_t: 2 }.build().schedule(&set, &model).expect("schedulable");
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+
+    let plain = sim.run(&SimConfig { seed: 42, repetitions: 20, ..SimConfig::default() });
+    let (faulted, log) = sim
+        .try_run_faulted(&SimConfig {
+            seed: 42,
+            repetitions: 20,
+            faults: FaultPlan::default(),
+            ..SimConfig::default()
+        })
+        .expect("valid empty plan");
+    assert!(log.is_empty());
+    assert_eq!(plain, faulted, "an empty fault plan must not perturb the simulation");
+
+    // Byte-for-byte, not just structurally.
+    assert_eq!(serde_json::to_string(&plain).unwrap(), serde_json::to_string(&faulted).unwrap());
+
+    // A plan whose events never fire is just as invisible.
+    let dormant = FaultPlan::new(7).crash_at(u64::MAX, wsan::net::NodeId::new(0));
+    let (quiet, log) = sim
+        .try_run_faulted(&SimConfig {
+            seed: 42,
+            repetitions: 20,
+            faults: dormant,
+            ..SimConfig::default()
+        })
+        .expect("valid dormant plan");
+    assert_eq!(log.fired(), 0);
+    assert_eq!(plain, quiet, "unfired events must not perturb the simulation");
+}
+
+#[test]
+fn stochastic_faults_leave_the_engine_rng_untouched_until_they_fire() {
+    // A stochastic plan with probability 0 draws from the injector's own
+    // RNG stream every slot yet never perturbs reception.
+    let (topo, channels, set) = workload(8, 9);
+    let model = NetworkModel::new(&topo, &channels);
+    let schedule = Algorithm::Rc { rho_t: 2 }.build().schedule(&set, &model).expect("schedulable");
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+
+    let plain = sim.run(&SimConfig { seed: 4, repetitions: 10, ..SimConfig::default() });
+    let never = FaultPlan::new(3).with(wsan::sim::FaultEvent {
+        trigger: FaultTrigger::Stochastic { per_slot: 0.0 },
+        duration: Some(1),
+        kind: wsan::sim::FaultKind::CrashNode { node: wsan::net::NodeId::new(1) },
+    });
+    let (faulted, log) = sim
+        .try_run_faulted(&SimConfig {
+            seed: 4,
+            repetitions: 10,
+            faults: never,
+            ..SimConfig::default()
+        })
+        .expect("valid plan");
+    assert_eq!(log.fired(), 0);
+    assert_eq!(plain, faulted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seed, an empty fault plan reproduces the fault-free run
+    /// bit-for-bit.
+    #[test]
+    fn empty_plan_identical_for_any_seed(seed in 0u64..10_000) {
+        let (topo, channels, set) = workload(6, 11);
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = Algorithm::Rc { rho_t: 2 }
+            .build()
+            .schedule(&set, &model)
+            .expect("schedulable");
+        let sim = Simulator::new(&topo, &channels, &set, &schedule);
+        let cfg = SimConfig { seed, repetitions: 5, ..SimConfig::default() };
+        let plain = sim.run(&cfg);
+        let (faulted, log) = sim.try_run_faulted(&cfg).expect("empty plan is valid");
+        prop_assert!(log.is_empty());
+        prop_assert_eq!(plain, faulted);
+    }
+}

@@ -14,11 +14,7 @@ fn ratio(topo: &wsan::net::Topology, m: usize, flows: usize, algo: Algorithm) ->
     let cfg = WorkloadConfig {
         flow_sets: 20,
         seed: 7,
-        ..WorkloadConfig::new(
-            flows,
-            PeriodRange::new(0, 2).unwrap(),
-            TrafficPattern::PeerToPeer,
-        )
+        ..WorkloadConfig::new(flows, PeriodRange::new(0, 2).unwrap(), TrafficPattern::PeerToPeer)
     };
     ratio_at(topo, m, &[algo], &cfg)[0].1
 }
@@ -66,7 +62,10 @@ fn claim_rc_is_conservative() {
 
     // light workload: RC must produce zero shared cells
     let light = FlowSetGenerator::new(3)
-        .generate(&comm, &FlowSetConfig::new(10, PeriodRange::new(0, 1).unwrap(), TrafficPattern::PeerToPeer))
+        .generate(
+            &comm,
+            &FlowSetConfig::new(10, PeriodRange::new(0, 1).unwrap(), TrafficPattern::PeerToPeer),
+        )
         .unwrap();
     let rc_light = Algorithm::Rc { rho_t: 2 }.build().schedule(&light, &model).unwrap();
     let m_light = metrics::compute(&rc_light, &model);
@@ -74,7 +73,10 @@ fn claim_rc_is_conservative() {
 
     // heavier workload: RC reuses less than RA
     let heavy = FlowSetGenerator::new(3)
-        .generate(&comm, &FlowSetConfig::new(60, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer))
+        .generate(
+            &comm,
+            &FlowSetConfig::new(60, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer),
+        )
         .unwrap();
     let ra = Algorithm::Ra { rho: 2 }.build().schedule(&heavy, &model).unwrap();
     let rc = Algorithm::Rc { rho_t: 2 }.build().schedule(&heavy, &model).unwrap();
@@ -106,7 +108,11 @@ fn claim_rc_reuses_at_larger_hop_distance() {
             let set = FlowSetGenerator::new(4)
                 .generate(
                     &comm,
-                    &FlowSetConfig::new(n, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer),
+                    &FlowSetConfig::new(
+                        n,
+                        PeriodRange::new(-1, 0).unwrap(),
+                        TrafficPattern::PeerToPeer,
+                    ),
                 )
                 .ok()?;
             let ra = Algorithm::Ra { rho: 2 }.build().schedule(&set, &model).ok()?;

@@ -14,14 +14,10 @@ fn detect_repair_resimulate_recovers_prr() {
     let channels = ChannelId::range(11, 14).unwrap();
     let comm = topology.comm_graph(&channels, Prr::new(0.9).unwrap());
     let model = NetworkModel::new(&topology, &channels);
-    let config = FlowSetConfig::new(
-        110,
-        PeriodRange::new(0, 0).unwrap(),
-        TrafficPattern::PeerToPeer,
-    );
+    let config =
+        FlowSetConfig::new(110, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
     let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &config).unwrap();
-    let schedule =
-        Algorithm::Ra { rho: 2 }.build().schedule(&flows, &model).expect("RA schedules");
+    let schedule = Algorithm::Ra { rho: 2 }.build().schedule(&flows, &model).expect("RA schedules");
 
     let sim_cfg = SimConfig { repetitions: 120, window_reps: 10, ..SimConfig::default() };
     let before = Simulator::new(&topology, &channels, &flows, &schedule).run(&sim_cfg);
@@ -43,7 +39,8 @@ fn detect_repair_resimulate_recovers_prr() {
     );
 
     // repair and re-validate
-    let (repaired, report) = repair::reassign_degraded(&schedule, &model, &flows, 2, &rejected);
+    let (repaired, report) = repair::reassign_degraded(&schedule, &model, &flows, 2, &rejected)
+        .expect("schedule and flow set are consistent");
     assert!(report.repaired_jobs.len() + report.failed_jobs.len() > 0);
     validate::check(&repaired, &flows, &model, Some(2)).expect("repaired schedule is valid");
 

@@ -1,0 +1,418 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The real `serde_derive` (and its `syn`/`quote` dependencies) cannot be
+//! fetched in this build environment, so these macros parse the input token
+//! stream directly. Only the shapes this workspace actually derives are
+//! supported: non-generic named-field structs, tuple/newtype/unit structs,
+//! and enums whose variants are unit, tuple, or struct shaped. Generics and
+//! `#[serde(...)]` attributes are rejected at compile time rather than
+//! silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes of type this derive understands.
+enum Data {
+    /// `struct S { a: T, b: U }` — the listed field names.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — the field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the offline stand-in's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_input(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", pairs.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(&name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_input(input);
+    let body = match &data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f)).collect();
+            format!(
+                "if v.as_map().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\"object\", v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+            format!(
+                "let items = v.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                         \"expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"null\", other)),\n\
+             }}"
+        ),
+        Data::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// One `match self` arm of a derived enum `to_value`.
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{vn} => \
+             ::serde::value::Value::Str(::std::string::String::from(\"{vn}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vn}(f0) => ::serde::value::Value::Map(vec![(\
+                 ::std::string::String::from(\"{vn}\"), \
+                 ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(f{i})")).collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::value::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::value::Value::Seq(vec![{}]))]),",
+                binders.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {} }} => ::serde::value::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::value::Value::Map(vec![{}]))]),",
+                fields.join(", "),
+                pairs.join(", ")
+            )
+        }
+    }
+}
+
+/// A named-struct (or struct-variant) field initialiser reading `src`,
+/// treating a missing key as `Null` so `Option` fields default to `None`.
+fn field_init_from(src: &str, f: &str) -> String {
+    format!(
+        "{f}: ::serde::Deserialize::from_value(\
+             {src}.get(\"{f}\").unwrap_or(&::serde::value::Value::Null))\
+             .map_err(|e| e.context(\"{f}\"))?"
+    )
+}
+
+fn named_field_init(f: &str) -> String {
+    field_init_from("v", f)
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> =
+        variants.iter().filter(|v| matches!(v.kind, VariantKind::Unit)).collect();
+    let tagged: Vec<&Variant> =
+        variants.iter().filter(|v| !matches!(v.kind, VariantKind::Unit)).collect();
+
+    let str_arm = if unit.is_empty() {
+        "::serde::value::Value::Str(s) => ::std::result::Result::Err(\
+             ::serde::DeError::custom(format!(\"unknown variant {:?}\", s))),"
+            .to_string()
+    } else {
+        let arms: Vec<String> = unit
+            .iter()
+            .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+            .collect();
+        format!(
+            "::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::DeError::custom(format!(\"unknown variant {{:?}}\", other))),\n\
+             }},",
+            arms.join("\n")
+        )
+    };
+
+    let map_arm = if tagged.is_empty() {
+        "::serde::value::Value::Map(fields) => ::std::result::Result::Err(\
+             ::serde::DeError::custom(format!(\"unknown variant object with {} keys\", \
+             fields.len()))),"
+            .to_string()
+    } else {
+        let arms: Vec<String> = tagged.iter().map(|v| tagged_variant_arm(name, v)).collect();
+        format!(
+            "::serde::value::Value::Map(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\"unknown variant {{:?}}\", other))),\n\
+                 }}\n\
+             }},",
+            arms.join("\n")
+        )
+    };
+
+    format!(
+        "match v {{\n\
+             {str_arm}\n\
+             {map_arm}\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"externally tagged enum\", other)),\n\
+         }}"
+    )
+}
+
+/// One `match tag.as_str()` arm for a newtype / tuple / struct variant.
+fn tagged_variant_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => unreachable!("unit variants are handled in the Str arm"),
+        VariantKind::Tuple(1) => format!(
+            "\"{vn}\" => ::std::result::Result::Ok(\
+                 {name}::{vn}(::serde::Deserialize::from_value(inner)\
+                     .map_err(|e| e.context(\"{vn}\"))?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "\"{vn}\" => {{\n\
+                     let items = inner.as_seq()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"array\", inner))?;\n\
+                     if items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(format!(\
+                             \"variant {vn}: expected {n} elements, found {{}}\", items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                 }},",
+                items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_init_from("inner", f)).collect();
+            format!(
+                "\"{vn}\" => {{\n\
+                     if inner.as_map().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"object\", inner));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                 }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+// ---- token-stream parsing ------------------------------------------------
+
+/// Parses a derive input down to (type name, shape). Panics (a compile
+/// error at the derive site) on shapes this stand-in does not support.
+fn parse_input(input: TokenStream) -> (String, Data) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the offline serde derive does not support generic types ({name})");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Data::NamedStruct(field_names(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Data::TupleStruct(split_top_level_commas(g.stream()).len()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Data::UnitStruct),
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants =
+                    split_top_level_commas(g.stream()).iter().map(|p| parse_variant(p)).collect();
+                (name, Data::Enum(variants))
+            }
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field / variant list on commas at angle-bracket depth zero.
+/// (Parenthesised and bracketed sub-streams are opaque `Group` tokens, so
+/// only `<`/`>` need tracking; `->` is recognised so it does not close a
+/// generic list.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth: i32 = 0;
+    let mut prev_dash = false;
+    for t in stream {
+        let mut this_dash = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !prev_dash => depth -= 1,
+                '-' => this_dash = true,
+                ',' if depth == 0 => {
+                    parts.push(Vec::new());
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_dash = this_dash;
+        parts.last_mut().expect("parts is never empty").push(t);
+    }
+    if parts.last().is_some_and(Vec::is_empty) {
+        parts.pop();
+    }
+    parts
+}
+
+/// Extracts the field names from a named-field body.
+fn field_names(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .iter()
+        .map(|part| {
+            let i = skip_attrs_and_vis(part, 0);
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses one enum variant: `Name`, `Name(T, ...)`, or `Name { f: T, ... }`.
+fn parse_variant(part: &[TokenTree]) -> Variant {
+    let i = skip_attrs_and_vis(part, 0);
+    let name = match part.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected variant name, found {other:?}"),
+    };
+    let kind = match part.get(i + 1) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level_commas(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Named(field_names(g.stream()))
+        }
+        other => panic!("unsupported variant shape after {name}: {other:?}"),
+    };
+    Variant { name, kind }
+}

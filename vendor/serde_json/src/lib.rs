@@ -1,0 +1,432 @@
+//! Offline JSON front-end for the `serde` stand-in: renders and parses the
+//! stand-in's [`serde::value::Value`] data model with the same public entry
+//! points this workspace uses from the real `serde_json` (`to_string`,
+//! `to_string_pretty`, `from_str`, `Error`).
+
+#![forbid(unsafe_code)]
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the value model this stand-in supports; the `Result`
+/// mirrors the real crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the value model this stand-in supports; the `Result`
+/// mirrors the real crate's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---- writer --------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, fv)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, fv, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, level: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let text = f.to_string();
+        out.push_str(&text);
+        // keep floats recognisable as floats, matching serde_json
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // the real serde_json errors here; emitting null keeps reports
+        // writable when a metric degenerates
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser --------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.fail("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn fail(&self, what: &str) -> Error {
+        Error::new(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.fail("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.fail("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.fail("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.fail("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.fail(&format!("unexpected character {:?}", b as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| self.fail("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self.bytes.get(self.pos).ok_or_else(|| self.fail("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.fail("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("bad \\u escape"))?;
+                            self.pos += 4;
+                            // surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.fail("unterminated"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.fail("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        let v: Vec<i32> = from_str("[1, -2, 3]").unwrap();
+        assert_eq!(v, vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v: Vec<Vec<f64>> = from_str("[[1.5, 2e3], []]").unwrap();
+        assert_eq!(v, vec![vec![1.5, 2000.0], vec![]]);
+        let pairs: Vec<(u32, String)> = from_str(r#"[[1, "a"], [2, "b\n"]]"#).unwrap();
+        assert_eq!(pairs, vec![(1, "a".to_string()), (2, "b\n".to_string())]);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let original = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&original).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<u32>> = from_str(&pretty).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn object_round_trips_through_map() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 1u32);
+        m.insert("y".to_string(), 2u32);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"x":1,"y":2}"#);
+        let back: BTreeMap<String, u32> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Vec<i32>>("[1, 2").is_err());
+        assert!(from_str::<bool>("truthy").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+    }
+}
