@@ -10,9 +10,15 @@ echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
 
 echo "==> cargo test (tier 1)"
 cargo test -q --workspace
+
+echo "==> release smoke run (fig6, tiny scale)"
+smoke_dir="$(mktemp -d)"
+WSAN_RESULTS_DIR="$smoke_dir" cargo run --release -q -p wsan-bench --bin fig6 -- --sets 2 --quick
+test -s "$smoke_dir/fig6.json"
+rm -rf "$smoke_dir"
 
 echo "CI green."

@@ -1,0 +1,47 @@
+//! Overhead of the observability layer on the hot simulation path.
+//!
+//! `sim/uninstrumented` is the stack as shipped: no subscriber installed,
+//! metrics disabled — every instrumentation site reduces to one relaxed
+//! atomic load. The acceptance bar is that `sim/null-subscriber` (an
+//! installed but always-off subscriber, metrics still disabled) stays
+//! within 5% of it in release mode. `sim/metrics-enabled` shows what the
+//! counters and histograms cost when they actually record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use wsan_core::NetworkModel;
+use wsan_expr::Algorithm;
+use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, Prr};
+use wsan_sim::{SimConfig, Simulator};
+
+fn bench_observability(c: &mut Criterion) {
+    let topo = testbeds::wustl(1);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg = FlowSetConfig::new(40, PeriodRange::new(-1, 0).unwrap(), TrafficPattern::PeerToPeer);
+    let set = FlowSetGenerator::new(7).generate(&comm, &cfg).expect("generation");
+    let schedule = Algorithm::Rc { rho_t: 2 }.build().schedule(&set, &model).expect("schedulable");
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let sim_cfg = SimConfig { repetitions: 50, ..SimConfig::default() };
+
+    wsan_obs::uninstall();
+    wsan_obs::set_metrics_enabled(false);
+    c.bench_function("sim/uninstrumented", |b| b.iter(|| sim.run(&sim_cfg)));
+
+    wsan_obs::install(Arc::new(wsan_obs::NullSubscriber));
+    c.bench_function("sim/null-subscriber", |b| b.iter(|| sim.run(&sim_cfg)));
+    wsan_obs::uninstall();
+
+    wsan_obs::set_metrics_enabled(true);
+    c.bench_function("sim/metrics-enabled", |b| b.iter(|| sim.run(&sim_cfg)));
+    wsan_obs::set_metrics_enabled(false);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_observability
+}
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 
 use std::process::Command;
 use wsan_bench::{results_dir, RunOptions};
+use wsan_obs::PhaseProfiler;
 
 const FIGURES: &[&str] = &[
     "fig1_2_3",
@@ -27,6 +28,7 @@ fn main() {
     let log_dir = results_dir().join("logs");
     std::fs::create_dir_all(&log_dir).expect("create log dir");
     let mut failures = Vec::new();
+    let mut profiler = PhaseProfiler::new();
     for figure in FIGURES {
         let mut cmd = Command::new(exe_dir.join(figure));
         cmd.arg("--seed").arg(opts.seed.to_string());
@@ -34,6 +36,7 @@ fn main() {
             cmd.arg("--quick");
         }
         println!("running {figure} …");
+        let _phase = profiler.phase(figure);
         match cmd.output() {
             Ok(output) => {
                 let log = log_dir.join(format!("{figure}.txt"));
@@ -52,6 +55,16 @@ fn main() {
                 failures.push(*figure);
             }
         }
+    }
+    let profile = profiler.finish();
+    print!("\n{}", profile.render());
+    let timings = log_dir.join("timings.json");
+    match serde_json::to_string_pretty(&profile) {
+        Ok(json) => {
+            std::fs::write(&timings, json).expect("write timings");
+            println!("per-figure timings written to {}", timings.display());
+        }
+        Err(e) => println!("could not serialise timings: {e}"),
     }
     if failures.is_empty() {
         println!("\nall figures regenerated; see EXPERIMENTS.md for paper-vs-measured notes");

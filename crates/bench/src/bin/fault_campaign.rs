@@ -17,9 +17,12 @@ use wsan_expr::recovery::{campaign, SupervisorConfig};
 use wsan_expr::{table, Algorithm};
 use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
 use wsan_net::{testbeds, ChannelId, Prr};
+use wsan_obs::PhaseProfiler;
 
 fn main() {
     let opts = RunOptions::parse(1);
+    let mut profiler = PhaseProfiler::new();
+    let workload = profiler.phase("workload generation");
     let topo = testbeds::wustl(1);
     let channels = ChannelId::range(11, 14).expect("valid");
     let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid PRR"));
@@ -31,6 +34,7 @@ fn main() {
     );
     let set =
         FlowSetGenerator::new(opts.seed).generate(&comm, &fsc).expect("workload generation failed");
+    drop(workload);
 
     let cfg = SupervisorConfig {
         seed: opts.seed,
@@ -43,7 +47,9 @@ fn main() {
 
     let mut results = Vec::new();
     for algo in [Algorithm::Nr, Algorithm::Rc { rho_t: 2 }] {
-        let result = match campaign(&topo, &channels, &set, algo, &cfg, intensities) {
+        let result = match profiler.time(&format!("campaign {algo}"), || {
+            campaign(&topo, &channels, &set, algo, &cfg, intensities)
+        }) {
             Ok(r) => r,
             Err(e) => {
                 println!("{algo}: campaign failed ({e}); skipping");
@@ -73,7 +79,10 @@ fn main() {
         print!("{}", table::render(&headers, &rows));
         results.push(result);
     }
-    table::write_json(results_dir().join("fault_campaign.json"), &results)
-        .expect("write results JSON");
+    profiler.time("write results", || {
+        table::write_json(results_dir().join("fault_campaign.json"), &results)
+            .expect("write results JSON");
+    });
     println!("\nresults written under {}", results_dir().display());
+    eprint!("{}", profiler.finish().render());
 }

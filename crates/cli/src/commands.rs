@@ -17,12 +17,18 @@ pub const USAGE: &str = "usage:
                 [--pattern p2p|centralized] [--channels a-b] [--seed N]
                 [--periods x,y] [--rho N]
   wsan simulate (schedule options) [--reps N] [--wifi] [--autonomous L]
+  wsan run      alias for simulate
   wsan export   (schedule options) --out FILE     # CSV slotframe
   wsan detect   --testbed <indriya|wustl> --flows N [--epochs N] [--seed N]
                 [--channels a-b] [--algo ra|rc] [--repair]
   wsan faults   --testbed <indriya|wustl> --flows N [--collapse k1,k2,..]
                 [--epochs N] [--algo nr|ra|rc] [--channels a-b] [--seed N]
-                [--out FILE]                    # fault campaign → JSON";
+                [--out FILE]                    # fault campaign → JSON
+
+observability (accepted by every subcommand):
+  --log-level off|error|warn|info|debug|trace   structured events to stderr
+  --log-format pretty|json                      event rendering (default pretty)
+  --metrics-out FILE                            write a metrics snapshot as JSON";
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -34,10 +40,11 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Err("missing subcommand".to_string());
     };
     let args = Args::parse(rest)?;
-    match command.as_str() {
+    init_observability(&args)?;
+    let result = match command.as_str() {
         "topology" => cmd_topology(&args),
         "schedule" => cmd_schedule(&args),
-        "simulate" => cmd_simulate(&args),
+        "simulate" | "run" => cmd_simulate(&args),
         "export" => cmd_export(&args),
         "detect" => cmd_detect(&args),
         "faults" => cmd_faults(&args),
@@ -46,7 +53,77 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'")),
+    };
+    wsan_obs::flush();
+    if result.is_ok() {
+        write_metrics_report(&args)?;
     }
+    result
+}
+
+/// Observability options accepted by every subcommand.
+const GLOBAL_OPTS: &[&str] = &["log-level", "log-format", "metrics-out"];
+
+/// Unknown-option check that also admits the global observability options.
+fn known(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    let mut all = allowed.to_vec();
+    all.extend_from_slice(GLOBAL_OPTS);
+    args.ensure_known(&all)
+}
+
+/// Turns `--log-level`/`--log-format`/`--metrics-out` into an installed
+/// subscriber and/or an enabled global metrics registry, before the command
+/// runs. With none of the flags this is a no-op and the stack stays on its
+/// zero-overhead path.
+fn init_observability(args: &Args) -> Result<(), String> {
+    if args.has("metrics-out") {
+        wsan_obs::set_metrics_enabled(true);
+    }
+    let level = match args.get("log-level") {
+        Some(raw) => wsan_obs::Level::parse(raw)?,
+        // --log-format alone implies logging at the default level
+        None if args.has("log-format") => Some(wsan_obs::Level::Info),
+        None => None,
+    };
+    let Some(level) = level else {
+        return Ok(());
+    };
+    match args.get("log-format") {
+        None | Some("pretty") => {
+            wsan_obs::install(std::sync::Arc::new(wsan_obs::StderrSubscriber::new(level)));
+        }
+        Some("json") => {
+            wsan_obs::install(std::sync::Arc::new(wsan_obs::JsonLinesSubscriber::new(
+                level,
+                std::io::stderr(),
+            )));
+        }
+        Some(other) => return Err(format!("unknown log format '{other}' (pretty|json)")),
+    }
+    Ok(())
+}
+
+/// Writes the global metrics snapshot to `--metrics-out` after a successful
+/// command, creating parent directories as needed.
+fn write_metrics_report(args: &Args) -> Result<(), String> {
+    let Some(path) = args.get("metrics-out") else {
+        return Ok(());
+    };
+    if path.is_empty() {
+        return Err("--metrics-out expects a file path".to_string());
+    }
+    let snapshot = wsan_obs::global_metrics().snapshot();
+    let json = serde_json::to_string_pretty(&snapshot)
+        .map_err(|e| format!("cannot serialise metrics: {e}"))?;
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("metrics snapshot written to {path}");
+    Ok(())
 }
 
 fn load_testbed(args: &Args) -> Result<Topology, String> {
@@ -117,7 +194,7 @@ fn build_workload(
 }
 
 fn cmd_topology(args: &Args) -> Result<(), String> {
-    args.ensure_known(&["testbed", "seed", "channels", "dot", "save", "load"])?;
+    known(args, &["testbed", "seed", "channels", "dot", "save", "load"])?;
     let topo = load_testbed(args)?;
     if let Some(path) = args.get("save") {
         topo.save(path).map_err(|e| format!("cannot save {path}: {e}"))?;
@@ -172,7 +249,7 @@ const SCHEDULE_OPTS: &[&str] = &[
 ];
 
 fn cmd_schedule(args: &Args) -> Result<(), String> {
-    args.ensure_known(SCHEDULE_OPTS)?;
+    known(args, SCHEDULE_OPTS)?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let (set, model) = build_workload(args, &topo, &channels)?;
@@ -221,7 +298,7 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let mut allowed = SCHEDULE_OPTS.to_vec();
     allowed.extend(["reps", "wifi", "autonomous"]);
-    args.ensure_known(&allowed)?;
+    known(args, &allowed)?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let (set, model) = build_workload(args, &topo, &channels)?;
@@ -269,7 +346,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_export(args: &Args) -> Result<(), String> {
     let mut allowed = SCHEDULE_OPTS.to_vec();
     allowed.push("out");
-    args.ensure_known(&allowed)?;
+    known(args, &allowed)?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let (set, model) = build_workload(args, &topo, &channels)?;
@@ -290,9 +367,7 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
-        "testbed", "seed", "channels", "flows", "epochs", "algo", "repair", "rho",
-    ])?;
+    known(args, &["testbed", "seed", "channels", "flows", "epochs", "algo", "repair", "rho"])?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let algo = algorithm_of(args, Algorithm::Ra { rho: 2 })?;
@@ -360,10 +435,13 @@ fn cmd_detect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_faults(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
-        "testbed", "seed", "channels", "flows", "pattern", "periods", "algo", "rho", "epochs",
-        "collapse", "out", "load",
-    ])?;
+    known(
+        args,
+        &[
+            "testbed", "seed", "channels", "flows", "pattern", "periods", "algo", "rho", "epochs",
+            "collapse", "out", "load",
+        ],
+    )?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
     let (set, _) = build_workload(args, &topo, &channels)?;
@@ -518,6 +596,48 @@ mod export_tests {
             "7",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn run_alias_with_metrics_out_writes_a_snapshot() {
+        let dir = std::env::temp_dir().join("wsan-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        run(&[
+            "run",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "6",
+            "--reps",
+            "3",
+            "--seed",
+            "3",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let snapshot: wsan_obs::MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        // scheduler decisions and per-slot simulation counters must be present
+        assert!(snapshot.counters.contains_key("core.schedule.runs"));
+        assert!(snapshot.counters.contains_key("sim.tx"));
+        assert!(snapshot.counters["sim.tx"] > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_log_level_is_rejected() {
+        let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--log-level", "blah"])
+            .unwrap_err();
+        assert!(err.contains("blah"));
+    }
+
+    #[test]
+    fn bad_log_format_is_rejected() {
+        let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--log-format", "xml"])
+            .unwrap_err();
+        assert!(err.contains("xml"));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! wsan detect    --testbed wustl --flows 110 [--epochs 6] [--repair]
 //! ```
 //!
-//! Every command is deterministic in its `--seed`.
+//! Every command is deterministic in its `--seed`, and accepts
+//! `--log-level`, `--log-format pretty|json` and `--metrics-out FILE` for
+//! structured logging and a JSON metrics snapshot (`run` is an alias for
+//! `simulate`).
 
 mod args;
 mod commands;

@@ -41,6 +41,9 @@ impl ReuseAggressively {
 
 struct RaPolicy {
     rho: Rho,
+    /// Counts placements into already-occupied cells (i.e. actual channel
+    /// reuse); present only when global metrics are on.
+    reuse_placements: Option<wsan_obs::Counter>,
 }
 
 impl PlacePolicy for RaPolicy {
@@ -50,7 +53,13 @@ impl PlacePolicy for RaPolicy {
         model: &NetworkModel,
         req: &PlaceRequest<'_>,
     ) -> Option<(u32, usize)> {
-        find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho)
+        let found = find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho);
+        if let (Some(counter), Some((slot, offset))) = (&self.reuse_placements, found) {
+            if !schedule.cell(slot, offset).is_empty() {
+                counter.inc();
+            }
+        }
+        found
     }
 }
 
@@ -65,7 +74,12 @@ impl Scheduler for ReuseAggressively {
         model: &NetworkModel,
         config: &SchedulerConfig,
     ) -> Result<Schedule, ScheduleError> {
-        run_fixed_priority(flows, model, config, &mut RaPolicy { rho: Rho::AtLeast(self.rho) })
+        let mut policy = RaPolicy {
+            rho: Rho::AtLeast(self.rho),
+            reuse_placements: wsan_obs::metrics_enabled()
+                .then(|| wsan_obs::global_metrics().counter("ra.placements.reuse")),
+        };
+        run_fixed_priority(flows, model, config, &mut policy)
     }
 }
 

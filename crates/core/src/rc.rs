@@ -101,11 +101,38 @@ impl ReuseConservatively {
     }
 }
 
+/// Instrument handles for RC's reuse decisions. Built once per schedule
+/// run, only when global metrics are on.
+struct RcMetrics {
+    placements_no_reuse: wsan_obs::Counter,
+    placements_reuse: wsan_obs::Counter,
+    rho_shrinks: wsan_obs::Counter,
+    floor_fallbacks: wsan_obs::Counter,
+    laxity_at_shrink: wsan_obs::Histogram,
+}
+
+impl RcMetrics {
+    fn new() -> Self {
+        let reg = wsan_obs::global_metrics();
+        RcMetrics {
+            placements_no_reuse: reg.counter("rc.placements.no_reuse"),
+            placements_reuse: reg.counter("rc.placements.reuse"),
+            rho_shrinks: reg.counter("rc.rho_shrinks"),
+            floor_fallbacks: reg.counter("rc.floor_fallbacks"),
+            // laxity in slots at the moment RC shrinks ρ; always negative
+            // under the paper's trigger, so buckets skew below zero
+            laxity_at_shrink: reg
+                .histogram("rc.laxity_at_shrink", &[-64.0, -16.0, -4.0, -1.0, 0.0, 4.0]),
+        }
+    }
+}
+
 struct RcPolicy {
     rho_t: u32,
     reset: RhoReset,
     trigger: ReuseTrigger,
     rho: Rho,
+    metrics: Option<RcMetrics>,
 }
 
 impl PlacePolicy for RcPolicy {
@@ -132,25 +159,63 @@ impl PlacePolicy for RcPolicy {
         loop {
             let candidate =
                 find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho);
+            // laxity that forces the next ρ shrink, when the trigger saw one
+            let mut shrink_laxity: Option<i64> = None;
             if let Some((slot, offset)) = candidate {
                 found = Some((slot, offset));
                 let good_enough = match self.trigger {
                     ReuseTrigger::NegativeLaxity => {
-                        flow_laxity(schedule, slot, req.deadline_slot, req.remaining) >= 0
+                        let laxity = flow_laxity(schedule, slot, req.deadline_slot, req.remaining);
+                        shrink_laxity = Some(laxity);
+                        laxity >= 0
                     }
                     // a found slot is always accepted in the ablation mode
                     ReuseTrigger::DeadlineMissOnly => true,
                 };
                 if good_enough {
+                    if let Some(m) = &self.metrics {
+                        match self.rho {
+                            Rho::NoReuse => m.placements_no_reuse.inc(),
+                            Rho::AtLeast(_) => m.placements_reuse.inc(),
+                        }
+                    }
                     return found;
                 }
             }
             match self.rho.step_down(model.lambda_r(), self.rho_t) {
-                Some(next) => self.rho = next,
+                Some(next) => {
+                    if let Some(m) = &self.metrics {
+                        m.rho_shrinks.inc();
+                        if let Some(laxity) = shrink_laxity {
+                            m.laxity_at_shrink.observe(laxity as f64);
+                        }
+                    }
+                    if wsan_obs::enabled(wsan_obs::Level::Trace) {
+                        wsan_obs::event(
+                            wsan_obs::Level::Trace,
+                            "wsan_core::rc",
+                            "shrinking reuse distance",
+                            &[
+                                wsan_obs::kv("laxity", shrink_laxity.unwrap_or(i64::MIN)),
+                                wsan_obs::kv("rho", wsan_obs::FieldValue::display(next)),
+                                wsan_obs::kv("link", wsan_obs::FieldValue::display(req.link)),
+                            ],
+                        );
+                    }
+                    self.rho = next;
+                }
                 // ρ fell below ρ_t: schedule at the last found slot if it
                 // makes the deadline (findSlot already bounds by d_i),
                 // otherwise report the miss.
-                None => return found,
+                None => {
+                    if let Some(m) = &self.metrics {
+                        m.floor_fallbacks.inc();
+                        if found.is_some() {
+                            m.placements_reuse.inc();
+                        }
+                    }
+                    return found;
+                }
             }
         }
     }
@@ -172,6 +237,7 @@ impl Scheduler for ReuseConservatively {
             reset: self.reset,
             trigger: self.trigger,
             rho: Rho::NoReuse,
+            metrics: wsan_obs::metrics_enabled().then(RcMetrics::new),
         };
         run_fixed_priority(flows, model, config, &mut policy)
     }

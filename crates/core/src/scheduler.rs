@@ -85,6 +85,27 @@ pub(crate) trait PlacePolicy {
     ) -> Option<(u32, usize)>;
 }
 
+/// Instrument handles shared by every scheduler run. Built once per
+/// [`run_fixed_priority`] call, and only when global metrics are on.
+struct EngineMetrics {
+    runs: wsan_obs::Counter,
+    placements: wsan_obs::Counter,
+    misses: wsan_obs::Counter,
+    timer: wsan_obs::Timer,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let reg = wsan_obs::global_metrics();
+        EngineMetrics {
+            runs: reg.counter("core.schedule.runs"),
+            placements: reg.counter("core.schedule.placements"),
+            misses: reg.counter("core.schedule.deadline_misses"),
+            timer: reg.timer("core.schedule"),
+        }
+    }
+}
+
 /// The fixed-priority scheduling engine shared by NR/RA/RC: flows in
 /// priority order, each flow's jobs in release order, each job's
 /// transmissions in route order (primary then retry per link), every
@@ -98,7 +119,21 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
     if model.channels() == 0 {
         return Err(ScheduleError::NoChannels);
     }
+    let metrics = wsan_obs::metrics_enabled().then(EngineMetrics::new);
+    let _timed = metrics.as_ref().map(|m| {
+        m.runs.inc();
+        m.timer.start()
+    });
     let horizon = flows.hyperperiod();
+    let _span = wsan_obs::span(
+        wsan_obs::Level::Debug,
+        "core.schedule",
+        if wsan_obs::enabled(wsan_obs::Level::Debug) {
+            vec![wsan_obs::kv("flows", flows.len()), wsan_obs::kv("horizon", horizon)]
+        } else {
+            Vec::new()
+        },
+    );
     let mut schedule = Schedule::new(horizon, model.channels(), model.node_count());
     let attempts: u8 = if config.retries { 2 } else { 1 };
     for flow in flows.iter() {
@@ -121,11 +156,28 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
                     remaining: &remaining_links[i + 1..],
                 };
                 let Some((slot, offset)) = policy.place(&schedule, model, &req) else {
+                    if let Some(m) = &metrics {
+                        m.misses.inc();
+                    }
+                    if wsan_obs::enabled(wsan_obs::Level::Debug) {
+                        wsan_obs::event(
+                            wsan_obs::Level::Debug,
+                            "wsan_core::scheduler",
+                            "deadline miss: flow set unschedulable",
+                            &[
+                                wsan_obs::kv("flow", flow.id().index()),
+                                wsan_obs::kv("job", job.index()),
+                            ],
+                        );
+                    }
                     return Err(ScheduleError::Unschedulable {
                         flow: flow.id(),
                         job_index: job.index(),
                     });
                 };
+                if let Some(m) = &metrics {
+                    m.placements.inc();
+                }
                 debug_assert!(slot >= earliest && slot <= d_i);
                 schedule.place(
                     slot,

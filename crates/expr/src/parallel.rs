@@ -8,6 +8,13 @@
 /// returns the results in index order.
 ///
 /// `f` must be `Sync` because multiple worker threads call it concurrently.
+///
+/// # Panics
+///
+/// If `f` panics for some item, the panic is re-raised on the calling
+/// thread with the failing index and the original payload's message
+/// attached (e.g. `parallel_map: item 3 panicked: boom`), instead of an
+/// anonymous "worker panicked" abort that loses which sweep point died.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -18,11 +25,12 @@ where
     }
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| call_checked(&f, i)).collect();
     }
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let f = &f;
+    let mut failure: Option<(usize, String)> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -34,18 +42,56 @@ where
                     if i >= n {
                         break;
                     }
-                    out.push((i, f(i)));
+                    let wrapped = std::panic::AssertUnwindSafe(|| f(i));
+                    match std::panic::catch_unwind(wrapped) {
+                        Ok(value) => out.push((i, value)),
+                        Err(payload) => return Err((i, payload_message(payload.as_ref()))),
+                    }
                 }
-                out
+                Ok(out)
             }));
         }
         for handle in handles {
-            for (i, value) in handle.join().expect("worker panicked") {
-                results[i] = Some(value);
+            match handle.join().expect("worker thread could not be joined") {
+                Ok(chunk) => {
+                    for (i, value) in chunk {
+                        results[i] = Some(value);
+                    }
+                }
+                // keep the earliest failing index for a deterministic report
+                Err((i, msg)) if failure.as_ref().is_none_or(|(j, _)| i < *j) => {
+                    failure = Some((i, msg));
+                }
+                Err(_) => {}
             }
         }
     });
+    if let Some((index, message)) = failure {
+        panic!("parallel_map: item {index} panicked: {message}");
+    }
     results.into_iter().map(|r| r.expect("all indices computed")).collect()
+}
+
+/// Sequential fallback with the same panic enrichment as the worker path.
+fn call_checked<T, F: Fn(usize) -> T>(f: &F, i: usize) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+        Ok(value) => value,
+        Err(payload) => {
+            panic!("parallel_map: item {i} panicked: {}", payload_message(payload.as_ref()))
+        }
+    }
+}
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`&str` and `String` cover `panic!` and `assert!` payloads).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +116,34 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel_map: item 3 panicked: sweep point exploded")]
+    fn panicking_item_reports_its_index_and_message() {
+        let _ = parallel_map(8, |i| {
+            if i == 3 {
+                panic!("sweep point exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "item 0 panicked")]
+    fn sequential_path_reports_too() {
+        // n = 1 takes the workers <= 1 fallback
+        let _: Vec<u32> = parallel_map(1, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn earliest_failing_index_wins() {
+        // All items panic; the re-raised index must be deterministic (0).
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = parallel_map(16, |i| panic!("item-{i}"));
+        });
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.starts_with("parallel_map: item 0 panicked"), "got: {msg}");
     }
 }

@@ -191,6 +191,68 @@ pub struct SupervisorOutcome {
     pub final_flow_pdr: Vec<f64>,
 }
 
+/// Instrument handles for the supervisor's closed loop, built once per
+/// supervised run and only when global metrics are on.
+struct RecoveryMetrics {
+    healthy: wsan_obs::Counter,
+    backoff: wsan_obs::Counter,
+    recovered: wsan_obs::Counter,
+    shed_flows: wsan_obs::Counter,
+    moved_transmissions: wsan_obs::Counter,
+    reschedules: wsan_obs::Counter,
+}
+
+impl RecoveryMetrics {
+    fn new() -> Self {
+        let reg = wsan_obs::global_metrics();
+        RecoveryMetrics {
+            healthy: reg.counter("recovery.epochs.healthy"),
+            backoff: reg.counter("recovery.epochs.backoff"),
+            recovered: reg.counter("recovery.epochs.recovered"),
+            shed_flows: reg.counter("recovery.shed_flows"),
+            moved_transmissions: reg.counter("recovery.moved_transmissions"),
+            reschedules: reg.counter("recovery.reschedules"),
+        }
+    }
+}
+
+/// Records one finished epoch into metrics and the event stream.
+fn note_epoch(metrics: Option<&RecoveryMetrics>, rec: &EpochRecord) {
+    if let Some(m) = metrics {
+        match &rec.action {
+            EpochAction::Healthy => m.healthy.inc(),
+            EpochAction::Backoff { .. } => m.backoff.inc(),
+            EpochAction::Recovered { moved_transmissions, reschedules, shed } => {
+                m.recovered.inc();
+                m.moved_transmissions.add(*moved_transmissions as u64);
+                m.reschedules.add(u64::from(*reschedules));
+                m.shed_flows.add(shed.len() as u64);
+            }
+        }
+    }
+    if wsan_obs::enabled(wsan_obs::Level::Info) {
+        let action = match &rec.action {
+            EpochAction::Healthy => "healthy",
+            EpochAction::Backoff { .. } => "backoff",
+            EpochAction::Recovered { .. } => "recovered",
+        };
+        wsan_obs::event(
+            wsan_obs::Level::Info,
+            "wsan_expr::recovery",
+            "epoch classified",
+            &[
+                wsan_obs::kv("epoch", rec.epoch),
+                wsan_obs::kv("action", action),
+                wsan_obs::kv("reuse_degraded", rec.reuse_degraded),
+                wsan_obs::kv("dead_links", rec.dead_links),
+                wsan_obs::kv("faults_fired", rec.faults_fired),
+                wsan_obs::kv("network_pdr", rec.network_pdr),
+                wsan_obs::kv("surviving_flows", rec.surviving_flows),
+            ],
+        );
+    }
+}
+
 /// Runs the closed loop: simulate → classify → repair/reschedule/shed →
 /// re-validate, epoch by epoch.
 ///
@@ -207,6 +269,20 @@ pub fn supervise(
     algorithm: Algorithm,
     cfg: &SupervisorConfig,
 ) -> Result<SupervisorOutcome, RecoveryError> {
+    let metrics = wsan_obs::metrics_enabled().then(RecoveryMetrics::new);
+    let _span = wsan_obs::span(
+        wsan_obs::Level::Info,
+        "recovery.supervise",
+        if wsan_obs::enabled(wsan_obs::Level::Info) {
+            vec![
+                wsan_obs::kv("algorithm", wsan_obs::FieldValue::display(algorithm)),
+                wsan_obs::kv("flows", flows.len()),
+                wsan_obs::kv("epochs", cfg.epochs),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
     let model = NetworkModel::new(topology, channels);
     let scheduler = algorithm.build();
     let mut schedule = scheduler.schedule(flows, &model)?;
@@ -226,7 +302,7 @@ pub fn supervise(
             // everything shed: nothing to measure or recover
             residual_pdr = 0.0;
             final_flow_pdr.clear();
-            epochs.push(EpochRecord {
+            let rec = EpochRecord {
                 epoch,
                 reuse_degraded: 0,
                 dead_links: 0,
@@ -234,7 +310,9 @@ pub fn supervise(
                 network_pdr: 0.0,
                 surviving_flows: 0,
                 action: EpochAction::Healthy,
-            });
+            };
+            note_epoch(metrics.as_ref(), &rec);
+            epochs.push(rec);
             continue;
         }
         let plan = if epoch == 0 { cfg.faults.clone() } else { cfg.faults.settled() };
@@ -276,7 +354,7 @@ pub fn supervise(
         if degraded.is_empty() && dead.is_empty() {
             attempts = 0;
             backoff_left = 0;
-            epochs.push(EpochRecord {
+            let rec = EpochRecord {
                 epoch,
                 reuse_degraded,
                 dead_links,
@@ -284,12 +362,14 @@ pub fn supervise(
                 network_pdr: residual_pdr,
                 surviving_flows: current.len(),
                 action: EpochAction::Healthy,
-            });
+            };
+            note_epoch(metrics.as_ref(), &rec);
+            epochs.push(rec);
             continue;
         }
         if backoff_left > 0 {
             backoff_left -= 1;
-            epochs.push(EpochRecord {
+            let rec = EpochRecord {
                 epoch,
                 reuse_degraded,
                 dead_links,
@@ -297,7 +377,9 @@ pub fn supervise(
                 network_pdr: residual_pdr,
                 surviving_flows: current.len(),
                 action: EpochAction::Backoff { remaining: backoff_left },
-            });
+            };
+            note_epoch(metrics.as_ref(), &rec);
+            epochs.push(rec);
             continue;
         }
         attempts += 1;
@@ -321,7 +403,7 @@ pub fn supervise(
         schedule = out.schedule;
         current = out.flows;
         backoff_left = cfg.backoff_epochs.saturating_mul(1u32 << (attempts - 1).min(16));
-        epochs.push(EpochRecord {
+        let rec = EpochRecord {
             epoch,
             reuse_degraded,
             dead_links,
@@ -333,7 +415,9 @@ pub fn supervise(
                 reschedules: out.reschedules,
                 shed: shed_this,
             },
-        });
+        };
+        note_epoch(metrics.as_ref(), &rec);
+        epochs.push(rec);
     }
 
     let converged =

@@ -1,0 +1,142 @@
+//! Per-phase wall-clock profiling for campaign and figure binaries.
+//!
+//! A [`PhaseProfiler`] accumulates named, ordered phases (`"build
+//! topologies"`, `"simulate"`, `"write csv"`); the finished
+//! [`PhaseProfile`] serializes into the run's metrics report and renders a
+//! human-readable summary for the binary's stderr.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One completed phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase name, unique within a profile run (repeat names accumulate).
+    pub name: String,
+    /// Total wall-clock time spent in the phase, in nanoseconds.
+    pub total_nanos: u64,
+    /// How many times the phase ran.
+    pub count: u64,
+}
+
+impl PhaseTiming {
+    /// Total time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+}
+
+/// Serializable record of a binary's phases, in first-start order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Completed phases in the order each was first started.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl PhaseProfile {
+    /// Total wall-clock time across all phases, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(PhaseTiming::seconds).sum()
+    }
+
+    /// Renders a per-phase summary table, one line per phase plus a total.
+    pub fn render(&self) -> String {
+        let mut out = String::from("phase timings:\n");
+        for p in &self.phases {
+            out.push_str(&format!("  {:<28} {:>9.3}s", p.name, p.seconds()));
+            if p.count > 1 {
+                out.push_str(&format!("  ({}x)", p.count));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("  {:<28} {:>9.3}s\n", "total", self.total_seconds()));
+        out
+    }
+}
+
+/// Accumulates phase timings as a binary runs.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    phases: Vec<PhaseTiming>,
+}
+
+impl PhaseProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// Starts a phase; it ends when the returned guard drops. Re-using a
+    /// name accumulates into the existing phase.
+    pub fn phase(&mut self, name: &str) -> PhaseGuard<'_> {
+        PhaseGuard { profiler: self, name: name.to_string(), started: Instant::now() }
+    }
+
+    /// Times `f` as one phase and returns its result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.phase(name);
+        f()
+    }
+
+    fn record(&mut self, name: String, nanos: u64) {
+        if let Some(existing) = self.phases.iter_mut().find(|p| p.name == name) {
+            existing.total_nanos = existing.total_nanos.saturating_add(nanos);
+            existing.count += 1;
+        } else {
+            self.phases.push(PhaseTiming { name, total_nanos: nanos, count: 1 });
+        }
+    }
+
+    /// Finishes profiling and returns the accumulated profile.
+    pub fn finish(self) -> PhaseProfile {
+        PhaseProfile { phases: self.phases }
+    }
+}
+
+/// RAII guard from [`PhaseProfiler::phase`].
+#[must_use = "dropping the guard ends the phase immediately"]
+pub struct PhaseGuard<'a> {
+    profiler: &'a mut PhaseProfiler,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.profiler.record(std::mem::take(&mut self.name), nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut prof = PhaseProfiler::new();
+        prof.time("build", || std::thread::sleep(std::time::Duration::from_millis(1)));
+        prof.time("sim", || {});
+        prof.time("build", || {});
+        let profile = prof.finish();
+        assert_eq!(profile.phases.len(), 2);
+        assert_eq!(profile.phases[0].name, "build");
+        assert_eq!(profile.phases[0].count, 2);
+        assert_eq!(profile.phases[1].name, "sim");
+        assert!(profile.phases[0].total_nanos >= 1_000_000);
+        let rendered = profile.render();
+        assert!(rendered.contains("build"));
+        assert!(rendered.contains("(2x)"));
+        assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn profile_serde_round_trip() {
+        let profile = PhaseProfile {
+            phases: vec![PhaseTiming { name: "x".into(), total_nanos: 123, count: 1 }],
+        };
+        let json = serde_json::to_string(&profile).unwrap();
+        let back: PhaseProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+}

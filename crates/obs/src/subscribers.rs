@@ -1,0 +1,355 @@
+//! Bundled [`Subscriber`] implementations: discard, human-readable
+//! stderr, and machine-readable JSON lines.
+
+use crate::trace::{EventRecord, Field, FieldValue, Level, SpanRecord, Subscriber};
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Discards everything. [`max_level`](Subscriber::max_level) is `None`, so
+/// installing it leaves the global fast-path gate closed and instrumented
+/// code pays only the single atomic check.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSubscriber;
+
+impl Subscriber for NullSubscriber {
+    fn max_level(&self) -> Option<Level> {
+        None
+    }
+
+    fn on_event(&self, _event: &EventRecord<'_>) {}
+
+    fn on_span_enter(&self, _span: &SpanRecord<'_>) {}
+
+    fn on_span_exit(&self, _span: &SpanRecord<'_>, _elapsed: Duration) {}
+}
+
+/// Pretty-prints to stderr, one line per record:
+/// `LEVEL span.path target: message key=value ...`.
+#[derive(Debug)]
+pub struct StderrSubscriber {
+    max_level: Level,
+}
+
+impl StderrSubscriber {
+    /// Prints records at `max_level` and more severe.
+    pub fn new(max_level: Level) -> Self {
+        StderrSubscriber { max_level }
+    }
+
+    fn write_line(&self, line: &str) {
+        // A failed stderr write is not worth panicking the run over.
+        let _ = writeln!(std::io::stderr().lock(), "{line}");
+    }
+}
+
+fn fmt_fields(out: &mut String, fields: &[Field]) {
+    for field in fields {
+        out.push(' ');
+        out.push_str(field.key);
+        out.push('=');
+        match &field.value {
+            FieldValue::Str(s) => {
+                out.push_str(&format!("{s:?}"));
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn fmt_span_path(out: &mut String, path: &[&'static str]) {
+    if path.is_empty() {
+        return;
+    }
+    out.push(' ');
+    out.push_str(&path.join("."));
+}
+
+impl Subscriber for StderrSubscriber {
+    fn max_level(&self) -> Option<Level> {
+        Some(self.max_level)
+    }
+
+    fn on_event(&self, event: &EventRecord<'_>) {
+        if event.level > self.max_level {
+            return;
+        }
+        let mut line = format!("{:>5}", event.level.as_str().to_uppercase());
+        fmt_span_path(&mut line, event.span_path);
+        line.push(' ');
+        line.push_str(event.target);
+        line.push_str(": ");
+        line.push_str(event.message);
+        fmt_fields(&mut line, event.fields);
+        self.write_line(&line);
+    }
+
+    fn on_span_enter(&self, span: &SpanRecord<'_>) {
+        if span.level > self.max_level {
+            return;
+        }
+        let mut line = format!("{:>5}", span.level.as_str().to_uppercase());
+        fmt_span_path(&mut line, span.span_path);
+        line.push_str(": enter");
+        fmt_fields(&mut line, span.fields);
+        self.write_line(&line);
+    }
+
+    fn on_span_exit(&self, span: &SpanRecord<'_>, elapsed: Duration) {
+        if span.level > self.max_level {
+            return;
+        }
+        let mut line = format!("{:>5}", span.level.as_str().to_uppercase());
+        fmt_span_path(&mut line, span.span_path);
+        line.push_str(&format!(": exit elapsed_us={}", elapsed.as_micros()));
+        self.write_line(&line);
+    }
+}
+
+/// Writes one JSON object per record to any `Write` sink, e.g.
+/// `{"kind":"event","level":"info","target":"wsan_sim::engine",
+///   "message":"run complete","span":["sim.run"],"fields":{"reps":40}}`.
+pub struct JsonLinesSubscriber<W: Write + Send> {
+    max_level: Level,
+    sink: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSubscriber<W> {
+    /// Emits records at `max_level` and more severe into `sink`.
+    pub fn new(max_level: Level, sink: W) -> Self {
+        JsonLinesSubscriber { max_level, sink: Mutex::new(sink) }
+    }
+
+    /// Consumes the subscriber and returns the sink (tests read it back).
+    pub fn into_sink(self) -> W {
+        self.sink.into_inner().expect("sink lock poisoned")
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut sink = self.sink.lock().expect("sink lock poisoned");
+        let _ = writeln!(sink, "{line}");
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // JSON has no NaN/Infinity literals.
+        out.push_str("null");
+    }
+}
+
+fn push_json_fields(out: &mut String, fields: &[Field]) {
+    out.push('{');
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, field.key);
+        out.push(':');
+        match &field.value {
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::U64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => push_json_f64(out, *v),
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(v) => push_json_str(out, v),
+        }
+    }
+    out.push('}');
+}
+
+fn push_json_span_path(out: &mut String, path: &[&'static str]) {
+    out.push('[');
+    for (i, name) in path.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, name);
+    }
+    out.push(']');
+}
+
+impl<W: Write + Send> Subscriber for JsonLinesSubscriber<W> {
+    fn max_level(&self) -> Option<Level> {
+        Some(self.max_level)
+    }
+
+    fn on_event(&self, event: &EventRecord<'_>) {
+        if event.level > self.max_level {
+            return;
+        }
+        let mut line = String::from("{\"kind\":\"event\",\"level\":");
+        push_json_str(&mut line, event.level.as_str());
+        line.push_str(",\"target\":");
+        push_json_str(&mut line, event.target);
+        line.push_str(",\"message\":");
+        push_json_str(&mut line, event.message);
+        line.push_str(",\"span\":");
+        push_json_span_path(&mut line, event.span_path);
+        line.push_str(",\"fields\":");
+        push_json_fields(&mut line, event.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span_enter(&self, span: &SpanRecord<'_>) {
+        if span.level > self.max_level {
+            return;
+        }
+        let mut line = String::from("{\"kind\":\"span_enter\",\"level\":");
+        push_json_str(&mut line, span.level.as_str());
+        line.push_str(",\"span\":");
+        push_json_span_path(&mut line, span.span_path);
+        line.push_str(",\"fields\":");
+        push_json_fields(&mut line, span.fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn on_span_exit(&self, span: &SpanRecord<'_>, elapsed: Duration) {
+        if span.level > self.max_level {
+            return;
+        }
+        let mut line = String::from("{\"kind\":\"span_exit\",\"level\":");
+        push_json_str(&mut line, span.level.as_str());
+        line.push_str(",\"span\":");
+        push_json_span_path(&mut line, span.span_path);
+        line.push_str(&format!(",\"elapsed_ns\":{}", elapsed.as_nanos()));
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let _ = self.sink.lock().expect("sink lock poisoned").flush();
+    }
+}
+
+/// A `Write` sink shareable across the subscriber and a test observer.
+/// Wrap a `Vec<u8>` in one to read back what a [`JsonLinesSubscriber`]
+/// wrote while it is still installed globally.
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuffer(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// Copies the bytes written so far into a `String` (lossy).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("buffer lock poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::kv;
+    use serde::value::Value;
+
+    /// Parses a JSON line into the vendored serde data model (the vendored
+    /// `serde_json` has no `Value` entry point of its own).
+    struct JsonDoc(Value);
+
+    impl serde::Deserialize for JsonDoc {
+        fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+            Ok(JsonDoc(v.clone()))
+        }
+    }
+
+    fn parse(line: &str) -> Value {
+        serde_json::from_str::<JsonDoc>(line).expect("valid json").0
+    }
+
+    fn sample_event<'a>(fields: &'a [Field], path: &'a [&'static str]) -> EventRecord<'a> {
+        EventRecord {
+            level: Level::Info,
+            target: "wsan_test",
+            message: "hello \"world\"\n",
+            fields,
+            span_path: path,
+        }
+    }
+
+    #[test]
+    fn json_lines_escape_and_structure() {
+        let sub = JsonLinesSubscriber::new(Level::Debug, Vec::new());
+        let fields = vec![
+            kv("n", 3u64),
+            kv("x", 0.5),
+            kv("ok", true),
+            kv("who", "a\"b"),
+            kv("nan", f64::NAN),
+        ];
+        sub.on_event(&sample_event(&fields, &["outer", "inner"]));
+        let out = String::from_utf8(sub.into_sink()).unwrap();
+        let parsed = parse(out.lines().next().unwrap());
+        assert_eq!(parsed.get("kind"), Some(&Value::Str("event".into())));
+        assert_eq!(parsed.get("level"), Some(&Value::Str("info".into())));
+        assert_eq!(parsed.get("message"), Some(&Value::Str("hello \"world\"\n".into())));
+        let span = parsed.get("span").and_then(Value::as_seq).unwrap();
+        assert_eq!(span, [Value::Str("outer".into()), Value::Str("inner".into())]);
+        let fields_obj = parsed.get("fields").unwrap();
+        assert_eq!(fields_obj.as_map().unwrap().len(), 5);
+        assert_eq!(fields_obj.get("n"), Some(&Value::Int(3)));
+        assert_eq!(fields_obj.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(fields_obj.get("who"), Some(&Value::Str("a\"b".into())));
+        // NaN must degrade to null, not break the JSON line
+        assert_eq!(fields_obj.get("nan"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn json_lines_filters_by_level() {
+        let sub = JsonLinesSubscriber::new(Level::Warn, Vec::new());
+        sub.on_event(&sample_event(&[], &[]));
+        assert!(sub.into_sink().is_empty());
+    }
+
+    #[test]
+    fn null_subscriber_reports_no_level() {
+        assert_eq!(NullSubscriber.max_level(), None);
+    }
+
+    #[test]
+    fn shared_buffer_reads_back() {
+        let buf = SharedBuffer::new();
+        let sub = JsonLinesSubscriber::new(Level::Trace, buf.clone());
+        sub.on_span_exit(
+            &SpanRecord { level: Level::Info, name: "s", fields: &[], span_path: &["s"] },
+            Duration::from_nanos(42),
+        );
+        sub.flush();
+        let text = buf.contents();
+        assert!(text.contains("\"kind\":\"span_exit\""));
+        assert!(text.contains("\"elapsed_ns\":42"));
+    }
+}

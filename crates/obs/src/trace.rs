@@ -1,0 +1,348 @@
+//! The tracing facade: levels, structured fields, spans, events, and the
+//! global dispatcher.
+//!
+//! The design optimizes for the disabled case: every emission site first
+//! checks [`enabled`], a single relaxed atomic load against the installed
+//! subscriber's maximum level. With the [`NullSubscriber`] installed (or
+//! nothing installed at all, the default) that check fails and no field
+//! formatting, locking, or allocation happens — instrumented hot paths stay
+//! within noise of uninstrumented ones.
+//!
+//! [`NullSubscriber`]: crate::NullSubscriber
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Severity of an event or span, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The run cannot proceed as requested.
+    Error = 1,
+    /// Something degraded but the run continues.
+    Warn = 2,
+    /// Operator-relevant lifecycle milestones (epochs, repairs, runs).
+    Info = 3,
+    /// Per-decision diagnostics (reuse relaxations, classifications).
+    Debug = 4,
+    /// Per-slot / per-attempt firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses the level names accepted by `--log-level` (plus `off`,
+    /// returned as `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s {
+            "off" => Ok(None),
+            "error" => Ok(Some(Level::Error)),
+            "warn" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            other => Err(format!("unknown log level '{other}' (off|error|warn|info|debug|trace)")),
+        }
+    }
+
+    /// The lowercase display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The value of one structured field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (pre-rendered display values included).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty => $variant:ident as $as:ty),+ $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $as)
+            }
+        }
+    )+};
+}
+
+from_int!(i64 => I64 as i64, i32 => I64 as i64, u64 => U64 as u64, u32 => U64 as u64,
+          u16 => U64 as u64, usize => U64 as u64);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    /// Renders any `Display` value into a string field (for link ids, flow
+    /// ids, and other domain types this crate cannot know about).
+    pub fn display(v: impl fmt::Display) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// One structured key/value field attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name.
+    pub key: &'static str,
+    /// Field value.
+    pub value: FieldValue,
+}
+
+/// Shorthand constructor for a [`Field`].
+pub fn kv(key: &'static str, value: impl Into<FieldValue>) -> Field {
+    Field { key, value: value.into() }
+}
+
+/// A fired event as the subscriber sees it.
+#[derive(Debug)]
+pub struct EventRecord<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Emitting component (module-path-like, e.g. `wsan_core::rc`).
+    pub target: &'a str,
+    /// Human-readable message.
+    pub message: &'a str,
+    /// Structured fields.
+    pub fields: &'a [Field],
+    /// Names of the spans currently open on this thread, outermost first.
+    pub span_path: &'a [&'static str],
+}
+
+/// An entered or exited span as the subscriber sees it. `span_path`
+/// includes the span itself as its last element.
+#[derive(Debug)]
+pub struct SpanRecord<'a> {
+    /// Severity.
+    pub level: Level,
+    /// Span name.
+    pub name: &'static str,
+    /// Structured fields recorded at entry.
+    pub fields: &'a [Field],
+    /// Open spans on this thread, outermost first, this span last.
+    pub span_path: &'a [&'static str],
+}
+
+/// Receives events and span transitions. Implementations must be cheap to
+/// call or do their own buffering; the dispatcher holds no queue.
+pub trait Subscriber: Send + Sync {
+    /// The most verbose level this subscriber wants, or `None` for none.
+    /// Read once at [`install`] time to arm the global fast-path gate.
+    fn max_level(&self) -> Option<Level>;
+
+    /// An event fired.
+    fn on_event(&self, event: &EventRecord<'_>);
+
+    /// A span was entered.
+    fn on_span_enter(&self, span: &SpanRecord<'_>);
+
+    /// A span was exited after `elapsed`.
+    fn on_span_exit(&self, span: &SpanRecord<'_>, elapsed: Duration);
+
+    /// Flushes any buffered output (called by [`flush`]).
+    fn flush(&self) {}
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `subscriber` as the process-global sink and arms the fast-path
+/// gate from its [`Subscriber::max_level`]. Replaces any previous
+/// subscriber.
+pub fn install(subscriber: Arc<dyn Subscriber>) {
+    let level = subscriber.max_level().map_or(0, |l| l as u8);
+    *subscriber_slot().write().expect("subscriber lock poisoned") = Some(subscriber);
+    MAX_LEVEL.store(level, Ordering::Release);
+}
+
+/// Removes the global subscriber: tracing reverts to disabled, the
+/// default.
+pub fn uninstall() {
+    MAX_LEVEL.store(0, Ordering::Release);
+    *subscriber_slot().write().expect("subscriber lock poisoned") = None;
+}
+
+/// Whether an emission at `level` would reach the installed subscriber.
+/// One relaxed atomic load — gate hot-path instrumentation on this.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Flushes the installed subscriber's buffered output, if any.
+pub fn flush() {
+    if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
+        sub.flush();
+    }
+}
+
+/// Fires an event. Cheap no-op when `level` is not [`enabled`]; callers
+/// whose *fields* are expensive to build should still gate on [`enabled`]
+/// themselves.
+pub fn event(level: Level, target: &str, message: &str, fields: &[Field]) {
+    if !enabled(level) {
+        return;
+    }
+    if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
+        SPAN_STACK.with_borrow(|stack| {
+            sub.on_event(&EventRecord { level, target, message, fields, span_path: stack });
+        });
+    }
+}
+
+/// Opens a span: emits the entry immediately and the exit (with elapsed
+/// wall time) when the returned guard drops. When `level` is not
+/// [`enabled`] the guard is inert and nothing is recorded.
+pub fn span(level: Level, name: &'static str, fields: Vec<Field>) -> SpanGuard {
+    if !enabled(level) {
+        return SpanGuard { active: None };
+    }
+    SPAN_STACK.with_borrow_mut(|stack| stack.push(name));
+    if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
+        SPAN_STACK.with_borrow(|stack| {
+            sub.on_span_enter(&SpanRecord { level, name, fields: &fields, span_path: stack });
+        });
+    }
+    SpanGuard { active: Some(ActiveSpan { level, name, fields, start: Instant::now() }) }
+}
+
+struct ActiveSpan {
+    level: Level,
+    name: &'static str,
+    fields: Vec<Field>,
+    start: Instant,
+}
+
+/// RAII guard returned by [`span`]; exiting the scope closes the span.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed();
+        if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
+            SPAN_STACK.with_borrow(|stack| {
+                sub.on_span_exit(
+                    &SpanRecord {
+                        level: active.level,
+                        name: active.name,
+                        fields: &active.fields,
+                        span_path: stack,
+                    },
+                    elapsed,
+                );
+            });
+        }
+        SPAN_STACK.with_borrow_mut(|stack| {
+            debug_assert_eq!(stack.last(), Some(&active.name), "span guard dropped out of order");
+            stack.pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("off").unwrap(), None);
+        assert_eq!(Level::parse("debug").unwrap(), Some(Level::Debug));
+        assert!(Level::parse("loud").is_err());
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn field_conversions() {
+        assert_eq!(kv("a", 3u32).value, FieldValue::U64(3));
+        assert_eq!(kv("b", -3i32).value, FieldValue::I64(-3));
+        assert_eq!(kv("c", 0.5).value, FieldValue::F64(0.5));
+        assert_eq!(kv("d", true).value, FieldValue::Bool(true));
+        assert_eq!(kv("e", "x").value, FieldValue::Str("x".to_string()));
+        assert_eq!(FieldValue::display(17).to_string(), "17");
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        // No subscriber installed in this process at unit-test start: the
+        // gate must report disabled and event/span must be inert no-ops.
+        assert!(!enabled(Level::Error) || MAX_LEVEL.load(Ordering::Relaxed) > 0);
+        event(Level::Trace, "t", "nothing listens", &[]);
+        let _guard = span(Level::Trace, "noop", Vec::new());
+    }
+}

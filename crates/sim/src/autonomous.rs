@@ -141,7 +141,7 @@ impl<'a> AutonomousSimulator<'a> {
                         .filter(|&&o| o != pi)
                         .map(|&o| self.hops[packets[o].flow][packets[o].hop].tx)
                         .collect();
-                    let external = phy.external_mw(link.rx, channel, &active_wifi);
+                    let external = phy.external_mw(link.rx, channel, active_wifi.iter().copied());
                     let fading = if interferers.is_empty() && external <= 0.0 {
                         0.0
                     } else {

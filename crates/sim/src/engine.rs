@@ -22,6 +22,34 @@ struct SlotTx {
     reuse: bool,
 }
 
+/// Instrument handles for the per-slot loop, built once per run and only
+/// when global metrics are on. Recording never touches the engine RNG, so
+/// an instrumented run stays bit-identical to a plain one.
+struct SimMetrics {
+    tx: wsan_obs::Counter,
+    ack: wsan_obs::Counter,
+    collisions: wsan_obs::Counter,
+    fault_events: wsan_obs::Counter,
+    deliveries: wsan_obs::Counter,
+    expiries: wsan_obs::Counter,
+    prr: wsan_obs::Histogram,
+}
+
+impl SimMetrics {
+    fn new() -> Self {
+        let reg = wsan_obs::global_metrics();
+        SimMetrics {
+            tx: reg.counter("sim.tx"),
+            ack: reg.counter("sim.ack"),
+            collisions: reg.counter("sim.collisions"),
+            fault_events: reg.counter("sim.fault_events"),
+            deliveries: reg.counter("sim.deliveries"),
+            expiries: reg.counter("sim.expiries"),
+            prr: reg.histogram("sim.prr", &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
+        }
+    }
+}
+
 /// Executes a schedule against the probabilistic PHY.
 ///
 /// The simulator borrows the planning artifacts — the topology whose PRR
@@ -239,6 +267,20 @@ impl<'a> Simulator<'a> {
         config: &SimConfig,
         mut trace: Option<&mut crate::TraceBuffer>,
     ) -> (SimReport, FaultLog) {
+        let metrics = wsan_obs::metrics_enabled().then(SimMetrics::new);
+        let _span = wsan_obs::span(
+            wsan_obs::Level::Debug,
+            "sim.run",
+            if wsan_obs::enabled(wsan_obs::Level::Debug) {
+                vec![
+                    wsan_obs::kv("seed", config.seed),
+                    wsan_obs::kv("repetitions", config.repetitions),
+                    wsan_obs::kv("horizon", self.horizon),
+                ]
+            } else {
+                Vec::new()
+            },
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut injector = FaultInjector::new(&config.faults);
         let phy = Phy::new(self.topo, config.capture);
@@ -252,6 +294,15 @@ impl<'a> Simulator<'a> {
         let window = config.window_reps.max(1);
 
         let mut progress = vec![0u32; self.total_jobs];
+        // Scratch buffers reused across every slot of every repetition: the
+        // per-slot loop allocates nothing after the first iteration. RNG
+        // draw order is identical to the historical collect-per-slot code
+        // (pinned by the golden-report test).
+        let mut spawned: Vec<WifiInterferer> = Vec::new();
+        let mut env_active: Vec<bool> = vec![false; config.interferers.len()];
+        let mut actives: Vec<&SlotTx> = Vec::new();
+        let mut advanced: Vec<usize> = Vec::new();
+        let mut interferers: Vec<NodeId> = Vec::new();
         for rep in 0..config.repetitions {
             progress.fill(0);
             for slot in 0..self.horizon {
@@ -261,34 +312,36 @@ impl<'a> Simulator<'a> {
                 // each, silenced or not, so an active fault plan never
                 // perturbs the fault-free stream); injected interferers
                 // gate on the injector's own RNG.
-                let spawned = injector.sample_spawned_wifi();
-                let mut active_wifi: Vec<&WifiInterferer> = config
-                    .interferers
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, w)| rng.gen::<f64>() < w.duty_cycle)
-                    .filter(|(i, _)| !injector.interferer_silenced(*i))
-                    .map(|(_, w)| w)
-                    .collect();
-                active_wifi.extend(spawned.iter());
+                injector.sample_spawned_wifi_into(&mut spawned);
+                for (i, w) in config.interferers.iter().enumerate() {
+                    let duty = rng.gen::<f64>() < w.duty_cycle;
+                    env_active[i] = duty && !injector.interferer_silenced(i);
+                }
                 // Which scheduled transmissions actually fire this slot?
                 // A crashed sender transmits nothing at all.
-                let actives: Vec<&SlotTx> = self.per_slot[slot as usize]
-                    .iter()
-                    .filter(|t| {
-                        progress[t.job_flat] == t.hop_index && !injector.node_down(t.link.tx)
-                    })
-                    .collect();
+                actives.clear();
+                actives.extend(self.per_slot[slot as usize].iter().filter(|t| {
+                    progress[t.job_flat] == t.hop_index && !injector.node_down(t.link.tx)
+                }));
                 // Resolve receptions against the slot-start active set.
-                let mut advanced: Vec<usize> = Vec::with_capacity(actives.len());
+                advanced.clear();
                 for t in &actives {
                     let channel = self.channels.physical(asn, t.offset);
-                    let interferers: Vec<NodeId> = actives
+                    interferers.clear();
+                    interferers.extend(
+                        actives
+                            .iter()
+                            .filter(|o| o.offset == t.offset && o.job_flat != t.job_flat)
+                            .map(|o| o.link.tx),
+                    );
+                    let active_wifi = config
+                        .interferers
                         .iter()
-                        .filter(|o| o.offset == t.offset && o.job_flat != t.job_flat)
-                        .map(|o| o.link.tx)
-                        .collect();
-                    let external = phy.external_mw(t.link.rx, channel, &active_wifi);
+                        .enumerate()
+                        .filter(|(i, _)| env_active[*i])
+                        .map(|(_, w)| w)
+                        .chain(spawned.iter());
+                    let external = phy.external_mw(t.link.rx, channel, active_wifi);
                     // temporal fading perturbs the SIR only when there is
                     // interference to compete with
                     let fading = if interferers.is_empty() && external <= 0.0 {
@@ -332,13 +385,25 @@ impl<'a> Simulator<'a> {
                         sample.acked += 1;
                         advanced.push(t.job_flat);
                     }
+                    if let Some(m) = &metrics {
+                        m.tx.inc();
+                        if success {
+                            m.ack.inc();
+                        } else if !interferers.is_empty() || external > 0.0 {
+                            // a loss with competing energy in the air
+                            m.collisions.inc();
+                        }
+                    }
                 }
-                for job in advanced {
+                for &job in &advanced {
                     progress[job] += 1;
                     // record delivery latency the moment the last hop lands
                     if progress[job] == self.flow_hops[self.job_flow[job]] {
                         let latency = slot - self.job_release[job] + 1;
                         report.latencies[self.job_flow[job]].push(latency);
+                        if let Some(m) = &metrics {
+                            m.deliveries.inc();
+                        }
                         if let Some(buf) = trace.as_deref_mut() {
                             buf.push(crate::TraceEvent::Delivered {
                                 asn,
@@ -353,17 +418,19 @@ impl<'a> Simulator<'a> {
             for _ in 0..config.discovery_probes {
                 for (i, link) in self.scheduled_links.iter().enumerate() {
                     let channel = self.channels.at((rep as usize + i) % self.channels.len());
-                    let spawned = injector.sample_spawned_wifi();
-                    let mut wifi_active: Vec<&WifiInterferer> = config
+                    injector.sample_spawned_wifi_into(&mut spawned);
+                    for (idx, w) in config.interferers.iter().enumerate() {
+                        let duty = rng.gen::<f64>() < w.duty_cycle;
+                        env_active[idx] = duty && !injector.interferer_silenced(idx);
+                    }
+                    let wifi_active = config
                         .interferers
                         .iter()
                         .enumerate()
-                        .filter(|(_, w)| rng.gen::<f64>() < w.duty_cycle)
-                        .filter(|(idx, _)| !injector.interferer_silenced(*idx))
+                        .filter(|(idx, _)| env_active[*idx])
                         .map(|(_, w)| w)
-                        .collect();
-                    wifi_active.extend(spawned.iter());
-                    let external = phy.external_mw(link.rx, channel, &wifi_active);
+                        .chain(spawned.iter());
+                    let external = phy.external_mw(link.rx, channel, wifi_active);
                     let fading = if external <= 0.0 {
                         0.0
                     } else {
@@ -403,29 +470,57 @@ impl<'a> Simulator<'a> {
                     flow_stats[fi].released += 1;
                     if progress[self.job_base[fi] + j] >= self.flow_hops[fi] {
                         flow_stats[fi].delivered += 1;
-                    } else if let Some(buf) = trace.as_deref_mut() {
-                        buf.push(crate::TraceEvent::Expired {
-                            asn: u64::from(rep) * u64::from(self.horizon)
-                                + u64::from(self.horizon - 1),
-                            flow: wsan_flow::FlowId::new(fi),
-                        });
+                    } else {
+                        if let Some(m) = &metrics {
+                            m.expiries.inc();
+                        }
+                        if let Some(buf) = trace.as_deref_mut() {
+                            buf.push(crate::TraceEvent::Expired {
+                                asn: u64::from(rep) * u64::from(self.horizon)
+                                    + u64::from(self.horizon - 1),
+                                flow: wsan_flow::FlowId::new(fi),
+                            });
+                        }
                     }
                 }
             }
             // flush sample windows
             if (rep + 1) % window == 0 {
-                flush(&mut window_acc, &mut report);
+                flush(&mut window_acc, &mut report, metrics.as_ref());
             }
         }
-        flush(&mut window_acc, &mut report);
+        flush(&mut window_acc, &mut report, metrics.as_ref());
         report.flows = flow_stats;
-        (report, injector.into_log())
+        let log = injector.into_log();
+        if let Some(m) = &metrics {
+            m.fault_events.add(log.fired() as u64);
+        }
+        if wsan_obs::enabled(wsan_obs::Level::Info) {
+            wsan_obs::event(
+                wsan_obs::Level::Info,
+                "wsan_sim::engine",
+                "simulation run complete",
+                &[
+                    wsan_obs::kv("network_pdr", report.network_pdr()),
+                    wsan_obs::kv("faults_fired", log.fired()),
+                ],
+            );
+        }
+        (report, log)
     }
 }
 
-fn flush(acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>, report: &mut SimReport) {
+fn flush(
+    acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>,
+    report: &mut SimReport,
+    metrics: Option<&SimMetrics>,
+) {
     for (key, sample) in std::mem::take(acc) {
         if sample.sent > 0 {
+            if let Some(m) = metrics {
+                // one PRR observation per flushed window sample
+                m.prr.observe(f64::from(sample.acked) / f64::from(sample.sent));
+            }
             report.link_samples.entry(key).or_default().push(sample);
         }
     }

@@ -361,21 +361,30 @@ impl FaultInjector {
     /// Spawned interferers that pass their duty-cycle gate for this slot.
     /// Draws come from the injector's RNG, never the engine's, so with no
     /// spawned interferers this consumes nothing.
+    #[cfg(test)]
     pub fn sample_spawned_wifi(&mut self) -> Vec<WifiInterferer> {
         let mut active: Vec<WifiInterferer> = Vec::new();
+        self.sample_spawned_wifi_into(&mut active);
+        active
+    }
+
+    /// Clears and refills a caller-owned buffer with the spawned interferers
+    /// that pass their duty-cycle gate for this slot, so per-slot hot loops
+    /// allocate nothing. Draws come from the injector's RNG, never the
+    /// engine's, so with no spawned interferers this consumes nothing.
+    pub fn sample_spawned_wifi_into(&mut self, active: &mut Vec<WifiInterferer>) {
+        active.clear();
         for i in 0..self.events.len() {
             if !matches!(self.status[i], EventStatus::Active { .. }) {
                 continue;
             }
             if let FaultKind::SpawnInterferer { interferer } = &self.events[i].kind {
-                let interferer = interferer.clone();
                 let u: f64 = self.rng.gen();
                 if u < interferer.duty_cycle {
-                    active.push(interferer);
+                    active.push(interferer.clone());
                 }
             }
         }
-        active
     }
 
     /// Consumes the injector, returning what fired.

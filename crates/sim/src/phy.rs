@@ -30,11 +30,17 @@ impl<'a> Phy<'a> {
     }
 
     /// External interference power (mW) at `rx` on `channel` from the
-    /// active interferers.
-    pub fn external_mw(&self, rx: NodeId, channel: ChannelId, active: &[&WifiInterferer]) -> f64 {
+    /// active interferers. Accepts any iterator of interferer references so
+    /// hot loops can chain their sources without materializing a vector.
+    pub fn external_mw<'w>(
+        &self,
+        rx: NodeId,
+        channel: ChannelId,
+        active: impl IntoIterator<Item = &'w WifiInterferer>,
+    ) -> f64 {
         let pos = self.topo.position(rx);
         active
-            .iter()
+            .into_iter()
             .filter(|w| w.affects(channel))
             .map(|w| dbm_to_mw(w.power_at(&pos, &self.model)))
             .sum()

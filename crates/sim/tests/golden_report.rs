@@ -1,0 +1,76 @@
+//! Golden-output pin for the simulation engine.
+//!
+//! The per-slot run loop is performance-sensitive and gets refactored
+//! (scratch-buffer reuse, instrumentation); this test freezes the exact
+//! serialized report of a seeded run so any behavioural drift — an RNG
+//! draw added, removed, or reordered — fails loudly. The scenario
+//! deliberately exercises every hot path: channel reuse cells, WiFi
+//! interferers, discovery probes, a mid-run link collapse, a node crash,
+//! and roaming (spawned) WiFi from the fault injector.
+//!
+//! If an *intentional* semantic change invalidates the digest, rerun with
+//! `WSAN_GOLDEN_DUMP=1 cargo test -p wsan-sim --test golden_report -- --nocapture`
+//! and update the constant after reviewing the diff.
+
+use wsan_core::Scheduler;
+use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan_net::{testbeds, ChannelId, NodeId, Position, Prr};
+use wsan_sim::{FaultPlan, SimConfig, Simulator, WifiInterferer};
+
+/// FNV-1a over the serialized report: stable, dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn seeded_run_matches_golden_digest() {
+    let topo = testbeds::wustl(5);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = wsan_core::NetworkModel::new(&topo, &channels);
+    let fsc = FlowSetConfig::new(12, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
+    let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &fsc).unwrap();
+    let schedule = wsan_core::ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+    let victim = schedule.entries()[0].tx.link;
+    let faults = FaultPlan::new(0xBAD)
+        .collapse_link_at(u64::from(schedule.horizon()) * 10, victim, 0.0)
+        .crash_at(u64::from(schedule.horizon()) * 20, NodeId::new(3))
+        .spawn_wifi_at(
+            u64::from(schedule.horizon()) * 5,
+            WifiInterferer::wifi_channel_1(Position::new(30.0, 30.0, 0.0), 10.0, 0.3),
+            None,
+        );
+    let config = SimConfig {
+        seed: 42,
+        repetitions: 40,
+        window_reps: 5,
+        discovery_probes: 1,
+        interferers: vec![WifiInterferer::wifi_channel_1(Position::new(10.0, 5.0, 0.0), 10.0, 0.2)],
+        faults,
+        ..SimConfig::default()
+    };
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let (report, log) = sim.run_faulted(&config);
+    let json = serde_json::to_string(&report).unwrap();
+    let digest = fnv1a(json.as_bytes());
+    if std::env::var("WSAN_GOLDEN_DUMP").is_ok() {
+        println!("json bytes: {}", json.len());
+        println!("digest: {digest:#018x}");
+        println!("faults fired: {}", log.fired());
+    }
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "seeded simulation output drifted from the pinned golden report \
+         (rerun with WSAN_GOLDEN_DUMP=1 to inspect)"
+    );
+    // a second run of the same simulator must also be identical
+    let (again, _) = sim.run_faulted(&config);
+    assert_eq!(report, again);
+}
+
+const GOLDEN_DIGEST: u64 = 0x4bc0_51a1_e997_47a6;

@@ -49,6 +49,17 @@ impl Ecdf {
         count as f64 / self.sorted.len() as f64
     }
 
+    /// `F(x⁻)`: the left limit of the ECDF at `x` — the fraction of sample
+    /// points *strictly less* than `x`.
+    ///
+    /// Exact by construction: unlike probing `eval(x - ε)`, no epsilon can
+    /// straddle a neighbouring support point when sample values are closely
+    /// spaced (adjacent floats included).
+    pub fn eval_left(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&v| v < x);
+        count as f64 / self.sorted.len() as f64
+    }
+
     /// The sorted sample points (useful for stepping through jump points).
     pub fn support(&self) -> &[f64] {
         &self.sorted
@@ -106,6 +117,28 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn eval_left_is_exact_at_jumps() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval_left(0.5), 0.0);
+        assert_eq!(e.eval_left(1.0), 0.0);
+        assert_eq!(e.eval_left(2.0), 0.25);
+        assert_eq!(e.eval_left(3.0), 0.75);
+        assert_eq!(e.eval_left(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_left_separates_adjacent_floats() {
+        // Support points one ULP apart: an epsilon probe of the larger
+        // point would jump below both; the exact left limit must not.
+        let hi = 0.93_f64;
+        let lo = f64::from_bits(hi.to_bits() - 1);
+        let e = Ecdf::new(&[lo, hi]).unwrap();
+        assert_eq!(e.eval_left(hi), 0.5);
+        assert_eq!(e.eval_left(lo), 0.0);
+        assert_eq!(e.eval(lo), 0.5);
     }
 
     #[test]

@@ -70,16 +70,18 @@ impl KsResult {
 pub fn two_sample(a: &[f64], b: &[f64]) -> Result<KsResult, StatsError> {
     let fa = Ecdf::new(a)?;
     let fb = Ecdf::new(b)?;
-    // D is attained at a jump point of either ECDF.
+    // D is attained at a jump point of either ECDF: either at the jump
+    // itself or just below it. The left limit is evaluated exactly with
+    // `Ecdf::eval_left` — the former `eval(x - ε)` probe could straddle a
+    // neighbouring support point when PRR samples sit closer together than
+    // the epsilon (adjacent floats included).
     let mut d: f64 = 0.0;
     for &x in fa.support().iter().chain(fb.support()) {
         let diff = (fa.eval(x) - fb.eval(x)).abs();
         if diff > d {
             d = diff;
         }
-        // also check just below the jump (left limit)
-        let eps = f64::EPSILON.max(x.abs() * f64::EPSILON * 4.0);
-        let diff_left = (fa.eval(x - eps) - fb.eval(x - eps)).abs();
+        let diff_left = (fa.eval_left(x) - fb.eval_left(x)).abs();
         if diff_left > d {
             d = diff_left;
         }
@@ -166,6 +168,47 @@ mod tests {
         let reuse: Vec<f64> = (0..18).map(|i| 0.70 + 0.01 * (i % 4) as f64).collect();
         let r = two_sample(&cf, &reuse).unwrap();
         assert_eq!(r.outcome(0.05), KsOutcome::Reject);
+    }
+
+    /// Brute-force `sup |F₁ − F₂|`: evaluate both ECDFs (value and exact
+    /// left limit) at every support point of either sample.
+    fn brute_force_d(a: &[f64], b: &[f64]) -> f64 {
+        let fa = Ecdf::new(a).unwrap();
+        let fb = Ecdf::new(b).unwrap();
+        let mut d: f64 = 0.0;
+        for &x in fa.support().iter().chain(fb.support()) {
+            d = d.max((fa.eval(x) - fb.eval(x)).abs());
+            d = d.max((fa.eval_left(x) - fb.eval_left(x)).abs());
+        }
+        d
+    }
+
+    #[test]
+    fn near_adjacent_floats_keep_an_exact_statistic() {
+        // PRR samples one ULP apart — far closer than the old
+        // `x·4ε` probe offset. The statistic must match the exact
+        // brute-force supremum, not an epsilon-perturbed evaluation.
+        let hi = 0.93_f64;
+        let lo = f64::from_bits(hi.to_bits() - 1);
+        let a = [lo, hi, hi];
+        let b = [lo, lo, hi];
+        let r = two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic(), brute_force_d(&a, &b));
+        assert!((r.statistic() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tightly_clustered_samples_match_brute_force() {
+        // Clusters of near-identical floats at several magnitudes,
+        // including values whose spacing is below x·4ε.
+        for scale in [1e-12_f64, 1.0, 1e12] {
+            let base = 0.7 * scale;
+            let step = f64::from_bits(base.to_bits() + 1) - base;
+            let a: Vec<f64> = (0..10).map(|i| base + step * f64::from(i % 3)).collect();
+            let b: Vec<f64> = (0..10).map(|i| base + step * f64::from(i % 4)).collect();
+            let r = two_sample(&a, &b).unwrap();
+            assert_eq!(r.statistic(), brute_force_d(&a, &b), "scale {scale}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * [`sim`] — the TSCH network simulator with a capture-effect PHY,
 //! * [`detect`] — the reuse-degradation classifier (K-S test),
 //! * [`stats`] — ECDF / K-S / summary statistics,
+//! * [`obs`] — tracing and metrics instrumentation (off by default),
 //! * [`expr`] — the experiment harness reproducing the paper's figures.
 
 #![forbid(unsafe_code)]
@@ -19,5 +20,6 @@ pub use wsan_detect as detect;
 pub use wsan_expr as expr;
 pub use wsan_flow as flow;
 pub use wsan_net as net;
+pub use wsan_obs as obs;
 pub use wsan_sim as sim;
 pub use wsan_stats as stats;

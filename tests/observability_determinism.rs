@@ -1,0 +1,54 @@
+//! A seeded simulation run with the observability layer switched on (null
+//! subscriber installed, metrics recording) must be bit-identical to the
+//! plain uninstrumented run: instrumentation never draws from the engine
+//! RNG and never changes control flow.
+
+use std::sync::Arc;
+use wsan::core::{NetworkModel, Scheduler};
+use wsan::flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
+use wsan::net::{testbeds, ChannelId, NodeId, Prr};
+use wsan::sim::{FaultPlan, SimConfig, Simulator};
+
+/// Builds a small WUSTL workload, runs the simulator (with a fault plan so
+/// the injector paths execute too) and returns the serialized report.
+fn seeded_run() -> String {
+    let topo = testbeds::wustl(3);
+    let channels = ChannelId::range(11, 14).expect("valid channels");
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
+    let model = NetworkModel::new(&topo, &channels);
+    let cfg =
+        FlowSetConfig::new(12, PeriodRange::new(0, 1).expect("valid"), TrafficPattern::PeerToPeer);
+    let set = FlowSetGenerator::new(9).generate(&comm, &cfg).expect("workload");
+    let schedule =
+        wsan::core::ReuseConservatively::new(2).schedule(&set, &model).expect("schedulable");
+    let victim = schedule.entries()[0].tx.link;
+    let faults = FaultPlan::new(0xF00D)
+        .collapse_link_at(u64::from(schedule.horizon()) * 5, victim, 0.0)
+        .crash_at(u64::from(schedule.horizon()) * 10, NodeId::new(3));
+    let config = SimConfig { seed: 42, repetitions: 20, faults, ..SimConfig::default() };
+    let sim = Simulator::new(&topo, &channels, &set, &schedule);
+    let (report, _log) = sim.run_faulted(&config);
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+#[test]
+fn null_subscriber_and_metrics_do_not_change_a_seeded_run() {
+    // baseline: observability fully off (the library default)
+    wsan::obs::uninstall();
+    wsan::obs::set_metrics_enabled(false);
+    let baseline = seeded_run();
+
+    // instrumented: always-off subscriber installed, metrics recording
+    wsan::obs::install(Arc::new(wsan::obs::NullSubscriber));
+    wsan::obs::set_metrics_enabled(true);
+    let instrumented = seeded_run();
+
+    wsan::obs::uninstall();
+    wsan::obs::set_metrics_enabled(false);
+    assert_eq!(baseline, instrumented, "observability must not perturb the simulation");
+
+    // and the metrics side actually observed the run
+    let snapshot = wsan::obs::global_metrics().snapshot();
+    assert!(snapshot.counters.get("sim.tx").copied().unwrap_or(0) > 0);
+    assert!(snapshot.counters.get("core.schedule.runs").copied().unwrap_or(0) > 0);
+}
