@@ -19,6 +19,26 @@ echo "==> release smoke run (fig6, tiny scale)"
 smoke_dir="$(mktemp -d)"
 WSAN_RESULTS_DIR="$smoke_dir" cargo run --release -q -p wsan-bench --bin fig6 -- --sets 2 --quick
 test -s "$smoke_dir/fig6.json"
+test -s "$smoke_dir/fig6.manifest.jsonl"
 rm -rf "$smoke_dir"
+
+echo "==> campaign interrupt/resume smoke (wsan campaign)"
+camp_dir="$(mktemp -d)"
+out="$camp_dir/smoke.json"
+manifest="$camp_dir/smoke.manifest.jsonl"
+# reference aggregate from an uninterrupted run
+cargo run --release -q -p wsan-cli --bin wsan -- campaign --name smoke --sets 2 \
+    --out "$out" --manifest "$manifest"
+cp "$out" "$camp_dir/reference.json"
+# simulate a kill during the last checkpoint write: keep the header, the
+# first complete point, and a torn third line
+head -n 2 "$manifest" > "$manifest.cut"
+tail -n +3 "$manifest" | head -n 1 | cut -c 1-10 | tr -d '\n' >> "$manifest.cut"
+mv "$manifest.cut" "$manifest"
+rm "$out"
+cargo run --release -q -p wsan-cli --bin wsan -- campaign --name smoke --sets 2 \
+    --out "$out" --manifest "$manifest" --resume
+cmp "$out" "$camp_dir/reference.json"
+rm -rf "$camp_dir"
 
 echo "CI green."

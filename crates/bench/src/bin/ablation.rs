@@ -16,7 +16,8 @@
 //! cargo run --release -p wsan-bench --bin ablation [-- --sets 50 --quick]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, BenchError, RunOptions};
 use wsan_core::NetworkModel;
 use wsan_expr::reliability::{evaluate as reliability, ReliabilityConfig};
 use wsan_expr::schedulable::{ratio_at, set_seed, WorkloadConfig};
@@ -24,8 +25,12 @@ use wsan_expr::{table, Algorithm};
 use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
 use wsan_net::{testbeds, ChannelId, ChannelSelection, Prr};
 
-fn main() {
-    let opts = RunOptions::parse(50);
+fn main() -> ExitCode {
+    run_main(body)
+}
+
+fn body() -> Result<(), BenchError> {
+    let opts = RunOptions::try_parse(50)?;
     let wustl = testbeds::wustl(1);
     let indriya = testbeds::indriya(1);
     let channels4 = ChannelId::range(11, 14).expect("valid");
@@ -229,9 +234,10 @@ fn main() {
     print!("{}", table::render(&["#flows", "DM", "RM"], &rows));
     println!("(with deadlines drawn from [P/2, P], DM and RM orders mostly agree)");
 
-    std::fs::create_dir_all(results_dir()).expect("results dir");
+    std::fs::create_dir_all(results_dir()).map_err(write_err(results_dir()))?;
     println!(
         "\n(ablation tables are printed only; figure JSONs live beside them in {})",
         results_dir().display()
     );
+    Ok(())
 }

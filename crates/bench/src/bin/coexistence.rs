@@ -13,7 +13,8 @@
 //! cargo run --release -p wsan-bench --bin coexistence [-- --seed 1]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, BenchError, RunOptions};
 use wsan_core::Schedule;
 use wsan_core::{NetworkModel, NoReuse, Scheduler};
 use wsan_expr::{table, Algorithm};
@@ -37,13 +38,19 @@ fn plan(seed: u64, flows: usize) -> Option<(Topology, FlowSet, Schedule)> {
     Some((topo, flows, schedule))
 }
 
-fn main() {
-    let opts = RunOptions::parse(1);
+fn main() -> ExitCode {
+    run_main(body)
+}
+
+fn body() -> Result<(), BenchError> {
+    let opts = RunOptions::try_parse(1)?;
     let channels = ChannelId::range(11, 14).expect("valid");
     let reps = if opts.quick { 30 } else { 100 };
     let per_network = 40usize;
-    let a = plan(opts.seed, per_network).expect("network A plans");
-    let b = plan(opts.seed ^ 0xB0B, per_network).expect("network B plans");
+    let a = plan(opts.seed, per_network)
+        .ok_or_else(|| BenchError::Run("network A could not be planned".to_string()))?;
+    let b = plan(opts.seed ^ 0xB0B, per_network)
+        .ok_or_else(|| BenchError::Run("network B could not be planned".to_string()))?;
     let sim_cfg = SimConfig {
         seed: opts.seed,
         repetitions: reps,
@@ -52,7 +59,9 @@ fn main() {
     };
 
     println!("== coexistence: two uncoordinated NR networks, {per_network} flows each ==");
-    let solo = Simulator::new(&a.0, &channels, &a.1, &a.2).run(&sim_cfg);
+    let solo = Simulator::try_new(&a.0, &channels, &a.1, &a.2)
+        .and_then(|sim| sim.try_run(&sim_cfg))
+        .map_err(|e| BenchError::Run(format!("solo simulation: {e}")))?;
     println!(
         "network A alone: PDR {:.4}, worst flow {:.4}\n",
         solo.network_pdr(),
@@ -67,8 +76,10 @@ fn main() {
             (&b.0, &b.1, &b.2),
             Position::new(40.0 + gap, 0.0, 0.0), // building width 40 m + gap
         );
-        let report = Simulator::new(&merged.topology, &channels, &merged.flows, &merged.schedule)
-            .run(&sim_cfg);
+        let report =
+            Simulator::try_new(&merged.topology, &channels, &merged.flows, &merged.schedule)
+                .and_then(|sim| sim.try_run(&sim_cfg))
+                .map_err(|e| BenchError::Run(format!("merged simulation at {gap} m: {e}")))?;
         let pdrs = report.flow_pdrs();
         let (a_pdrs, b_pdrs) = pdrs.split_at(per_network);
         let stats = |xs: &[f64]| {
@@ -102,7 +113,9 @@ fn main() {
     match FlowSetGenerator::new(opts.seed).generate(&comm, &cfg) {
         Ok(set) => match (Algorithm::Rc { rho_t: 2 }).build().schedule(&set, &model) {
             Ok(schedule) => {
-                let report = Simulator::new(&topo, &channels, &set, &schedule).run(&sim_cfg);
+                let report = Simulator::try_new(&topo, &channels, &set, &schedule)
+                    .and_then(|sim| sim.try_run(&sim_cfg))
+                    .map_err(|e| BenchError::Run(format!("coordinated simulation: {e}")))?;
                 println!(
                     "RC with {} flows in one building: PDR {:.4}, worst flow {:.4}",
                     set.len(),
@@ -117,5 +130,6 @@ fn main() {
         },
         Err(e) => println!("generation failed: {e}"),
     }
-    std::fs::create_dir_all(results_dir()).expect("results dir");
+    std::fs::create_dir_all(results_dir()).map_err(write_err(results_dir()))?;
+    Ok(())
 }

@@ -8,81 +8,64 @@
 //! how many flows each intensity costs and the PDR of the survivors,
 //! against the fault-free baseline.
 //!
+//! Runs as a resumable campaign — one point per (algorithm, intensity)
+//! plus a baseline point per algorithm — checkpointed to
+//! `results/fault_campaign.manifest.jsonl`. Algorithms that cannot
+//! schedule the workload are skipped, not fatal.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fault_campaign [-- --seed 1 --quick]
+//! cargo run --release -p wsan-bench --bin fault_campaign [-- --seed 1 --quick --jobs 4 --resume]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
-use wsan_expr::recovery::{campaign, SupervisorConfig};
-use wsan_expr::{table, Algorithm};
-use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
-use wsan_net::{testbeds, ChannelId, Prr};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
+use wsan_expr::campaigns;
+use wsan_expr::table;
 use wsan_obs::PhaseProfiler;
 
-fn main() {
-    let opts = RunOptions::parse(1);
-    let mut profiler = PhaseProfiler::new();
-    let workload = profiler.phase("workload generation");
-    let topo = testbeds::wustl(1);
-    let channels = ChannelId::range(11, 14).expect("valid");
-    let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid PRR"));
-    let flow_count = if opts.quick { 30 } else { 60 };
-    let fsc = FlowSetConfig::new(
-        flow_count,
-        PeriodRange::new(0, 0).expect("valid"),
-        TrafficPattern::PeerToPeer,
-    );
-    let set =
-        FlowSetGenerator::new(opts.seed).generate(&comm, &fsc).expect("workload generation failed");
-    drop(workload);
-
-    let cfg = SupervisorConfig {
-        seed: opts.seed,
-        epochs: if opts.quick { 3 } else { 6 },
-        samples_per_epoch: if opts.quick { 6 } else { 12 },
-        window_reps: if opts.quick { 3 } else { 5 },
-        ..SupervisorConfig::default()
-    };
-    let intensities: &[usize] = if opts.quick { &[0, 1, 2, 4] } else { &[0, 1, 2, 4, 8, 12] };
-
-    let mut results = Vec::new();
-    for algo in [Algorithm::Nr, Algorithm::Rc { rho_t: 2 }] {
-        let result = match profiler.time(&format!("campaign {algo}"), || {
-            campaign(&topo, &channels, &set, algo, &cfg, intensities)
-        }) {
-            Ok(r) => r,
-            Err(e) => {
-                println!("{algo}: campaign failed ({e}); skipping");
-                continue;
-            }
-        };
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(1)?;
+        let mut profiler = PhaseProfiler::new();
+        let results = profiler.time("fault campaign", || {
+            campaigns::faults(&opts.sweep(), &opts.campaign("fault_campaign"))
+        });
+        let (results, summary) = results?;
+        for result in &results {
+            println!(
+                "\n==== {} fault campaign: {} flows, fault-free network PDR {} ====",
+                result.algorithm,
+                result.flows,
+                table::f3(result.baseline_pdr)
+            );
+            let headers =
+                ["collapsed links", "shed flows", "surviving", "residual PDR", "converged"];
+            let rows: Vec<Vec<String>> = result
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.collapsed_links.to_string(),
+                        p.shed_flows.to_string(),
+                        p.surviving_flows.to_string(),
+                        table::f3(p.residual_pdr),
+                        p.converged.to_string(),
+                    ]
+                })
+                .collect();
+            print!("{}", table::render(&headers, &rows));
+        }
+        let path = results_dir().join("fault_campaign.json");
+        profiler.time("write results", || {
+            table::write_json(&path, &results).map_err(write_err(&path))
+        })?;
         println!(
-            "\n==== {} fault campaign: {} flows, fault-free network PDR {} ====",
-            result.algorithm,
-            result.flows,
-            table::f3(result.baseline_pdr)
+            "\nresults written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
         );
-        let headers = ["collapsed links", "shed flows", "surviving", "residual PDR", "converged"];
-        let rows: Vec<Vec<String>> = result
-            .points
-            .iter()
-            .map(|p| {
-                vec![
-                    p.collapsed_links.to_string(),
-                    p.shed_flows.to_string(),
-                    p.surviving_flows.to_string(),
-                    table::f3(p.residual_pdr),
-                    p.converged.to_string(),
-                ]
-            })
-            .collect();
-        print!("{}", table::render(&headers, &rows));
-        results.push(result);
-    }
-    profiler.time("write results", || {
-        table::write_json(results_dir().join("fault_campaign.json"), &results)
-            .expect("write results JSON");
-    });
-    println!("\nresults written under {}", results_dir().display());
-    eprint!("{}", profiler.finish().render());
+        eprint!("{}", profiler.finish().render());
+        Ok(())
+    })
 }

@@ -11,103 +11,105 @@
 //! * Fig. 11: the number of rejected links per epoch — the verdicts should
 //!   be stable across epochs.
 //!
+//! Runs as a resumable campaign (one point per scheduler) checkpointed to
+//! `results/fig10_11.manifest.jsonl`.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fig10_11 [-- --seed 1 --quick]
+//! cargo run --release -p wsan-bench --bin fig10_11 [-- --seed 1 --quick --resume]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
 use wsan_detect::LinkVerdict;
-use wsan_expr::detection::{evaluate, DetectionConfig};
-use wsan_expr::{table, Algorithm};
-use wsan_net::{testbeds, ChannelId};
+use wsan_expr::campaigns;
+use wsan_expr::detection::DetectionConfig;
+use wsan_expr::table;
 
-fn main() {
-    let opts = RunOptions::parse(1);
-    let topo = testbeds::wustl(1);
-    let channels = ChannelId::range(11, 14).expect("valid");
-    let mut cfg = DetectionConfig {
-        epochs: if opts.quick { 2 } else { 6 },
-        samples_per_epoch: 18,
-        window_reps: if opts.quick { 5 } else { 10 },
-        seed: opts.seed,
-        ..DetectionConfig::default()
-    };
-    if opts.quick {
-        cfg.flow_count = 60;
-    }
-    let runs =
-        evaluate(&topo, &channels, &[Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }], &cfg);
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(1)?;
+        let (runs, summary) = campaigns::detection_runs(&opts.sweep(), &opts.campaign("fig10_11"))?;
+        // only the policy threshold is needed for printing; it is not swept
+        let prr_threshold = DetectionConfig::default().policy.prr_threshold;
 
-    for run in &runs {
-        println!(
-            "\n==== scheduler {} ({} links involved in reuse) ====",
-            run.algorithm, run.links_with_reuse
-        );
-        for (env, epochs) in [("clean", &run.clean), ("wifi", &run.interfered)] {
-            // fig11: rejected per epoch
-            println!("-- fig11 [{env}]: verdicts per epoch --");
-            let headers = ["epoch", "<PRR_t", "rejected", "accepted"];
-            let rows: Vec<Vec<String>> = epochs
-                .iter()
-                .map(|e| {
-                    vec![
-                        e.epoch.to_string(),
-                        e.below_threshold(cfg.policy.prr_threshold).len().to_string(),
-                        e.rejected().len().to_string(),
-                        e.accepted().len().to_string(),
-                    ]
-                })
-                .collect();
-            print!("{}", table::render(&headers, &rows));
+        for run in &runs {
             println!(
-                "(the naive threshold-only policy of §VI would reschedule every '<PRR_t' link;\n                 the K-S policy narrows the reschedule set to the 'rejected' column)"
+                "\n==== scheduler {} ({} links involved in reuse) ====",
+                run.algorithm, run.links_with_reuse
             );
-
-            // fig10: PRR pairs of below-threshold links, by verdict
-            println!("-- fig10 [{env}]: below-threshold links (mean over epochs) --");
-            let mut acc: std::collections::BTreeMap<
-                (wsan_net::DirectedLink, &'static str),
-                (f64, f64, usize),
-            > = Default::default();
-            for epoch in epochs.iter() {
-                for r in &epoch.records {
-                    let class = match r.verdict {
-                        LinkVerdict::ReuseDegraded => "reject",
-                        LinkVerdict::ExternalCause => "accept",
-                        _ => continue,
-                    };
-                    let reuse_mean = r.prr_r.unwrap_or(0.0);
-                    let cf_mean = if r.cf_samples.is_empty() {
-                        f64::NAN
-                    } else {
-                        r.cf_samples.iter().sum::<f64>() / r.cf_samples.len() as f64
-                    };
-                    let e = acc.entry((r.link, class)).or_insert((0.0, 0.0, 0));
-                    e.0 += reuse_mean;
-                    e.1 += cf_mean;
-                    e.2 += 1;
-                }
-            }
-            if acc.is_empty() {
-                println!("(no links below PRR_t)");
-            } else {
-                let headers = ["link", "verdict", "PRR reuse", "PRR cont.-free", "epochs"];
-                let rows: Vec<Vec<String>> = acc
+            for (env, epochs) in [("clean", &run.clean), ("wifi", &run.interfered)] {
+                // fig11: rejected per epoch
+                println!("-- fig11 [{env}]: verdicts per epoch --");
+                let headers = ["epoch", "<PRR_t", "rejected", "accepted"];
+                let rows: Vec<Vec<String>> = epochs
                     .iter()
-                    .map(|((link, class), (r, c, n))| {
+                    .map(|e| {
                         vec![
-                            link.to_string(),
-                            class.to_string(),
-                            table::f3(r / *n as f64),
-                            table::f3(c / *n as f64),
-                            n.to_string(),
+                            e.epoch.to_string(),
+                            e.below_threshold(prr_threshold).len().to_string(),
+                            e.rejected().len().to_string(),
+                            e.accepted().len().to_string(),
                         ]
                     })
                     .collect();
                 print!("{}", table::render(&headers, &rows));
+                println!(
+                    "(the naive threshold-only policy of §VI would reschedule every '<PRR_t' link;\n                 the K-S policy narrows the reschedule set to the 'rejected' column)"
+                );
+
+                // fig10: PRR pairs of below-threshold links, by verdict
+                println!("-- fig10 [{env}]: below-threshold links (mean over epochs) --");
+                let mut acc: std::collections::BTreeMap<
+                    (wsan_net::DirectedLink, &'static str),
+                    (f64, f64, usize),
+                > = Default::default();
+                for epoch in epochs.iter() {
+                    for r in &epoch.records {
+                        let class = match r.verdict {
+                            LinkVerdict::ReuseDegraded => "reject",
+                            LinkVerdict::ExternalCause => "accept",
+                            _ => continue,
+                        };
+                        let reuse_mean = r.prr_r.unwrap_or(0.0);
+                        let cf_mean = if r.cf_samples.is_empty() {
+                            f64::NAN
+                        } else {
+                            r.cf_samples.iter().sum::<f64>() / r.cf_samples.len() as f64
+                        };
+                        let e = acc.entry((r.link, class)).or_insert((0.0, 0.0, 0));
+                        e.0 += reuse_mean;
+                        e.1 += cf_mean;
+                        e.2 += 1;
+                    }
+                }
+                if acc.is_empty() {
+                    println!("(no links below PRR_t)");
+                } else {
+                    let headers = ["link", "verdict", "PRR reuse", "PRR cont.-free", "epochs"];
+                    let rows: Vec<Vec<String>> = acc
+                        .iter()
+                        .map(|((link, class), (r, c, n))| {
+                            vec![
+                                link.to_string(),
+                                class.to_string(),
+                                table::f3(r / *n as f64),
+                                table::f3(c / *n as f64),
+                                n.to_string(),
+                            ]
+                        })
+                        .collect();
+                    print!("{}", table::render(&headers, &rows));
+                }
             }
         }
-    }
-    table::write_json(results_dir().join("fig10_11.json"), &runs).expect("write results JSON");
-    println!("\nresults written under {}", results_dir().display());
+        let path = results_dir().join("fig10_11.json");
+        table::write_json(&path, &runs).map_err(write_err(&path))?;
+        println!(
+            "\nresults written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
+        );
+        Ok(())
+    })
 }

@@ -6,16 +6,19 @@
 //! * Fig. 2: the same three panels under peer-to-peer traffic.
 //! * Fig. 3: peer-to-peer on the WUSTL topology — (a) channels, (b) flows.
 //!
+//! Runs as a resumable campaign: every (panel, x) point is checkpointed to
+//! `results/fig1_2_3.manifest.jsonl`, so a killed run restarted with
+//! `--resume` only recomputes unfinished points.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fig1_2_3 [-- --sets 100 --quick]
+//! cargo run --release -p wsan-bench --bin fig1_2_3 [-- --sets 100 --quick --jobs 4 --resume]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
-use wsan_expr::schedulable::{sweep_channels, sweep_flows, RatioPoint, WorkloadConfig};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
+use wsan_expr::campaigns;
+use wsan_expr::schedulable::RatioPoint;
 use wsan_expr::table;
-use wsan_expr::Algorithm;
-use wsan_flow::{PeriodRange, TrafficPattern};
-use wsan_net::{testbeds, Topology};
 
 fn print_points(title: &str, points: &[RatioPoint], x_label: &str) {
     println!("\n== {title} ==");
@@ -33,86 +36,21 @@ fn print_points(title: &str, points: &[RatioPoint], x_label: &str) {
     print!("{}", table::render(&headers, &rows));
 }
 
-struct Panel {
-    name: &'static str,
-    title: String,
-    points: Vec<RatioPoint>,
-    x_label: &'static str,
-}
-
-fn channel_panel(
-    name: &'static str,
-    topo: &Topology,
-    pattern: TrafficPattern,
-    periods: PeriodRange,
-    flows: usize,
-    opts: &RunOptions,
-) -> Panel {
-    let cfg = WorkloadConfig {
-        flow_sets: opts.sets,
-        seed: opts.seed,
-        ..WorkloadConfig::new(flows, periods, pattern)
-    };
-    let channels = [3, 4, 5, 6, 7, 8];
-    Panel {
-        name,
-        title: format!(
-            "{name}: {} flows, {pattern:?}, P={periods}, topology {}",
-            flows,
-            topo.name()
-        ),
-        points: sweep_channels(topo, &channels, &Algorithm::paper_suite(), &cfg),
-        x_label: "#ch",
-    }
-}
-
-fn flow_panel(
-    name: &'static str,
-    topo: &Topology,
-    pattern: TrafficPattern,
-    periods: PeriodRange,
-    m: usize,
-    flow_counts: &[usize],
-    opts: &RunOptions,
-) -> Panel {
-    let cfg = WorkloadConfig {
-        flow_sets: opts.sets,
-        seed: opts.seed,
-        ..WorkloadConfig::new(0, periods, pattern)
-    };
-    Panel {
-        name,
-        title: format!("{name}: {m} channels, {pattern:?}, P={periods}, topology {}", topo.name()),
-        points: sweep_flows(topo, m, flow_counts, &Algorithm::paper_suite(), &cfg),
-        x_label: "#flows",
-    }
-}
-
-fn main() {
-    let opts = RunOptions::parse(100);
-    let indriya = testbeds::indriya(1);
-    let wustl = testbeds::wustl(1);
-    let p_short = PeriodRange::new(0, 2).expect("valid");
-    let p_wide = PeriodRange::new(-1, 3).expect("valid");
-
-    let cen = TrafficPattern::Centralized;
-    let p2p = TrafficPattern::PeerToPeer;
-
-    let panels = vec![
-        channel_panel("fig1a", &indriya, cen, p_short, 60, &opts),
-        channel_panel("fig1b", &indriya, cen, p_wide, 55, &opts),
-        flow_panel("fig1c", &indriya, cen, p_short, 4, &[30, 40, 50, 60, 70, 80], &opts),
-        channel_panel("fig2a", &indriya, p2p, p_short, 90, &opts),
-        channel_panel("fig2b", &indriya, p2p, p_wide, 100, &opts),
-        flow_panel("fig2c", &indriya, p2p, p_short, 4, &[40, 60, 80, 100, 120, 140], &opts),
-        channel_panel("fig3a", &wustl, p2p, p_short, 130, &opts),
-        flow_panel("fig3b", &wustl, p2p, p_short, 4, &[60, 90, 120, 150, 180], &opts),
-    ];
-
-    for panel in &panels {
-        print_points(&panel.title, &panel.points, panel.x_label);
-        let path = results_dir().join(format!("{}.json", panel.name));
-        table::write_json(&path, &panel.points).expect("write results JSON");
-    }
-    println!("\nresults written under {}", results_dir().display());
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(100)?;
+        let (panels, summary) = campaigns::schedulable(&opts.sweep(), &opts.campaign("fig1_2_3"))?;
+        for panel in &panels {
+            print_points(&panel.title, &panel.points, &panel.x_label);
+            let path = results_dir().join(format!("{}.json", panel.panel));
+            table::write_json(&path, &panel.points).map_err(write_err(&path))?;
+        }
+        println!(
+            "\nresults written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
+        );
+        Ok(())
+    })
 }

@@ -6,82 +6,56 @@
 //! * Fig. 5: distribution of the minimum channel-reuse hop count of shared
 //!   cells, peer-to-peer (a) and centralized (b).
 //!
+//! Runs as a resumable campaign checkpointed to
+//! `results/fig4_5.manifest.jsonl`.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fig4_5 [-- --sets 100 --quick]
+//! cargo run --release -p wsan-bench --bin fig4_5 [-- --sets 100 --quick --jobs 4 --resume]
 //! ```
 
-use serde::Serialize;
-use wsan_bench::{results_dir, RunOptions};
-use wsan_expr::efficiency::evaluate;
-use wsan_expr::schedulable::WorkloadConfig;
-use wsan_expr::{table, Algorithm};
-use wsan_flow::{PeriodRange, TrafficPattern};
-use wsan_net::testbeds;
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
+use wsan_expr::campaigns::{self, EfficiencyRow};
+use wsan_expr::table;
 
-#[derive(Serialize)]
-struct EfficiencyRow {
-    pattern: String,
-    channels: usize,
-    algorithm: String,
-    schedulable_sets: usize,
-    /// proportions for 1, 2, 3, 4+ transmissions per channel
-    tx_per_channel: Vec<f64>,
-    /// proportions for reuse hop counts 2, 3, 4+ (index 0 ↔ 2 hops)
-    reuse_hops: Vec<f64>,
+fn print_pattern(pattern: &str, rows: &[&EfficiencyRow]) {
+    println!("\n== {pattern} traffic, Indriya ==");
+    let headers =
+        ["#ch", "algo", "sets", "1 Tx", "2 Tx", "3 Tx", "4+ Tx", "2 hops", "3 hops", "4+ hops"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row =
+                vec![r.channels.to_string(), r.algorithm.clone(), r.schedulable_sets.to_string()];
+            row.extend(r.tx_per_channel.iter().map(|p| table::pct(*p)));
+            row.extend(r.reuse_hops.iter().map(|p| table::pct(*p)));
+            row
+        })
+        .collect();
+    print!("{}", table::render(&headers, &cells));
+    println!("(Tx columns: share of occupied cells; hop columns: share of shared cells)");
 }
 
-fn main() {
-    let opts = RunOptions::parse(100);
-    let topo = testbeds::indriya(1);
-    let algos = [Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }];
-    let mut all_rows: Vec<EfficiencyRow> = Vec::new();
-
-    for (pattern, flows) in [(TrafficPattern::Centralized, 16), (TrafficPattern::PeerToPeer, 60)] {
-        let cfg = WorkloadConfig {
-            flow_sets: opts.sets,
-            seed: opts.seed,
-            ..WorkloadConfig::new(flows, PeriodRange::new(0, 2).expect("valid"), pattern)
-        };
-        println!("\n== {pattern:?} traffic, {flows} flows, Indriya ==");
-        let headers =
-            ["#ch", "algo", "sets", "1 Tx", "2 Tx", "3 Tx", "4+ Tx", "2 hops", "3 hops", "4+ hops"];
-        let mut rows: Vec<Vec<String>> = Vec::new();
-        for m in [3usize, 4, 5, 6, 7, 8] {
-            for result in evaluate(&topo, m, &algos, &cfg) {
-                let tx = result.metrics.tx_per_channel.proportions_with_tail(4);
-                let hop_hist = &result.metrics.reuse_hop_count;
-                let hops_total = hop_hist.total();
-                let hop_props: Vec<f64> = if hops_total == 0 {
-                    vec![0.0; 3]
-                } else {
-                    let p = hop_hist.proportions_with_tail(4);
-                    vec![p[2], p[3], p[4]]
-                };
-                rows.push(vec![
-                    m.to_string(),
-                    result.algorithm.to_string(),
-                    result.schedulable_sets.to_string(),
-                    table::pct(tx[1]),
-                    table::pct(tx[2]),
-                    table::pct(tx[3]),
-                    table::pct(tx[4]),
-                    table::pct(hop_props[0]),
-                    table::pct(hop_props[1]),
-                    table::pct(hop_props[2]),
-                ]);
-                all_rows.push(EfficiencyRow {
-                    pattern: format!("{pattern:?}"),
-                    channels: m,
-                    algorithm: result.algorithm.to_string(),
-                    schedulable_sets: result.schedulable_sets,
-                    tx_per_channel: tx[1..].to_vec(),
-                    reuse_hops: hop_props,
-                });
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(100)?;
+        let (all_rows, summary) =
+            campaigns::efficiency_rows(&opts.sweep(), &opts.campaign("fig4_5"))?;
+        for pattern in ["Centralized", "PeerToPeer"] {
+            let rows: Vec<&EfficiencyRow> =
+                all_rows.iter().filter(|r| r.pattern == pattern).collect();
+            if !rows.is_empty() {
+                print_pattern(pattern, &rows);
             }
         }
-        print!("{}", table::render(&headers, &rows));
-        println!("(Tx columns: share of occupied cells; hop columns: share of shared cells)");
-    }
-    table::write_json(results_dir().join("fig4_5.json"), &all_rows).expect("write results JSON");
-    println!("\nresults written under {}", results_dir().display());
+        let path = results_dir().join("fig4_5.json");
+        table::write_json(&path, &all_rows).map_err(write_err(&path))?;
+        println!(
+            "\nresults written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
+        );
+        Ok(())
+    })
 }

@@ -5,43 +5,48 @@
 //! shape to reproduce is NR fastest (and failing beyond ~120 flows),
 //! RC cheaper than RA, and both growing steeply with load.
 //!
+//! Runs as a resumable campaign checkpointed to
+//! `results/fig6.manifest.jsonl`. Note that with `--jobs > 1` the absolute
+//! timings share the machine with the other workers; use `--jobs 1` when
+//! the milliseconds themselves matter.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fig6 [-- --sets 20 --quick]
+//! cargo run --release -p wsan-bench --bin fig6 [-- --sets 20 --quick --resume]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
-use wsan_expr::exectime::measure;
-use wsan_expr::schedulable::WorkloadConfig;
-use wsan_expr::{table, Algorithm};
-use wsan_flow::{PeriodRange, TrafficPattern};
-use wsan_net::testbeds;
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
+use wsan_expr::campaigns;
+use wsan_expr::table;
 
-fn main() {
-    let opts = RunOptions::parse(20);
-    let topo = testbeds::indriya(1);
-    let cfg = WorkloadConfig {
-        flow_sets: opts.sets,
-        seed: opts.seed,
-        ..WorkloadConfig::new(0, PeriodRange::new(0, 2).expect("valid"), TrafficPattern::PeerToPeer)
-    };
-    let flow_counts = [40, 60, 80, 100, 120, 140, 160];
-    let points = measure(&topo, 5, &flow_counts, &Algorithm::paper_suite(), &cfg);
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(20)?;
+        let (points, summary) = campaigns::exectime_points(&opts.sweep(), &opts.campaign("fig6"))?;
 
-    println!("== fig6: execution time (ms), p2p, 5 channels, Indriya ==");
-    let headers = ["#flows", "NR ms", "NR ok", "RA ms", "RA ok", "RC ms", "RC ok"];
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            let mut row = vec![p.flows.to_string()];
-            for a in &p.algorithms {
-                row.push(a.mean_ms.map_or("-".to_string(), |ms| format!("{ms:.2}")));
-                row.push(table::pct(a.schedulable_ratio));
-            }
-            row
-        })
-        .collect();
-    print!("{}", table::render(&headers, &rows));
-    println!("('-' = no schedulable run at that load; timings over {} sets/point)", opts.sets);
-    table::write_json(results_dir().join("fig6.json"), &points).expect("write results JSON");
-    println!("results written under {}", results_dir().display());
+        println!("== fig6: execution time (ms), p2p, 5 channels, Indriya ==");
+        let headers = ["#flows", "NR ms", "NR ok", "RA ms", "RA ok", "RC ms", "RC ok"];
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                let mut row = vec![p.flows.to_string()];
+                for a in &p.algorithms {
+                    row.push(a.mean_ms.map_or("-".to_string(), |ms| format!("{ms:.2}")));
+                    row.push(table::pct(a.schedulable_ratio));
+                }
+                row
+            })
+            .collect();
+        print!("{}", table::render(&headers, &rows));
+        println!("('-' = no schedulable run at that load; timings over {} sets/point)", opts.sets);
+        let path = results_dir().join("fig6.json");
+        table::write_json(&path, &points).map_err(write_err(&path))?;
+        println!(
+            "results written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
+        );
+        Ok(())
+    })
 }

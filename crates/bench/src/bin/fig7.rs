@@ -10,19 +10,26 @@
 //! ```
 
 use std::fmt::Write as _;
-use wsan_bench::{results_dir, RunOptions};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, BenchError, RunOptions};
 use wsan_expr::table;
 use wsan_net::{testbeds, ChannelId, Prr};
 
-fn main() {
-    let opts = RunOptions::parse(1);
+fn main() -> ExitCode {
+    run_main(body)
+}
+
+fn body() -> Result<(), BenchError> {
+    let opts = RunOptions::try_parse(1)?;
     let topo = testbeds::wustl(opts.seed);
     let channels = ChannelId::range(11, 14).expect("valid");
     let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
     let reuse = topo.reuse_graph(&channels);
 
     println!("== fig7: WUSTL topology on channels 11-14 (seed {}) ==", opts.seed);
-    let model = topo.propagation_model().expect("synthetic topologies carry a model");
+    let model = topo
+        .propagation_model()
+        .ok_or_else(|| BenchError::Run("topology carries no propagation model".to_string()))?;
     let mut per_floor = std::collections::BTreeMap::<i64, usize>::new();
     for node in topo.nodes() {
         *per_floor
@@ -83,7 +90,8 @@ fn main() {
     }
     dot.push_str("}\n");
     let path = results_dir().join("fig7_wustl.dot");
-    std::fs::create_dir_all(results_dir()).expect("create results dir");
-    std::fs::write(&path, dot).expect("write DOT");
+    std::fs::create_dir_all(results_dir()).map_err(write_err(results_dir()))?;
+    std::fs::write(&path, dot).map_err(write_err(&path))?;
     println!("communication graph exported to {} (render: neato -n2 -Tpdf)", path.display());
+    Ok(())
 }

@@ -8,94 +8,103 @@
 //! * Fig. 9: the Tx/channel distribution of the same RA and RC schedules —
 //!   the mechanism behind Fig. 8.
 //!
+//! Runs as a resumable campaign (one point per flow set) checkpointed to
+//! `results/fig8_9.manifest.jsonl`.
+//!
 //! ```sh
-//! cargo run --release -p wsan-bench --bin fig8_9 [-- --sets 5 --seed 1]
+//! cargo run --release -p wsan-bench --bin fig8_9 [-- --sets 5 --seed 1 --jobs 4 --resume]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
-use wsan_expr::reliability::{evaluate, ReliabilityConfig};
-use wsan_expr::{table, Algorithm};
-use wsan_net::{testbeds, ChannelId};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, RunOptions};
+use wsan_expr::campaigns;
+use wsan_expr::table;
 
-fn main() {
-    let opts = RunOptions::parse(5);
-    let topo = testbeds::wustl(1);
-    let channels = ChannelId::range(11, 14).expect("valid");
-    let cfg = ReliabilityConfig {
-        flow_sets: opts.sets,
-        flow_count: if opts.quick { 25 } else { 50 },
-        repetitions: if opts.quick { 30 } else { 100 },
-        seed: opts.seed,
-        ..ReliabilityConfig::default()
-    };
-    let results = evaluate(&topo, &channels, &Algorithm::paper_suite(), &cfg);
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = RunOptions::try_parse(5)?;
+        let (results, summary) =
+            campaigns::reliability_sets(&opts.sweep(), &opts.campaign("fig8_9"))?;
+        let flow_count = if opts.quick { 25 } else { 50 };
 
-    println!("== fig8: per-flow PDR box plots (WUSTL, {} flows, 4 channels) ==", cfg.flow_count);
-    let headers = ["set", "algo", "median", "q1", "q3", "whisk-lo", "worst", "mean reuse Tx/ch"];
-    let mut rows = Vec::new();
-    for set in &results {
-        for algo in &set.algorithms {
-            let b = &algo.pdr_boxplot;
-            // mean transmissions per occupied cell (1.0 = no reuse at all)
-            let hist = &algo.tx_per_channel;
-            let mean_tx: f64 = if hist.total() == 0 {
-                0.0
-            } else {
-                hist.iter().map(|(c, n)| (c as u64 * n) as f64).sum::<f64>() / hist.total() as f64
-            };
-            rows.push(vec![
-                (set.set_index + 1).to_string(),
-                algo.algorithm.clone(),
-                table::f3(b.median),
-                table::f3(b.q1),
-                table::f3(b.q3),
-                table::f3(b.whisker_low),
-                table::f3(algo.worst_pdr),
-                format!("{mean_tx:.2}"),
-            ]);
-        }
-    }
-    print!("{}", table::render(&headers, &rows));
-
-    println!("\n== fig9: Tx/channel distribution of RA and RC schedules ==");
-    let headers9 = ["set", "algo", "1 Tx", "2 Tx", "3 Tx", "4+ Tx"];
-    let mut rows9 = Vec::new();
-    for set in &results {
-        for algo in &set.algorithms {
-            if algo.algorithm == "NR" {
-                continue;
+        println!("== fig8: per-flow PDR box plots (WUSTL, {flow_count} flows, 4 channels) ==");
+        let headers =
+            ["set", "algo", "median", "q1", "q3", "whisk-lo", "worst", "mean reuse Tx/ch"];
+        let mut rows = Vec::new();
+        for set in &results {
+            for algo in &set.algorithms {
+                let b = &algo.pdr_boxplot;
+                // mean transmissions per occupied cell (1.0 = no reuse at all)
+                let hist = &algo.tx_per_channel;
+                let mean_tx: f64 = if hist.total() == 0 {
+                    0.0
+                } else {
+                    hist.iter().map(|(c, n)| (c as u64 * n) as f64).sum::<f64>()
+                        / hist.total() as f64
+                };
+                rows.push(vec![
+                    (set.set_index + 1).to_string(),
+                    algo.algorithm.clone(),
+                    table::f3(b.median),
+                    table::f3(b.q1),
+                    table::f3(b.q3),
+                    table::f3(b.whisker_low),
+                    table::f3(algo.worst_pdr),
+                    format!("{mean_tx:.2}"),
+                ]);
             }
-            let p = algo.tx_per_channel.proportions_with_tail(4);
-            rows9.push(vec![
+        }
+        print!("{}", table::render(&headers, &rows));
+
+        println!("\n== fig9: Tx/channel distribution of RA and RC schedules ==");
+        let headers9 = ["set", "algo", "1 Tx", "2 Tx", "3 Tx", "4+ Tx"];
+        let mut rows9 = Vec::new();
+        for set in &results {
+            for algo in &set.algorithms {
+                if algo.algorithm == "NR" {
+                    continue;
+                }
+                let p = algo.tx_per_channel.proportions_with_tail(4);
+                rows9.push(vec![
+                    (set.set_index + 1).to_string(),
+                    algo.algorithm.clone(),
+                    table::pct(p[1]),
+                    table::pct(p[2]),
+                    table::pct(p[3]),
+                    table::pct(p[4]),
+                ]);
+            }
+        }
+        print!("{}", table::render(&headers9, &rows9));
+
+        // summary: worst-case deltas vs NR, the paper's headline comparison
+        println!("\n== summary: worst-case PDR drop vs NR per flow set ==");
+        let headers_s = ["set", "NR worst", "RA worst", "RC worst", "RA drop", "RC drop"];
+        let mut rows_s = Vec::new();
+        for set in &results {
+            let find = |name: &str| set.algorithms.iter().find(|a| a.algorithm == name);
+            let (Some(nr), Some(ra), Some(rc)) = (find("NR"), find("RA"), find("RC")) else {
+                continue;
+            };
+            rows_s.push(vec![
                 (set.set_index + 1).to_string(),
-                algo.algorithm.clone(),
-                table::pct(p[1]),
-                table::pct(p[2]),
-                table::pct(p[3]),
-                table::pct(p[4]),
+                table::f3(nr.worst_pdr),
+                table::f3(ra.worst_pdr),
+                table::f3(rc.worst_pdr),
+                table::pct(nr.worst_pdr - ra.worst_pdr),
+                table::pct(nr.worst_pdr - rc.worst_pdr),
             ]);
         }
-    }
-    print!("{}", table::render(&headers9, &rows9));
+        print!("{}", table::render(&headers_s, &rows_s));
 
-    // summary: worst-case deltas vs NR, the paper's headline comparison
-    println!("\n== summary: worst-case PDR drop vs NR per flow set ==");
-    let headers_s = ["set", "NR worst", "RA worst", "RC worst", "RA drop", "RC drop"];
-    let mut rows_s = Vec::new();
-    for set in &results {
-        let find = |name: &str| set.algorithms.iter().find(|a| a.algorithm == name).unwrap();
-        let (nr, ra, rc) = (find("NR"), find("RA"), find("RC"));
-        rows_s.push(vec![
-            (set.set_index + 1).to_string(),
-            table::f3(nr.worst_pdr),
-            table::f3(ra.worst_pdr),
-            table::f3(rc.worst_pdr),
-            table::pct(nr.worst_pdr - ra.worst_pdr),
-            table::pct(nr.worst_pdr - rc.worst_pdr),
-        ]);
-    }
-    print!("{}", table::render(&headers_s, &rows_s));
-
-    table::write_json(results_dir().join("fig8_9.json"), &results).expect("write results JSON");
-    println!("\nresults written under {}", results_dir().display());
+        let path = results_dir().join("fig8_9.json");
+        table::write_json(&path, &results).map_err(write_err(&path))?;
+        println!(
+            "\nresults written under {} ({} points executed, {} resumed)",
+            results_dir().display(),
+            summary.executed,
+            summary.resumed
+        );
+        Ok(())
+    })
 }

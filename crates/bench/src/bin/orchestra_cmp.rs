@@ -12,7 +12,8 @@
 //! cargo run --release -p wsan-bench --bin orchestra_cmp [-- --seed 1]
 //! ```
 
-use wsan_bench::{results_dir, RunOptions};
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, BenchError, RunOptions};
 use wsan_core::orchestra::AutonomousSlotframe;
 use wsan_core::NetworkModel;
 use wsan_expr::{table, Algorithm};
@@ -36,8 +37,12 @@ fn summarize(name: &str, report: &SimReport, flows: usize) -> Vec<String> {
     ]
 }
 
-fn main() {
-    let opts = RunOptions::parse(1);
+fn main() -> ExitCode {
+    run_main(body)
+}
+
+fn body() -> Result<(), BenchError> {
+    let opts = RunOptions::try_parse(1)?;
     let topo = testbeds::wustl(opts.seed);
     let channels = ChannelId::range(11, 14).expect("valid");
     let comm = topo.comm_graph(&channels, Prr::new(0.9).expect("valid"));
@@ -61,13 +66,16 @@ fn main() {
         for algo in [Algorithm::Nr, Algorithm::Rc { rho_t: 2 }] {
             match algo.build().schedule(&set, &model) {
                 Ok(schedule) => {
-                    let sim = Simulator::new(&topo, &channels, &set, &schedule);
-                    let report = sim.run(&SimConfig {
-                        seed: opts.seed,
-                        repetitions: reps,
-                        discovery_probes: 0,
-                        ..SimConfig::default()
-                    });
+                    let report = Simulator::try_new(&topo, &channels, &set, &schedule)
+                        .and_then(|sim| {
+                            sim.try_run(&SimConfig {
+                                seed: opts.seed,
+                                repetitions: reps,
+                                discovery_probes: 0,
+                                ..SimConfig::default()
+                            })
+                        })
+                        .map_err(|e| BenchError::Run(format!("{algo} simulation: {e}")))?;
                     rows.push(summarize(&algo.to_string(), &report, set.len()));
                 }
                 Err(_) => rows.push(vec![
@@ -94,5 +102,6 @@ fn main() {
     }
     println!("\nautonomous slotframes trade central coordination for contention and");
     println!("wake-period latency; the managed schedulers hold deadline PDR near 1.");
-    std::fs::create_dir_all(results_dir()).expect("results dir");
+    std::fs::create_dir_all(results_dir()).map_err(write_err(results_dir()))?;
+    Ok(())
 }

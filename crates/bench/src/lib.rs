@@ -7,10 +7,65 @@
 //! * `--sets N` — flow sets per configuration point (default: the paper's
 //!   100; lower it for a quick pass),
 //! * `--seed S` — base seed (default 1),
-//! * `--quick` — shorthand for a fast smoke-scale run.
+//! * `--quick` — shorthand for a fast smoke-scale run,
+//! * `--jobs N` — campaign worker threads (0 = one per core),
+//! * `--resume` — resume from the figure's checkpoint manifest instead of
+//!   recomputing finished sweep points.
+//!
+//! Binaries exit non-zero with a diagnostic on malformed arguments or
+//! failed runs instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Why a figure binary stopped.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// Malformed command-line arguments.
+    Usage(String),
+    /// A result or log file could not be written.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The experiment itself failed.
+    Run(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Usage(msg) => {
+                write!(f, "{msg}; supported: --sets N --seed S --quick --jobs N --resume")
+            }
+            BenchError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+            BenchError::Run(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<wsan_expr::campaign::CampaignError> for BenchError {
+    fn from(e: wsan_expr::campaign::CampaignError) -> Self {
+        BenchError::Run(e.to_string())
+    }
+}
+
+/// Maps a result-file write error onto the offending path.
+pub fn write_err(path: impl AsRef<Path>) -> impl FnOnce(std::io::Error) -> BenchError {
+    let path = path.as_ref().to_path_buf();
+    move |source| BenchError::Io { path, source }
+}
 
 /// Options common to every figure binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,35 +76,82 @@ pub struct RunOptions {
     pub seed: u64,
     /// Quick mode: shrink the heaviest dimensions.
     pub quick: bool,
+    /// Campaign worker threads (0 = one per core).
+    pub jobs: usize,
+    /// Resume from the figure's checkpoint manifest.
+    pub resume: bool,
 }
 
 impl RunOptions {
     /// Parses `std::env::args`-style arguments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse(default_sets: usize) -> Self {
-        let mut options = RunOptions { sets: default_sets, seed: 1, quick: false };
-        let mut args = std::env::args().skip(1);
+    /// Returns [`BenchError::Usage`] on malformed arguments.
+    pub fn try_parse(default_sets: usize) -> Result<Self, BenchError> {
+        Self::try_parse_from(std::env::args().skip(1), default_sets)
+    }
+
+    /// [`RunOptions::try_parse`] over an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::Usage`] on malformed arguments.
+    pub fn try_parse_from(
+        args: impl IntoIterator<Item = String>,
+        default_sets: usize,
+    ) -> Result<Self, BenchError> {
+        let mut options =
+            RunOptions { sets: default_sets, seed: 1, quick: false, jobs: 0, resume: false };
+        let mut args = args.into_iter();
+        fn value<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, BenchError> {
+            let raw = next.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value")))?;
+            raw.parse()
+                .map_err(|_| BenchError::Usage(format!("{flag} expects an integer, got '{raw}'")))
+        }
         while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--sets" => {
-                    let v = args.next().expect("--sets needs a value");
-                    options.sets = v.parse().expect("--sets expects an integer");
-                }
-                "--seed" => {
-                    let v = args.next().expect("--seed needs a value");
-                    options.seed = v.parse().expect("--seed expects an integer");
-                }
+                "--sets" => options.sets = value("--sets", args.next())?,
+                "--seed" => options.seed = value("--seed", args.next())?,
+                "--jobs" => options.jobs = value("--jobs", args.next())?,
+                "--resume" => options.resume = true,
                 "--quick" => {
                     options.quick = true;
                     options.sets = options.sets.min(10);
                 }
-                other => panic!("unknown argument {other}; supported: --sets N --seed S --quick"),
+                other => return Err(BenchError::Usage(format!("unknown argument {other}"))),
             }
         }
-        options
+        Ok(options)
+    }
+
+    /// The catalog-facing view of these options.
+    pub fn sweep(&self) -> wsan_expr::campaigns::SweepOptions {
+        wsan_expr::campaigns::SweepOptions { sets: self.sets, seed: self.seed, quick: self.quick }
+    }
+
+    /// Campaign engine configuration for the named figure: workers and
+    /// resume flag from the command line, checkpoints under
+    /// `results/<name>.manifest.jsonl`.
+    pub fn campaign(&self, name: &str) -> wsan_expr::campaign::CampaignConfig {
+        wsan_expr::campaign::CampaignConfig {
+            jobs: self.jobs,
+            window: 0,
+            manifest: Some(results_dir().join(format!("{name}.manifest.jsonl"))),
+            resume: self.resume,
+        }
+    }
+}
+
+/// Runs a figure binary's fallible body, reporting errors on stderr with a
+/// non-zero exit code instead of a panic backtrace.
+pub fn run_main(body: impl FnOnce() -> Result<(), BenchError>) -> ExitCode {
+    match body() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -64,12 +166,34 @@ pub fn results_dir() -> std::path::PathBuf {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str], default_sets: usize) -> Result<RunOptions, BenchError> {
+        RunOptions::try_parse_from(args.iter().map(|s| s.to_string()), default_sets)
+    }
+
     #[test]
     fn defaults_without_args() {
-        // parse() reads process args; under `cargo test` extra args exist,
-        // so only check the plain constructor semantics here.
-        let o = RunOptions { sets: 100, seed: 1, quick: false };
-        assert_eq!(o.sets, 100);
+        let o = parse(&[], 100).unwrap();
+        assert_eq!(o, RunOptions { sets: 100, seed: 1, quick: false, jobs: 0, resume: false });
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&["--sets", "7", "--seed", "9", "--jobs", "3", "--resume"], 100).unwrap();
+        assert_eq!(o, RunOptions { sets: 7, seed: 9, quick: false, jobs: 3, resume: true });
+    }
+
+    #[test]
+    fn quick_caps_sets() {
+        let o = parse(&["--quick"], 100).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.sets, 10);
+    }
+
+    #[test]
+    fn malformed_arguments_are_usage_errors_not_panics() {
+        assert!(matches!(parse(&["--sets"], 5), Err(BenchError::Usage(_))));
+        assert!(matches!(parse(&["--sets", "many"], 5), Err(BenchError::Usage(_))));
+        assert!(matches!(parse(&["--frobnicate"], 5), Err(BenchError::Usage(_))));
     }
 
     #[test]
@@ -78,5 +202,14 @@ mod tests {
         assert_eq!(results_dir(), std::path::PathBuf::from("/tmp/wsan-results-test"));
         std::env::remove_var("WSAN_RESULTS_DIR");
         assert_eq!(results_dir(), std::path::PathBuf::from("results"));
+    }
+
+    #[test]
+    fn campaign_config_points_at_the_results_manifest() {
+        let o = parse(&["--jobs", "2", "--resume"], 5).unwrap();
+        let cfg = o.campaign("fig6");
+        assert_eq!(cfg.jobs, 2);
+        assert!(cfg.resume);
+        assert!(cfg.manifest.as_deref().is_some_and(|p| p.ends_with("fig6.manifest.jsonl")));
     }
 }

@@ -24,6 +24,9 @@ pub const USAGE: &str = "usage:
   wsan faults   --testbed <indriya|wustl> --flows N [--collapse k1,k2,..]
                 [--epochs N] [--algo nr|ra|rc] [--channels a-b] [--seed N]
                 [--out FILE]                    # fault campaign → JSON
+  wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults>
+                [--jobs N] [--resume] [--sets N] [--seed N] [--quick]
+                [--out FILE] [--manifest FILE]  # checkpointed sweep → JSON
 
 observability (accepted by every subcommand):
   --log-level off|error|warn|info|debug|trace   structured events to stderr
@@ -48,6 +51,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "export" => cmd_export(&args),
         "detect" => cmd_detect(&args),
         "faults" => cmd_faults(&args),
+        "campaign" => cmd_campaign(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -330,8 +334,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .build()
         .schedule(&set, &model)
         .map_err(|e| format!("{algo} cannot schedule this workload: {e}"))?;
-    let sim = Simulator::new(&topo, &channels, &set, &schedule);
-    let report = sim.run(&sim_config);
+    let sim = Simulator::try_new(&topo, &channels, &set, &schedule).map_err(|e| e.to_string())?;
+    let report = sim.try_run(&sim_config).map_err(|e| e.to_string())?;
     let pdrs = report.flow_pdrs();
     let boxplot = wsan_stats::BoxPlot::of(&pdrs).map_err(|e| e.to_string())?;
     println!("{algo} over {reps} hyperperiod executions:");
@@ -488,6 +492,53 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a named experiment campaign through the checkpointing engine:
+/// every sweep point is appended to a manifest as it completes, so an
+/// interrupted run re-invoked with `--resume` only computes what's missing.
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    known(args, &["name", "jobs", "resume", "sets", "seed", "quick", "out", "manifest"])?;
+    let names = wsan_expr::campaigns::NAMES.join("|");
+    let Some(name) = args.get("name") else {
+        return Err(format!("--name is required ({names})"));
+    };
+    let opts = wsan_expr::campaigns::SweepOptions {
+        sets: args.get_or("sets", 0)?, // 0 = the campaign's own default
+        seed: args.get_or("seed", 1)?,
+        quick: args.has("quick"),
+    };
+    let manifest = args
+        .get("manifest")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("results/{name}.manifest.jsonl"));
+    let cfg = wsan_expr::campaign::CampaignConfig {
+        jobs: args.get_or("jobs", 0)?,
+        window: 0,
+        manifest: Some(manifest.into()),
+        resume: args.has("resume"),
+    };
+    let outcome = wsan_expr::campaigns::run_named(name, &opts, &cfg).map_err(|e| e.to_string())?;
+    let out = args
+        .get("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("results/campaign_{name}.json"));
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let mut json = outcome.json;
+    if !json.ends_with('\n') {
+        json.push('\n');
+    }
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "campaign '{name}': {} points ({} executed, {} resumed) → {out}",
+        outcome.summary.total, outcome.summary.executed, outcome.summary.resumed
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +689,49 @@ mod export_tests {
         let err = run(&["schedule", "--testbed", "wustl", "--flows", "8", "--log-format", "xml"])
             .unwrap_err();
         assert!(err.contains("xml"));
+    }
+
+    #[test]
+    fn campaign_smoke_runs_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join("wsan-cli-campaign");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("smoke.json");
+        let manifest = dir.join("smoke.manifest.jsonl");
+        let argv = |resume: bool| {
+            let mut v = vec![
+                "campaign".to_string(),
+                "--name".to_string(),
+                "smoke".to_string(),
+                "--sets".to_string(),
+                "2".to_string(),
+                "--seed".to_string(),
+                "9".to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+                "--manifest".to_string(),
+                manifest.to_str().unwrap().to_string(),
+            ];
+            if resume {
+                v.push("--resume".to_string());
+            }
+            v
+        };
+        dispatch(&argv(false)).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert!(manifest.exists(), "manifest must be checkpointed");
+        // resuming the finished campaign replays every point from the
+        // manifest and reproduces the identical aggregate
+        dispatch(&argv(true)).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn campaign_requires_a_known_name() {
+        assert!(run(&["campaign"]).unwrap_err().contains("--name"));
+        let err = run(&["campaign", "--name", "nope"]).unwrap_err();
+        assert!(err.contains("nope"), "got: {err}");
     }
 
     #[test]

@@ -174,9 +174,13 @@ impl PlacePolicy for RcPolicy {
                 };
                 if good_enough {
                     if let Some(m) = &self.metrics {
-                        match self.rho {
-                            Rho::NoReuse => m.placements_no_reuse.inc(),
-                            Rho::AtLeast(_) => m.placements_reuse.inc(),
+                        // Occupancy of the accepted cell, not the rho state,
+                        // decides whether a channel is actually shared: a
+                        // relaxed rho can still land in an empty cell.
+                        if schedule.cell(slot, offset).is_empty() {
+                            m.placements_no_reuse.inc();
+                        } else {
+                            m.placements_reuse.inc();
                         }
                     }
                     return found;
@@ -191,15 +195,21 @@ impl PlacePolicy for RcPolicy {
                         }
                     }
                     if wsan_obs::enabled(wsan_obs::Level::Trace) {
+                        // under DeadlineMissOnly no laxity was computed, so
+                        // the field is omitted rather than logging a
+                        // placeholder value
+                        let mut fields = vec![
+                            wsan_obs::kv("rho", wsan_obs::FieldValue::display(next)),
+                            wsan_obs::kv("link", wsan_obs::FieldValue::display(req.link)),
+                        ];
+                        if let Some(laxity) = shrink_laxity {
+                            fields.insert(0, wsan_obs::kv("laxity", laxity));
+                        }
                         wsan_obs::event(
                             wsan_obs::Level::Trace,
                             "wsan_core::rc",
                             "shrinking reuse distance",
-                            &[
-                                wsan_obs::kv("laxity", shrink_laxity.unwrap_or(i64::MIN)),
-                                wsan_obs::kv("rho", wsan_obs::FieldValue::display(next)),
-                                wsan_obs::kv("link", wsan_obs::FieldValue::display(req.link)),
-                            ],
+                            &fields,
                         );
                     }
                     self.rho = next;
@@ -210,8 +220,16 @@ impl PlacePolicy for RcPolicy {
                 None => {
                     if let Some(m) = &self.metrics {
                         m.floor_fallbacks.inc();
-                        if found.is_some() {
-                            m.placements_reuse.inc();
+                        // The fallback placement only shares a channel when
+                        // the accepted cell already has an occupant; an empty
+                        // cell is an ordinary no-reuse placement even though
+                        // rho was relaxed on the way here.
+                        if let Some((slot, offset)) = found {
+                            if schedule.cell(slot, offset).is_empty() {
+                                m.placements_no_reuse.inc();
+                            } else {
+                                m.placements_reuse.inc();
+                            }
                         }
                     }
                     return found;

@@ -1,0 +1,147 @@
+//! Regression tests for RC's reuse-metric accounting and shrink tracing.
+//!
+//! These live in their own integration-test binary because they flip the
+//! process-global metrics flag and install a global trace subscriber; a
+//! static mutex serializes the tests against each other.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wsan_core::{NetworkModel, ReuseConservatively, ReuseTrigger, ScheduleError, Scheduler};
+use wsan_flow::{priority, Flow, FlowId, FlowSet, Period};
+use wsan_net::{NodeId, ReuseGraph, Route};
+
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn path_graph(count: usize) -> ReuseGraph {
+    let edges: Vec<_> = (0..count - 1).map(|i| (n(i), n(i + 1))).collect();
+    ReuseGraph::from_edges(count, &edges)
+}
+
+fn one_flow(period: u32, deadline: u32, nodes: &[usize]) -> FlowSet {
+    let flow = Flow::new(
+        FlowId::new(0),
+        Route::new(nodes.iter().map(|&i| n(i)).collect()),
+        Period::from_slots(period).unwrap(),
+        deadline,
+    )
+    .unwrap();
+    priority::deadline_monotonic(vec![flow], vec![])
+}
+
+/// `pairs` disjoint single-hop flows `i*stride → i*stride+1` along a path.
+fn disjoint_pairs(
+    pairs: usize,
+    stride: usize,
+    period: u32,
+    deadline: u32,
+) -> (FlowSet, ReuseGraph) {
+    let node_count = (pairs - 1) * stride + 2;
+    let flows = (0..pairs)
+        .map(|i| {
+            Flow::new(
+                FlowId::new(i),
+                Route::new(vec![n(i * stride), n(i * stride + 1)]),
+                Period::from_slots(period).unwrap(),
+                deadline,
+            )
+            .unwrap()
+        })
+        .collect();
+    (priority::deadline_monotonic(flows, vec![]), path_graph(node_count))
+}
+
+/// A floor fallback whose accepted placement lands in an *empty* cell must
+/// count as a no-reuse placement: no channel is actually shared.
+///
+/// One flow over a 5-link line with a deadline window shorter than its own
+/// 10-transmission sequence keeps the flow laxity negative at every rho
+/// step, so every placement goes through the rho floor fallback — yet the
+/// schedule has a single flow, so no cell ever holds two transmissions.
+#[test]
+fn floor_fallback_in_empty_cell_counts_as_no_reuse() {
+    let _guard = global_lock();
+    let flows = one_flow(100, 8, &[0, 1, 2, 3, 4, 5]);
+    let model = NetworkModel::from_reuse_graph(&path_graph(6), 1);
+
+    wsan_obs::set_metrics_enabled(true);
+    wsan_obs::global_metrics().clear();
+    let result = ReuseConservatively::new(2).schedule(&flows, &model);
+    let snapshot = wsan_obs::global_metrics().snapshot();
+    wsan_obs::set_metrics_enabled(false);
+
+    // 10 transmissions cannot fit in 8 slots, so the set is unschedulable —
+    // but the placements accepted before the miss were still counted.
+    assert!(matches!(result, Err(ScheduleError::Unschedulable { .. })));
+    let fallbacks = snapshot.counters.get("rc.floor_fallbacks").copied().unwrap_or(0);
+    let no_reuse = snapshot.counters.get("rc.placements.no_reuse").copied().unwrap_or(0);
+    let reuse = snapshot.counters.get("rc.placements.reuse").copied().unwrap_or(0);
+    assert!(fallbacks > 0, "scenario must exercise the rho floor fallback");
+    assert!(no_reuse > 0, "fallback placements in empty cells are no-reuse placements");
+    assert_eq!(
+        reuse, 0,
+        "a single-flow schedule shares no cell, so the reuse counter must stay zero \
+         (got {reuse} with {fallbacks} floor fallbacks)"
+    );
+}
+
+/// A placement that genuinely shares an occupied cell still counts as reuse.
+#[test]
+fn shared_cell_placement_still_counts_as_reuse() {
+    let _guard = global_lock();
+    // 8 single-hop pairs, 1 channel, tight deadline: reuse is required.
+    let (flows, reuse_graph) = disjoint_pairs(8, 4, 40, 10);
+    let model = NetworkModel::from_reuse_graph(&reuse_graph, 1);
+
+    wsan_obs::set_metrics_enabled(true);
+    wsan_obs::global_metrics().clear();
+    let schedule = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+    let snapshot = wsan_obs::global_metrics().snapshot();
+    wsan_obs::set_metrics_enabled(false);
+
+    assert!(
+        schedule.occupied_cells().any(|(_, _, cell)| cell.len() > 1),
+        "scenario must force actual channel sharing"
+    );
+    let reuse = snapshot.counters.get("rc.placements.reuse").copied().unwrap_or(0);
+    assert!(reuse > 0, "placements into occupied cells must be counted as reuse");
+}
+
+/// Under `DeadlineMissOnly` no laxity is computed, so the shrink trace event
+/// must omit the field instead of logging the `i64::MIN` placeholder.
+#[test]
+fn deadline_miss_only_shrink_trace_has_no_placeholder_laxity() {
+    let _guard = global_lock();
+    let (flows, reuse_graph) = disjoint_pairs(8, 4, 40, 10);
+    let model = NetworkModel::from_reuse_graph(&reuse_graph, 1);
+
+    let sink = wsan_obs::SharedBuffer::new();
+    wsan_obs::install(Arc::new(wsan_obs::JsonLinesSubscriber::new(
+        wsan_obs::Level::Trace,
+        sink.clone(),
+    )));
+    let result = ReuseConservatively::new(2)
+        .with_trigger(ReuseTrigger::DeadlineMissOnly)
+        .schedule(&flows, &model);
+    wsan_obs::uninstall();
+    let _ = result;
+
+    let log = sink.contents();
+    assert!(
+        log.contains("shrinking reuse distance"),
+        "scenario must shrink rho under DeadlineMissOnly"
+    );
+    assert!(
+        !log.contains(&i64::MIN.to_string()),
+        "shrink trace must not log the i64::MIN placeholder laxity"
+    );
+    for line in log.lines().filter(|l| l.contains("shrinking reuse distance")) {
+        assert!(!line.contains("laxity"), "DeadlineMissOnly shrink logged a laxity field: {line}");
+    }
+}

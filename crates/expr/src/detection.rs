@@ -128,27 +128,50 @@ pub fn evaluate(
     algorithms: &[Algorithm],
     cfg: &DetectionConfig,
 ) -> Vec<DetectionRun> {
-    let comm = topology.comm_graph(channels, Prr::new(cfg.prr_threshold).expect("valid PRR"));
+    algorithms
+        .iter()
+        .filter_map(|&algo| {
+            evaluate_algo(topology, channels, algo, cfg).unwrap_or_else(|e| panic!("{e}"))
+        })
+        .collect()
+}
+
+/// Campaign-engine variant of [`evaluate`] for a single algorithm, with the
+/// panicking paths turned into errors. `Ok(None)` means the algorithm could
+/// not schedule the workload (skipped, matching [`evaluate`]).
+///
+/// # Errors
+///
+/// Returns a message when the workload cannot be generated or the
+/// simulator rejects its inputs.
+pub fn evaluate_algo(
+    topology: &Topology,
+    channels: &ChannelSet,
+    algo: Algorithm,
+    cfg: &DetectionConfig,
+) -> Result<Option<DetectionRun>, String> {
+    let prr = Prr::new(cfg.prr_threshold).map_err(|e| e.to_string())?;
+    let comm = topology.comm_graph(channels, prr);
     let model = NetworkModel::new(topology, channels);
     let fsc = FlowSetConfig::new(
         cfg.flow_count,
-        PeriodRange::new(0, 0).expect("valid"),
+        PeriodRange::new(0, 0).expect("constant range is valid"),
         TrafficPattern::PeerToPeer,
     );
-    let set =
-        FlowSetGenerator::new(cfg.seed).generate(&comm, &fsc).expect("workload generation failed");
+    let set = FlowSetGenerator::new(cfg.seed)
+        .generate(&comm, &fsc)
+        .map_err(|e| format!("workload generation failed: {e}"))?;
     let interferers = per_floor_interferers(topology, cfg.wifi_power_dbm, cfg.wifi_duty);
-    let mut runs = Vec::new();
-    for algo in algorithms {
-        let Ok(schedule) = algo.build().schedule(&set, &model) else {
-            continue;
-        };
-        let sim = Simulator::new(topology, channels, &set, &schedule);
-        let reps = cfg.samples_per_epoch * cfg.window_reps;
-        let run_env = |wifi: bool| -> Vec<EpochReport> {
-            (0..cfg.epochs)
-                .map(|epoch| {
-                    let report = sim.run(&SimConfig {
+    let Ok(schedule) = algo.build().schedule(&set, &model) else {
+        return Ok(None);
+    };
+    let sim = Simulator::try_new(topology, channels, &set, &schedule).map_err(|e| e.to_string())?;
+    let reps = cfg.samples_per_epoch * cfg.window_reps;
+    let run_env = |wifi: bool| -> Result<Vec<EpochReport>, String> {
+        (0..cfg.epochs)
+            .map(|epoch| {
+                let report = sim
+                    .try_run(&SimConfig {
                         seed: set_seed(cfg.seed, epoch + if wifi { 1000 } else { 0 }),
                         repetitions: reps,
                         window_reps: cfg.window_reps,
@@ -156,34 +179,28 @@ pub fn evaluate(
                         interferers: if wifi { interferers.clone() } else { Vec::new() },
                         discovery_probes: 1,
                         ..SimConfig::default()
-                    });
-                    let samples = report.links_with_reuse().into_iter().map(|link| {
-                        (
-                            link,
-                            report.prr_distribution(link, LinkCondition::Reuse),
-                            report.prr_distribution(link, LinkCondition::ContentionFree),
-                        )
-                    });
-                    EpochReport::evaluate(epoch, &cfg.policy, samples)
-                })
-                .collect()
-        };
-        let clean = run_env(false);
-        let interfered = run_env(true);
-        let links_with_reuse = clean
-            .iter()
-            .chain(&interfered)
-            .flat_map(|e| e.records.iter().map(|r| r.link))
-            .collect::<std::collections::BTreeSet<_>>()
-            .len();
-        runs.push(DetectionRun {
-            algorithm: algo.to_string(),
-            links_with_reuse,
-            clean,
-            interfered,
-        });
-    }
-    runs
+                    })
+                    .map_err(|e| e.to_string())?;
+                let samples = report.links_with_reuse().into_iter().map(|link| {
+                    (
+                        link,
+                        report.prr_distribution(link, LinkCondition::Reuse),
+                        report.prr_distribution(link, LinkCondition::ContentionFree),
+                    )
+                });
+                Ok(EpochReport::evaluate(epoch, &cfg.policy, samples))
+            })
+            .collect()
+    };
+    let clean = run_env(false)?;
+    let interfered = run_env(true)?;
+    let links_with_reuse = clean
+        .iter()
+        .chain(&interfered)
+        .flat_map(|e| e.records.iter().map(|r| r.link))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    Ok(Some(DetectionRun { algorithm: algo.to_string(), links_with_reuse, clean, interfered }))
 }
 
 #[cfg(test)]

@@ -13,11 +13,18 @@
 //! The harness is deterministic: every experiment takes explicit seeds, and
 //! the figure binaries in `wsan-bench` print the same series the paper
 //! plots (plus JSON dumps under `results/`).
+//!
+//! Sweeps run on the [`campaign`] engine — deterministic parallel
+//! execution with per-point checkpoints and resume — and the [`campaigns`]
+//! catalog names each figure's sweep for the `wsan campaign` subcommand
+//! and the figure binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod algo;
+pub mod campaign;
+pub mod campaigns;
 pub mod detection;
 pub mod efficiency;
 pub mod exectime;

@@ -20,24 +20,48 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, 0, f)
+}
+
+/// [`parallel_map`] with an explicit worker count; `workers == 0` selects
+/// `available_parallelism`. The campaign engine's `--jobs` flag and tests
+/// that need a deterministic pool size regardless of the host's core count
+/// route through this variant.
+pub fn parallel_map_with<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(n);
     if workers <= 1 {
         return (0..n).map(|i| call_checked(&f, i)).collect();
     }
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // Set by the first worker whose item panics; the others stop claiming
+    // indices instead of burning cores on a sweep that is already dead.
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
     let f = &f;
     let mut failure: Option<(usize, String)> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let next = &next;
+            let poisoned = &poisoned;
             handles.push(scope.spawn(move || {
                 let mut out: Vec<(usize, T)> = Vec::new();
                 loop {
+                    if poisoned.load(std::sync::atomic::Ordering::Relaxed) {
+                        break;
+                    }
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -45,7 +69,10 @@ where
                     let wrapped = std::panic::AssertUnwindSafe(|| f(i));
                     match std::panic::catch_unwind(wrapped) {
                         Ok(value) => out.push((i, value)),
-                        Err(payload) => return Err((i, payload_message(payload.as_ref()))),
+                        Err(payload) => {
+                            poisoned.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return Err((i, payload_message(payload.as_ref())));
+                        }
                     }
                 }
                 Ok(out)
@@ -84,7 +111,7 @@ fn call_checked<T, F: Fn(usize) -> T>(f: &F, i: usize) -> T {
 
 /// Best-effort extraction of the human-readable message from a panic
 /// payload (`&str` and `String` cover `panic!` and `assert!` payloads).
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -134,6 +161,34 @@ mod tests {
     fn sequential_path_reports_too() {
         // n = 1 takes the workers <= 1 fallback
         let _: Vec<u32> = parallel_map(1, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn poisoned_pool_stops_claiming_after_a_panic() {
+        // Item 0 panics immediately; every other item sleeps. Without the
+        // poison flag the pool drains all n items anyway; with it, only the
+        // items already in flight (at most ~2x the worker count) run. The
+        // worker count is pinned so the test exercises the pool even on a
+        // single-core host.
+        let workers = 4;
+        let n = workers * 8;
+        let started = std::sync::atomic::AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Vec<usize> = parallel_map_with(n, workers, |i| {
+                started.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i == 0 {
+                    panic!("first sweep point died");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                i
+            });
+        }));
+        assert!(result.is_err(), "the failure must still be re-raised");
+        let ran = started.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            ran < n / 2,
+            "poisoned pool still executed {ran} of {n} items (expected far fewer)"
+        );
     }
 
     #[test]

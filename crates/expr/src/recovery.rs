@@ -471,6 +471,92 @@ pub struct CampaignResult {
     pub points: Vec<CampaignPoint>,
 }
 
+/// Scheduled links ordered busiest first: collapsing them hurts the most
+/// flows.
+fn busiest_links(schedule: &Schedule) -> Vec<(DirectedLink, usize)> {
+    let mut load: std::collections::BTreeMap<DirectedLink, usize> =
+        std::collections::BTreeMap::new();
+    for entry in schedule.entries() {
+        *load.entry(entry.tx.link).or_default() += 1;
+    }
+    let mut by_load: Vec<(DirectedLink, usize)> = load.into_iter().collect();
+    by_load.sort_by_key(|&(link, count)| (std::cmp::Reverse(count), link));
+    by_load
+}
+
+/// Fault-free reference PDR of the workload under `algorithm` — the value
+/// recovery aims back to.
+///
+/// # Errors
+///
+/// See [`supervise`].
+pub fn baseline_pdr(
+    topology: &Topology,
+    channels: &ChannelSet,
+    flows: &FlowSet,
+    algorithm: Algorithm,
+    cfg: &SupervisorConfig,
+) -> Result<f64, RecoveryError> {
+    let model = NetworkModel::new(topology, channels);
+    let schedule = algorithm.build().schedule(flows, &model)?;
+    let reps = cfg.samples_per_epoch * cfg.window_reps;
+    let sim = Simulator::try_new(topology, channels, flows, &schedule)?;
+    let baseline = sim.try_run(&SimConfig {
+        seed: set_seed(cfg.seed, 0),
+        repetitions: reps,
+        window_reps: cfg.window_reps,
+        capture: cfg.capture,
+        interferers: cfg.interferers.clone(),
+        discovery_probes: 1,
+        ..SimConfig::default()
+    })?;
+    Ok(baseline.network_pdr())
+}
+
+/// One intensity of the fault sweep, computable independently of the other
+/// intensities (the campaign engine's unit of work): the `k` busiest
+/// scheduled links collapse to PRR 0 halfway through epoch 0, and
+/// [`supervise`] runs the closed loop. The schedule is rebuilt
+/// deterministically from the same inputs, so the point equals what a full
+/// [`campaign`] run would produce at that intensity.
+///
+/// # Errors
+///
+/// See [`supervise`].
+pub fn intensity_point(
+    topology: &Topology,
+    channels: &ChannelSet,
+    flows: &FlowSet,
+    algorithm: Algorithm,
+    cfg: &SupervisorConfig,
+    k: usize,
+) -> Result<CampaignPoint, RecoveryError> {
+    let model = NetworkModel::new(topology, channels);
+    let schedule = algorithm.build().schedule(flows, &model)?;
+    let reps = cfg.samples_per_epoch * cfg.window_reps;
+    let by_load = busiest_links(&schedule);
+    let onset = u64::from(schedule.horizon()) * u64::from(reps / 2);
+    let mut plan = FaultPlan::new(cfg.faults.seed ^ k as u64);
+    for &(link, _) in by_load.iter().take(k) {
+        plan = plan.collapse_link_at(onset, link, 0.0);
+    }
+    let out = supervise(
+        topology,
+        channels,
+        flows,
+        algorithm,
+        &SupervisorConfig { faults: plan, ..cfg.clone() },
+    )?;
+    Ok(CampaignPoint {
+        collapsed_links: k.min(by_load.len()),
+        shed_flows: out.summary.shed_flows.len(),
+        surviving_flows: out.flows.len(),
+        residual_pdr: out.summary.residual_pdr,
+        converged: out.summary.converged,
+        faults_fired: out.summary.epochs.first().map_or(0, |e| e.faults_fired),
+    })
+}
+
 /// Sweeps fault intensity vs. recovered PDR: for each entry of
 /// `intensities`, the that-many busiest scheduled links collapse to PRR 0
 /// halfway through epoch 0, and [`supervise`] runs the closed loop.
@@ -486,60 +572,16 @@ pub fn campaign(
     cfg: &SupervisorConfig,
     intensities: &[usize],
 ) -> Result<CampaignResult, RecoveryError> {
-    let model = NetworkModel::new(topology, channels);
-    let scheduler = algorithm.build();
-    let schedule = scheduler.schedule(flows, &model)?;
-    let reps = cfg.samples_per_epoch * cfg.window_reps;
-
-    // fault-free reference run: the PDR recovery aims back to
-    let sim = Simulator::try_new(topology, channels, flows, &schedule)?;
-    let baseline = sim.try_run(&SimConfig {
-        seed: set_seed(cfg.seed, 0),
-        repetitions: reps,
-        window_reps: cfg.window_reps,
-        capture: cfg.capture,
-        interferers: cfg.interferers.clone(),
-        discovery_probes: 1,
-        ..SimConfig::default()
-    })?;
-
-    // busiest links first: collapsing them hurts the most flows
-    let mut load: std::collections::BTreeMap<DirectedLink, usize> =
-        std::collections::BTreeMap::new();
-    for entry in schedule.entries() {
-        *load.entry(entry.tx.link).or_default() += 1;
-    }
-    let mut by_load: Vec<(DirectedLink, usize)> = load.into_iter().collect();
-    by_load.sort_by_key(|&(link, count)| (std::cmp::Reverse(count), link));
-    let onset = u64::from(schedule.horizon()) * u64::from(reps / 2);
-
-    let mut points = Vec::new();
-    for &k in intensities {
-        let mut plan = FaultPlan::new(cfg.faults.seed ^ k as u64);
-        for &(link, _) in by_load.iter().take(k) {
-            plan = plan.collapse_link_at(onset, link, 0.0);
-        }
-        let out = supervise(
-            topology,
-            channels,
-            flows,
-            algorithm,
-            &SupervisorConfig { faults: plan, ..cfg.clone() },
-        )?;
-        points.push(CampaignPoint {
-            collapsed_links: k.min(by_load.len()),
-            shed_flows: out.summary.shed_flows.len(),
-            surviving_flows: out.flows.len(),
-            residual_pdr: out.summary.residual_pdr,
-            converged: out.summary.converged,
-            faults_fired: out.summary.epochs.first().map_or(0, |e| e.faults_fired),
-        });
-    }
+    let baseline = baseline_pdr(topology, channels, flows, algorithm, cfg)?;
+    let points = intensities
+        .iter()
+        .map(|&k| intensity_point(topology, channels, flows, algorithm, cfg, k))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(CampaignResult {
         algorithm: algorithm.to_string(),
         flows: flows.len(),
         seed: cfg.seed,
-        baseline_pdr: baseline.network_pdr(),
+        baseline_pdr: baseline,
         points,
     })
 }

@@ -152,10 +152,106 @@ pub fn evaluate(
     results
 }
 
+/// Campaign-engine variant of [`evaluate`] for a *single* flow set.
+///
+/// Unlike [`evaluate`], whose feasibility search shares one attempt counter
+/// across sets (set `i+1` starts where set `i` stopped), each set here draws
+/// candidate seeds from its own range
+/// `[set_index · feasibility_attempts, (set_index + 1) · feasibility_attempts)`,
+/// so sets are independent: they can run on different workers, in any
+/// order, and resume individually without changing each other's workload.
+///
+/// # Errors
+///
+/// Returns a message when no commonly-schedulable flow set exists within
+/// the set's attempt budget, or when the simulator rejects its inputs.
+pub fn evaluate_set(
+    topology: &Topology,
+    channels: &ChannelSet,
+    algorithms: &[Algorithm],
+    cfg: &ReliabilityConfig,
+    set_index: usize,
+) -> Result<FlowSetReliability, String> {
+    let prr = Prr::new(cfg.prr_threshold).map_err(|e| e.to_string())?;
+    let comm = topology.comm_graph(channels, prr);
+    let model = NetworkModel::new(topology, channels);
+    let fsc = FlowSetConfig::new(cfg.flow_count, cfg.periods, cfg.pattern);
+    let first_attempt = set_index * cfg.feasibility_attempts.max(1);
+    let mut found = None;
+    for attempt in first_attempt..first_attempt + cfg.feasibility_attempts.max(1) {
+        let seed = set_seed(cfg.seed, attempt);
+        let Ok(set) = FlowSetGenerator::new(seed).generate(&comm, &fsc) else {
+            continue;
+        };
+        let schedules: Vec<_> =
+            algorithms.iter().filter_map(|a| a.build().schedule(&set, &model).ok()).collect();
+        if schedules.len() == algorithms.len() {
+            found = Some((seed, set, schedules));
+            break;
+        }
+    }
+    let Some((seed, set, schedules)) = found else {
+        return Err(format!(
+            "flow set {set_index}: no workload schedulable by all algorithms within \
+             {} attempts — lower the flow count or raise the attempt budget",
+            cfg.feasibility_attempts
+        ));
+    };
+    let algo_results = algorithms
+        .iter()
+        .zip(&schedules)
+        .map(|(algo, schedule)| {
+            let sim = Simulator::try_new(topology, channels, &set, schedule)
+                .map_err(|e| format!("flow set {set_index}: {e}"))?;
+            let report = sim
+                .try_run(&SimConfig {
+                    seed: seed ^ 0xABCD_EF01,
+                    repetitions: cfg.repetitions,
+                    window_reps: cfg.repetitions.max(1),
+                    capture: cfg.capture,
+                    interferers: Vec::new(),
+                    discovery_probes: 0,
+                    ..SimConfig::default()
+                })
+                .map_err(|e| format!("flow set {set_index}: {e}"))?;
+            let pdrs = report.flow_pdrs();
+            let boxplot = BoxPlot::of(&pdrs).map_err(|e| format!("flow set {set_index}: {e}"))?;
+            Ok(AlgoReliability {
+                algorithm: algo.to_string(),
+                worst_pdr: report.worst_flow_pdr(),
+                median_pdr: boxplot.median,
+                pdr_boxplot: boxplot,
+                tx_per_channel: compute(schedule, &model).tx_per_channel,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(FlowSetReliability { set_index, set_seed: seed, algorithms: algo_results })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use wsan_net::{testbeds, ChannelId};
+
+    #[test]
+    fn evaluate_set_is_independent_of_other_sets() {
+        let topo = testbeds::wustl(8);
+        let channels = ChannelId::range(11, 14).unwrap();
+        let cfg = ReliabilityConfig {
+            flow_sets: 2,
+            flow_count: 12,
+            repetitions: 20,
+            feasibility_attempts: 10,
+            ..ReliabilityConfig::default()
+        };
+        let alone = evaluate_set(&topo, &channels, &Algorithm::paper_suite(), &cfg, 1).unwrap();
+        // computing set 0 first must not change what set 1 evaluates to
+        let _ = evaluate_set(&topo, &channels, &Algorithm::paper_suite(), &cfg, 0).unwrap();
+        let again = evaluate_set(&topo, &channels, &Algorithm::paper_suite(), &cfg, 1).unwrap();
+        assert_eq!(alone, again);
+        assert_eq!(alone.set_index, 1);
+        assert_eq!(alone.algorithms.len(), 3);
+    }
 
     #[test]
     fn reliability_experiment_produces_comparable_outcomes() {

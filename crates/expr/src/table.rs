@@ -50,6 +50,16 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Serializes `value` as a pretty JSON string (the same rendering
+/// [`write_json`] puts on disk).
+///
+/// # Errors
+///
+/// Returns the serialization error, if any.
+pub fn to_json_pretty<T: Serialize>(value: &T) -> std::io::Result<String> {
+    serde_json::to_string_pretty(value).map_err(std::io::Error::other)
+}
+
 /// Serializes `value` as pretty JSON into `path`, creating parent
 /// directories as needed.
 ///
@@ -61,8 +71,7 @@ pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::R
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
-    std::fs::write(path, json)
+    std::fs::write(path, to_json_pretty(value)?)
 }
 
 #[cfg(test)]
