@@ -15,12 +15,28 @@ cargo build --release --workspace
 echo "==> cargo test (tier 1)"
 cargo test -q --workspace
 
+echo "==> hot-path equivalence suite runs in the default pass"
+cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_hot_path_primitives_match_reference"
+cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_schedulers_byte_identical_to_reference"
+
 echo "==> release smoke run (fig6, tiny scale)"
 smoke_dir="$(mktemp -d)"
 WSAN_RESULTS_DIR="$smoke_dir" cargo run --release -q -p wsan-bench --bin fig6 -- --sets 2 --quick
 test -s "$smoke_dir/fig6.json"
 test -s "$smoke_dir/fig6.manifest.jsonl"
 rm -rf "$smoke_dir"
+
+echo "==> scheduler bench smoke (criterion + sched_bench schema)"
+bench_dir="$(mktemp -d)"
+WSAN_BENCH_SAMPLES=2 cargo bench -q -p wsan-bench --bench scheduler > "$bench_dir/criterion.out"
+grep -q "sched/indriya-dense" "$bench_dir/criterion.out"
+WSAN_RESULTS_DIR="$bench_dir" cargo run --release -q -p wsan-bench --bin sched_bench -- --quick
+test -s "$bench_dir/BENCH_scheduler.json"
+grep -q '"schema": "wsan.sched_bench/1"' "$bench_dir/BENCH_scheduler.json"
+grep -q '"median_ns_per_placement"' "$bench_dir/BENCH_scheduler.json"
+grep -q '"schedules_per_sec"' "$bench_dir/BENCH_scheduler.json"
+grep -q '"speedup_rc_vs_reference"' "$bench_dir/BENCH_scheduler.json"
+rm -rf "$bench_dir"
 
 echo "==> campaign interrupt/resume smoke (wsan campaign)"
 camp_dir="$(mktemp -d)"

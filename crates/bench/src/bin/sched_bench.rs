@@ -1,0 +1,180 @@
+//! `sched_bench` — the tracked scheduler hot-path benchmark.
+//!
+//! Times full schedule construction for the optimized NR/RA/RC engines and
+//! their slot-by-slot `wsan_core::reference` baselines over the scenarios
+//! of [`wsan_bench::sched`], then writes `BENCH_scheduler.json` (median
+//! ns/placement, schedules/sec, RC speedup vs. reference) so the perf
+//! trajectory is comparable across PRs. Unlike the criterion bench this
+//! uses hand-rolled `Instant` timing, so it runs as an ordinary binary:
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin sched_bench [-- --iters 30 --quick --out PATH]
+//! ```
+//!
+//! * `--iters N` — timed runs per scheduler/scenario (default 30),
+//! * `--seed S` — workload generation seed (default 42),
+//! * `--quick` — caps iterations at 3 for a smoke pass,
+//! * `--out PATH` — output path (default `results/BENCH_scheduler.json`).
+
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+use wsan_bench::sched::{contenders, median_ns, scenarios};
+use wsan_bench::{results_dir, run_main, write_err, BenchError};
+
+/// The file-format tag checked by ci.sh's smoke step.
+const SCHEMA: &str = "wsan.sched_bench/1";
+
+#[derive(Debug, Serialize)]
+struct AlgoResult {
+    name: String,
+    schedulable: bool,
+    /// Scheduled entries per run (identical across iterations).
+    placements: u64,
+    median_ns_per_schedule: Option<u64>,
+    median_ns_per_placement: Option<f64>,
+    schedules_per_sec: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioResult {
+    name: String,
+    flows: u64,
+    dense: bool,
+    algorithms: Vec<AlgoResult>,
+    /// Median-over-median speedup of optimized RC vs. the reference RC —
+    /// the acceptance series (≥ 2x on dense scenarios).
+    speedup_rc_vs_reference: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    iters: u64,
+    seed: u64,
+    scenarios: Vec<ScenarioResult>,
+}
+
+struct Options {
+    iters: usize,
+    seed: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, BenchError> {
+    const USAGE: &str = "supported: --iters N --seed S --quick --out PATH";
+    let mut opts = Options { iters: 30, seed: 42, out: None };
+    let mut args = std::env::args().skip(1);
+    fn value<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, BenchError> {
+        let raw =
+            next.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value; {USAGE}")))?;
+        raw.parse()
+            .map_err(|_| BenchError::Usage(format!("{flag} got malformed value '{raw}'; {USAGE}")))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => opts.iters = value("--iters", args.next())?,
+            "--seed" => opts.seed = value("--seed", args.next())?,
+            "--out" => {
+                opts.out =
+                    Some(std::path::PathBuf::from(args.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--out needs a value; {USAGE}"))
+                    })?));
+            }
+            "--quick" => opts.iters = opts.iters.min(3),
+            other => return Err(BenchError::Usage(format!("unknown argument {other}; {USAGE}"))),
+        }
+    }
+    if opts.iters == 0 {
+        return Err(BenchError::Usage(format!("--iters must be at least 1; {USAGE}")));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = parse_args()?;
+        let mut report = Report {
+            schema: SCHEMA.to_string(),
+            iters: opts.iters as u64,
+            seed: opts.seed,
+            scenarios: Vec::new(),
+        };
+        println!("== sched_bench: {} iters/scheduler, seed {} ==", opts.iters, opts.seed);
+        for sc in scenarios() {
+            let (flows, model) = sc.build(opts.seed).ok_or_else(|| {
+                BenchError::Run(format!("scenario {} failed to generate a workload", sc.name))
+            })?;
+            let mut result = ScenarioResult {
+                name: sc.name.to_string(),
+                flows: sc.flows as u64,
+                dense: sc.dense,
+                algorithms: Vec::new(),
+                speedup_rc_vs_reference: None,
+            };
+            let mut rc_median: Option<u64> = None;
+            let mut rc_ref_median: Option<u64> = None;
+            for (name, scheduler) in contenders() {
+                // warm-up doubles as the schedulability probe
+                let Ok(schedule) = scheduler.schedule(&flows, &model) else {
+                    println!("  {:>15} {:>7}: unschedulable, skipped", sc.name, name);
+                    result.algorithms.push(AlgoResult {
+                        name: name.to_string(),
+                        schedulable: false,
+                        placements: 0,
+                        median_ns_per_schedule: None,
+                        median_ns_per_placement: None,
+                        schedules_per_sec: None,
+                    });
+                    continue;
+                };
+                let placements = schedule.entry_count() as u64;
+                let mut samples: Vec<u64> = Vec::with_capacity(opts.iters);
+                for _ in 0..opts.iters {
+                    let start = Instant::now();
+                    let built = scheduler.schedule(&flows, &model).expect("schedulable");
+                    let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    assert_eq!(built.entry_count() as u64, placements);
+                    samples.push(ns.max(1));
+                }
+                let median = median_ns(&mut samples);
+                if name == "RC" {
+                    rc_median = Some(median);
+                } else if name == "RC-ref" {
+                    rc_ref_median = Some(median);
+                }
+                println!(
+                    "  {:>15} {:>7}: {:>12} ns/schedule  {:>9.1} ns/placement  {:>8.1} schedules/s",
+                    sc.name,
+                    name,
+                    median,
+                    median as f64 / placements as f64,
+                    1e9 / median as f64
+                );
+                result.algorithms.push(AlgoResult {
+                    name: name.to_string(),
+                    schedulable: true,
+                    placements,
+                    median_ns_per_schedule: Some(median),
+                    median_ns_per_placement: Some(median as f64 / placements as f64),
+                    schedules_per_sec: Some(1e9 / median as f64),
+                });
+            }
+            if let (Some(rc), Some(rc_ref)) = (rc_median, rc_ref_median) {
+                let speedup = rc_ref as f64 / rc as f64;
+                println!("  {:>15} RC speedup vs reference: {speedup:.2}x", sc.name);
+                result.speedup_rc_vs_reference = Some(speedup);
+            }
+            report.scenarios.push(result);
+        }
+        let path = opts.out.unwrap_or_else(|| results_dir().join("BENCH_scheduler.json"));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(write_err(dir))?;
+        }
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| BenchError::Run(format!("serializing report: {e}")))?;
+        std::fs::write(&path, json + "\n").map_err(write_err(&path))?;
+        println!("report written to {}", path.display());
+        Ok(())
+    })
+}

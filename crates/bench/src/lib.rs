@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sched;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -42,9 +44,7 @@ pub enum BenchError {
 impl fmt::Display for BenchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BenchError::Usage(msg) => {
-                write!(f, "{msg}; supported: --sets N --seed S --quick --jobs N --resume")
-            }
+            BenchError::Usage(msg) => write!(f, "{msg}"),
             BenchError::Io { path, source } => {
                 write!(f, "cannot write {}: {source}", path.display())
             }
@@ -101,13 +101,16 @@ impl RunOptions {
         args: impl IntoIterator<Item = String>,
         default_sets: usize,
     ) -> Result<Self, BenchError> {
+        const USAGE: &str = "supported: --sets N --seed S --quick --jobs N --resume";
         let mut options =
             RunOptions { sets: default_sets, seed: 1, quick: false, jobs: 0, resume: false };
         let mut args = args.into_iter();
         fn value<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, BenchError> {
-            let raw = next.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value")))?;
-            raw.parse()
-                .map_err(|_| BenchError::Usage(format!("{flag} expects an integer, got '{raw}'")))
+            let raw =
+                next.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value; {USAGE}")))?;
+            raw.parse().map_err(|_| {
+                BenchError::Usage(format!("{flag} expects an integer, got '{raw}'; {USAGE}"))
+            })
         }
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -119,7 +122,9 @@ impl RunOptions {
                     options.quick = true;
                     options.sets = options.sets.min(10);
                 }
-                other => return Err(BenchError::Usage(format!("unknown argument {other}"))),
+                other => {
+                    return Err(BenchError::Usage(format!("unknown argument {other}; {USAGE}")))
+                }
             }
         }
         Ok(options)

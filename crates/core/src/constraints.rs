@@ -1,4 +1,22 @@
 //! The channel reuse constraints of §V-A and the `findSlot()` primitive.
+//!
+//! This is the scheduler hot path: every placement of every scheduler
+//! funnels through [`find_slot`] → [`best_offset`] → the channel
+//! constraint. The implementations here lean on the occupancy indexes
+//! [`Schedule`] maintains —
+//!
+//! * candidate slots come from [`Schedule::free_slots`], which scans the
+//!   two endpoint busy rows a 64-slot word at a time instead of testing
+//!   slots one by one (and, for no-reuse placements, skips fully packed
+//!   slots through the full-slot bitset),
+//! * the channel constraint iterates the dense per-cell occupant-link
+//!   slices ([`Schedule::cell_links`]) rather than the wider cell vecs,
+//!   and reports the cell occupancy it already walked so [`best_offset`]
+//!   does not fetch it a second time.
+//!
+//! The pre-optimization, slot-by-slot forms are preserved verbatim in
+//! [`crate::reference`]; the proptest equivalence suite pins both paths to
+//! identical results.
 
 use crate::{NetworkModel, Rho, Schedule};
 use wsan_net::DirectedLink;
@@ -20,13 +38,34 @@ pub fn channel_ok(
     link: DirectedLink,
     rho: Rho,
 ) -> bool {
-    let cell = schedule.cell(slot, offset);
+    channel_fit(schedule, model, slot, offset, link, rho).is_some()
+}
+
+/// The channel constraint plus the tie-break key in one cell walk: returns
+/// the cell's occupancy when `link` may join `(slot, offset)` under `rho`,
+/// `None` when the constraint rejects it. [`best_offset`] ranks feasible
+/// offsets by this occupancy, so returning it here avoids fetching the cell
+/// length a second time.
+pub(crate) fn channel_fit(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    slot: u32,
+    offset: usize,
+    link: DirectedLink,
+    rho: Rho,
+) -> Option<usize> {
+    let occupants = schedule.cell_links(slot, offset);
     match rho {
-        Rho::NoReuse => cell.is_empty(),
-        Rho::AtLeast(h) => cell.iter().all(|other| {
+        Rho::NoReuse => occupants.is_empty().then_some(0),
+        Rho::AtLeast(h) => {
             let hops = model.hops();
-            hops.at_least(link.tx, other.link.rx, h) && hops.at_least(other.link.tx, link.rx, h)
-        }),
+            occupants
+                .iter()
+                .all(|other| {
+                    hops.at_least(link.tx, other.rx, h) && hops.at_least(other.tx, link.rx, h)
+                })
+                .then_some(occupants.len())
+        }
     }
 }
 
@@ -43,10 +82,9 @@ pub fn best_offset(
 ) -> Option<usize> {
     let mut best: Option<(usize, usize)> = None; // (cell_len, offset)
     for offset in 0..schedule.channel_count() {
-        if !channel_ok(schedule, model, slot, offset, link, rho) {
+        let Some(len) = channel_fit(schedule, model, slot, offset, link, rho) else {
             continue;
-        }
-        let len = schedule.cell_len(slot, offset);
+        };
         if best.is_none_or(|(blen, _)| len < blen) {
             best = Some((len, offset));
             if len == 0 {
@@ -61,6 +99,11 @@ pub fn best_offset(
 /// and channel offset `c` satisfying both the transmission-conflict
 /// constraint and the channel constraint under `rho`.
 ///
+/// Candidate slots are produced by the word-level
+/// [`Schedule::free_slots`] scan; under `ρ = ∞` fully packed slots are
+/// skipped outright (no offset of such a slot can accept a no-reuse
+/// placement), so dense regions cost one bitset word per 64 slots.
+///
 /// Returns `None` when no slot in the window works — the caller treats that
 /// as a deadline miss (or, in RC, as a cue to relax `ρ`).
 pub fn find_slot(
@@ -71,15 +114,18 @@ pub fn find_slot(
     latest: u32,
     rho: Rho,
 ) -> Option<(u32, usize)> {
-    let latest = latest.min(schedule.horizon() - 1);
-    let mut s = earliest;
-    while s <= latest {
-        if !schedule.conflicts(s, link.tx, link.rx) {
-            if let Some(c) = best_offset(schedule, model, s, link, rho) {
-                return Some((s, c));
-            }
+    // `Schedule::new` rejects empty grids, but guard the window arithmetic
+    // anyway instead of underflowing `horizon - 1`.
+    let last = schedule.horizon().checked_sub(1)?;
+    let latest = latest.min(last);
+    if earliest > latest {
+        return None;
+    }
+    let skip_full = matches!(rho, Rho::NoReuse);
+    for slot in schedule.free_slots(link.tx, link.rx, earliest, latest, skip_full) {
+        if let Some(c) = best_offset(schedule, model, slot, link, rho) {
+            return Some((slot, c));
         }
-        s += 1;
     }
     None
 }
@@ -119,6 +165,18 @@ mod tests {
         let far = DirectedLink::new(n(4), n(5));
         assert!(!channel_ok(&s, &model, 0, 0, far, Rho::NoReuse));
         assert!(channel_ok(&s, &model, 0, 1, far, Rho::NoReuse));
+    }
+
+    #[test]
+    fn channel_fit_reports_cell_occupancy() {
+        let model = path_model(2);
+        let mut s = Schedule::new(10, 2, 6);
+        s.place(0, 0, stx(0, 1));
+        s.place(0, 0, stx(5, 4));
+        let cand = DirectedLink::new(n(0), n(1));
+        assert_eq!(channel_fit(&s, &model, 0, 1, cand, Rho::NoReuse), Some(0));
+        assert_eq!(channel_fit(&s, &model, 0, 0, cand, Rho::NoReuse), None);
+        assert_eq!(channel_fit(&s, &model, 0, 0, cand, Rho::AtLeast(1)), Some(2));
     }
 
     #[test]
@@ -219,5 +277,17 @@ mod tests {
         let cand = DirectedLink::new(n(0), n(1));
         assert_eq!(find_slot(&s, &model, cand, 0, 1_000_000, Rho::NoReuse), Some((0, 0)));
         assert_eq!(find_slot(&s, &model, cand, 20, 1_000_000, Rho::NoReuse), None);
+    }
+
+    #[test]
+    fn find_slot_skips_packed_slots_only_without_reuse() {
+        let model = path_model(1);
+        let mut s = Schedule::new(10, 1, 6);
+        s.place(0, 0, stx(0, 1)); // the single offset of slot 0 is taken
+        let cand = DirectedLink::new(n(4), n(5));
+        // no reuse: the packed slot is skipped at the bitset level
+        assert_eq!(find_slot(&s, &model, cand, 0, 9, Rho::NoReuse), Some((1, 0)));
+        // with reuse the packed slot is still a candidate
+        assert_eq!(find_slot(&s, &model, cand, 0, 9, Rho::AtLeast(3)), Some((0, 0)));
     }
 }

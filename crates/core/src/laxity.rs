@@ -20,9 +20,21 @@
 //! paper's formula) and optimistic in another (remaining transmissions may
 //! conflict with each other), which is exactly the heuristic trade-off the
 //! paper accepts.
+//!
+//! # Hot-path form
+//!
+//! RC evaluates Eq. 1 once per `findSlot` candidate, per `ρ` shrink — each
+//! evaluation popcounting the same pair of busy rows again. [`LaxityCache`]
+//! amortizes that: per queried node pair it keeps a prefix-sum (*rank*)
+//! array over the union of the two busy rows, so one `q_t` query is two
+//! rank lookups plus two boundary-word popcounts, O(1) instead of
+//! O(horizon/64). Rows rebuild lazily — [`Schedule::place`] advances a
+//! per-node generation counter, and a row is recomputed only when one of
+//! its two nodes has actually changed since the row was built.
 
 use crate::Schedule;
-use wsan_net::DirectedLink;
+use std::collections::HashMap;
+use wsan_net::{DirectedLink, NodeId};
 
 /// Computes the laxity of a flow when one of its transmissions is placed at
 /// `slot`, with `remaining` the transmissions still to schedule after it and
@@ -45,6 +57,127 @@ pub fn flow_laxity(
         }
     }
     slots_left - conflict_total - remaining.len() as i64
+}
+
+/// [`flow_laxity`] evaluated through a [`LaxityCache`] — identical result,
+/// O(1) per remaining transmission once the pair rows are warm.
+pub fn flow_laxity_cached(
+    schedule: &Schedule,
+    cache: &mut LaxityCache,
+    slot: u32,
+    deadline_slot: u32,
+    remaining: &[DirectedLink],
+) -> i64 {
+    let slots_left = i64::from(deadline_slot) - i64::from(slot);
+    let mut conflict_total: i64 = 0;
+    if slot < deadline_slot {
+        for t in remaining {
+            conflict_total +=
+                i64::from(cache.conflict_slot_count(schedule, t.tx, t.rx, slot + 1, deadline_slot));
+        }
+    }
+    slots_left - conflict_total - remaining.len() as i64
+}
+
+/// A lazily rebuilt rank row over the union of one node pair's busy rows.
+struct PairRow {
+    /// Generations of the two nodes when the row was built.
+    gen_a: u32,
+    gen_b: u32,
+    /// `rank[w]` = number of busy slots in words `[0, w)` of `row_a | row_b`.
+    /// Length `slot_word_count() + 1`.
+    rank: Vec<u32>,
+}
+
+/// Rank (prefix-sum) cache answering [`Schedule::conflict_slot_count`]
+/// queries in O(1) — the `q_t` inner loop of Eq. 1.
+///
+/// A cache is tied to the one growing [`Schedule`] it is queried with: rows
+/// are validated against that schedule's per-node generation counters, so
+/// reusing a cache across different schedule instances yields garbage.
+/// Schedulers create one cache per run.
+#[derive(Default)]
+pub struct LaxityCache {
+    rows: HashMap<(usize, usize), PairRow>,
+    hits: u64,
+    rebuilds: u64,
+}
+
+impl LaxityCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries answered from a warm row since the cache was created.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Row (re)builds performed — each costs one O(horizon/64) pass.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// [`Schedule::conflict_slot_count`] through the cache: the number of
+    /// slots in `[from, to]` where `a` or `b` is busy.
+    pub fn conflict_slot_count(
+        &mut self,
+        schedule: &Schedule,
+        a: NodeId,
+        b: NodeId,
+        from: u32,
+        to: u32,
+    ) -> u32 {
+        if from > to {
+            return 0;
+        }
+        let to = to.min(schedule.horizon() - 1);
+        if from > to {
+            return 0;
+        }
+        let key =
+            if a.index() <= b.index() { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        let (gen_a, gen_b) = (schedule.node_generation(a), schedule.node_generation(b));
+        // normalize the generation order alongside the key
+        let (gen_a, gen_b) = if a.index() <= b.index() { (gen_a, gen_b) } else { (gen_b, gen_a) };
+        let row = self.rows.entry(key).or_insert_with(|| PairRow {
+            gen_a: gen_a.wrapping_add(1), // force the initial build
+            gen_b,
+            rank: Vec::new(),
+        });
+        if row.gen_a != gen_a || row.gen_b != gen_b {
+            self.rebuilds += 1;
+            let row_a = schedule.busy_row(a);
+            let row_b = schedule.busy_row(b);
+            let words = schedule.slot_word_count();
+            row.rank.clear();
+            row.rank.reserve(words + 1);
+            row.rank.push(0);
+            let mut total = 0u32;
+            for w in 0..words {
+                total += (row_a[w] | row_b[w]).count_ones();
+                row.rank.push(total);
+            }
+            row.gen_a = gen_a;
+            row.gen_b = gen_b;
+        } else {
+            self.hits += 1;
+        }
+        let row_a = schedule.busy_row(a);
+        let row_b = schedule.busy_row(b);
+        // count of busy slots below slot index `x` (exclusive)
+        let count_below = |x: u64| -> u32 {
+            let w = (x / 64) as usize;
+            let b = x % 64;
+            let mut c = row.rank[w];
+            if b != 0 {
+                c += ((row_a[w] | row_b[w]) & ((1u64 << b) - 1)).count_ones();
+            }
+            c
+        };
+        count_below(u64::from(to) + 1) - count_below(u64::from(from))
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +268,61 @@ mod tests {
         s.place(15, 0, stx(7, 8)); // disjoint from remaining links
         let remaining = [link(1, 2)];
         assert_eq!(flow_laxity(&s, 10, 20, &remaining), 9);
+    }
+
+    #[test]
+    fn cached_counts_match_plain_counts() {
+        let mut s = Schedule::new(300, 2, 10);
+        for slot in [0, 10, 63, 64, 65, 127, 128, 200, 299] {
+            s.place(slot, 0, stx(1, 2));
+        }
+        s.place(20, 0, stx(2, 3));
+        let mut cache = LaxityCache::new();
+        for (a, b) in [(1, 2), (1, 9), (2, 3), (5, 6), (3, 1)] {
+            for (from, to) in
+                [(0, 299), (0, 0), (63, 65), (64, 127), (10, 200), (250, 5000), (50, 10)]
+            {
+                assert_eq!(
+                    cache.conflict_slot_count(&s, n(a), n(b), from, to),
+                    s.conflict_slot_count(n(a), n(b), from, to),
+                    "pair ({a},{b}) range [{from},{to}]"
+                );
+            }
+        }
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn cache_invalidates_when_a_row_changes() {
+        let mut s = Schedule::new(100, 2, 10);
+        s.place(10, 0, stx(1, 2));
+        let mut cache = LaxityCache::new();
+        assert_eq!(cache.conflict_slot_count(&s, n(1), n(9), 0, 99), 1);
+        let rebuilds = cache.rebuilds();
+        // untouched pair rows stay warm across unrelated placements
+        s.place(11, 0, stx(4, 5));
+        assert_eq!(cache.conflict_slot_count(&s, n(1), n(9), 0, 99), 1);
+        assert_eq!(cache.rebuilds(), rebuilds);
+        // a placement touching node 1 invalidates the (1, 9) row
+        s.place(12, 0, stx(1, 3));
+        assert_eq!(cache.conflict_slot_count(&s, n(1), n(9), 0, 99), 2);
+        assert_eq!(cache.rebuilds(), rebuilds + 1);
+    }
+
+    #[test]
+    fn cached_laxity_matches_plain_laxity() {
+        let mut s = Schedule::new(200, 2, 10);
+        for slot in [12, 15, 70, 130] {
+            s.place(slot, 0, stx(2, 7));
+        }
+        let mut cache = LaxityCache::new();
+        let remaining = [link(1, 2), link(2, 3), link(7, 8)];
+        for (slot, deadline) in [(10, 20), (0, 199), (150, 140), (199, 199), (60, 135)] {
+            assert_eq!(
+                flow_laxity_cached(&s, &mut cache, slot, deadline, &remaining),
+                flow_laxity(&s, slot, deadline, &remaining),
+                "slot {slot} deadline {deadline}"
+            );
+        }
     }
 }

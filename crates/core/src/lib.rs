@@ -26,6 +26,10 @@
 //! * schedule [`metrics`] (transmissions per channel, reuse hop counts —
 //!   Figs. 4, 5, 9) and an independent post-hoc [`validate`] checker.
 //!
+//! The hot path ([`constraints`], [`laxity`]) runs word-level bitset scans
+//! and rank caches; the pre-optimization slot-by-slot forms live on in
+//! [`reference`] as the equivalence and benchmark baseline.
+//!
 //! # Example
 //!
 //! ```
@@ -61,6 +65,7 @@ pub mod orchestra;
 mod ra;
 mod rc;
 pub mod recovery;
+pub mod reference;
 pub mod render;
 pub mod repair;
 mod schedule;

@@ -1,0 +1,364 @@
+//! The pre-optimization scheduler hot path, preserved as the equivalence
+//! and performance baseline.
+//!
+//! Everything here computes slot by slot and cell by cell, exactly as the
+//! seed implementation did before the word-level rewrite of
+//! [`crate::constraints`] and [`crate::laxity`]:
+//!
+//! * [`channel_ok`] / [`best_offset`] / [`find_slot`] — linear slot scans
+//!   over the full cell vectors (hop matrix re-fetched per occupant, cell
+//!   length fetched separately, no full-slot skipping),
+//! * [`conflict_slot_count`] — one busy-bit probe per slot of the range
+//!   (deliberately *more* naive than the seed's word popcount, so it is an
+//!   independent oracle for both the word-level and the rank-cached paths),
+//! * [`flow_laxity`] — Eq. 1 over [`conflict_slot_count`],
+//! * [`NoReuseRef`] / [`ReuseAggressivelyRef`] / [`ReuseConservativelyRef`]
+//!   — the three schedulers driven entirely by the reference primitives.
+//!
+//! The proptest equivalence suite (`tests/proptest_invariants.rs`) pins the
+//! optimized and reference paths to bit-identical answers, and the
+//! `scheduler` bench + `sched_bench` binary measure the speedup of the
+//! optimized path against this module.
+
+use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
+use wsan_flow::FlowSet;
+use wsan_net::{DirectedLink, NodeId};
+
+/// Slot-by-slot form of [`crate::constraints::channel_ok`] (seed shape:
+/// iterates the full cell vec, re-fetching the hop matrix per occupant).
+pub fn channel_ok(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    slot: u32,
+    offset: usize,
+    link: DirectedLink,
+    rho: Rho,
+) -> bool {
+    let cell = schedule.cell(slot, offset);
+    match rho {
+        Rho::NoReuse => cell.is_empty(),
+        Rho::AtLeast(h) => cell.iter().all(|other| {
+            let hops = model.hops();
+            hops.at_least(link.tx, other.link.rx, h) && hops.at_least(other.link.tx, link.rx, h)
+        }),
+    }
+}
+
+/// Seed form of [`crate::constraints::best_offset`]: checks the constraint
+/// and then fetches the cell length in a second lookup.
+pub fn best_offset(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    slot: u32,
+    link: DirectedLink,
+    rho: Rho,
+) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (cell_len, offset)
+    for offset in 0..schedule.channel_count() {
+        if !channel_ok(schedule, model, slot, offset, link, rho) {
+            continue;
+        }
+        let len = schedule.cell_len(slot, offset);
+        if best.is_none_or(|(blen, _)| len < blen) {
+            best = Some((len, offset));
+            if len == 0 {
+                break;
+            }
+        }
+    }
+    best.map(|(_, offset)| offset)
+}
+
+/// Seed form of [`crate::constraints::find_slot`]: tests every slot of the
+/// window one at a time.
+pub fn find_slot(
+    schedule: &Schedule,
+    model: &NetworkModel,
+    link: DirectedLink,
+    earliest: u32,
+    latest: u32,
+    rho: Rho,
+) -> Option<(u32, usize)> {
+    let last = schedule.horizon().checked_sub(1)?;
+    let latest = latest.min(last);
+    let mut s = earliest;
+    while s <= latest {
+        if !schedule.conflicts(s, link.tx, link.rx) {
+            if let Some(c) = best_offset(schedule, model, s, link, rho) {
+                return Some((s, c));
+            }
+        }
+        s += 1;
+    }
+    None
+}
+
+/// One busy-bit probe per slot of `[from, to]` — the fully naive oracle for
+/// [`Schedule::conflict_slot_count`] and the rank-cached counterpart.
+pub fn conflict_slot_count(schedule: &Schedule, a: NodeId, b: NodeId, from: u32, to: u32) -> u32 {
+    if from > to || schedule.horizon() == 0 {
+        return 0;
+    }
+    let to = to.min(schedule.horizon() - 1);
+    let mut count = 0;
+    let mut slot = from;
+    while slot <= to {
+        if schedule.node_busy_in_slot(a, slot) || schedule.node_busy_in_slot(b, slot) {
+            count += 1;
+        }
+        slot += 1;
+    }
+    count
+}
+
+/// Eq. 1 over the naive [`conflict_slot_count`].
+pub fn flow_laxity(
+    schedule: &Schedule,
+    slot: u32,
+    deadline_slot: u32,
+    remaining: &[DirectedLink],
+) -> i64 {
+    let slots_left = i64::from(deadline_slot) - i64::from(slot);
+    let mut conflict_total: i64 = 0;
+    if slot < deadline_slot {
+        for t in remaining {
+            conflict_total +=
+                i64::from(conflict_slot_count(schedule, t.tx, t.rx, slot + 1, deadline_slot));
+        }
+    }
+    slots_left - conflict_total - remaining.len() as i64
+}
+
+/// [`crate::NoReuse`] driven by the reference primitives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoReuseRef;
+
+impl NoReuseRef {
+    /// Creates the reference NR scheduler.
+    pub fn new() -> Self {
+        NoReuseRef
+    }
+}
+
+struct NrRefPolicy;
+
+impl PlacePolicy for NrRefPolicy {
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, Rho::NoReuse)
+    }
+}
+
+impl Scheduler for NoReuseRef {
+    fn name(&self) -> &'static str {
+        "NR-ref"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority(flows, model, config, &mut NrRefPolicy)
+    }
+}
+
+/// [`crate::ReuseAggressively`] driven by the reference primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseAggressivelyRef {
+    rho: u32,
+}
+
+impl ReuseAggressivelyRef {
+    /// Creates the reference RA scheduler with reuse hop distance `rho`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho == 0`.
+    pub fn new(rho: u32) -> Self {
+        assert!(rho >= 1, "reuse hop distance must be at least 1");
+        ReuseAggressivelyRef { rho }
+    }
+}
+
+struct RaRefPolicy {
+    rho: Rho,
+}
+
+impl PlacePolicy for RaRefPolicy {
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho)
+    }
+}
+
+impl Scheduler for ReuseAggressivelyRef {
+    fn name(&self) -> &'static str {
+        "RA-ref"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority(flows, model, config, &mut RaRefPolicy { rho: Rho::AtLeast(self.rho) })
+    }
+}
+
+/// [`crate::ReuseConservatively`] (Algorithm 1) driven by the reference
+/// primitives — the seed inner loop: a fresh full-window `findSlot` scan
+/// per `ρ` value, laxity recounted from scratch each time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseConservativelyRef {
+    rho_t: u32,
+    reset: crate::RhoReset,
+    trigger: crate::ReuseTrigger,
+}
+
+impl ReuseConservativelyRef {
+    /// Creates the reference RC scheduler with minimum reuse hop distance
+    /// `rho_t`, resetting `ρ` per transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho_t == 0`.
+    pub fn new(rho_t: u32) -> Self {
+        assert!(rho_t >= 1, "minimum reuse hop distance must be at least 1");
+        ReuseConservativelyRef {
+            rho_t,
+            reset: crate::RhoReset::default(),
+            trigger: crate::ReuseTrigger::default(),
+        }
+    }
+
+    /// Selects when `ρ` resets to `∞` (mirrors
+    /// [`crate::ReuseConservatively::with_reset`]).
+    pub fn with_reset(mut self, reset: crate::RhoReset) -> Self {
+        self.reset = reset;
+        self
+    }
+
+    /// Selects the reuse trigger (mirrors
+    /// [`crate::ReuseConservatively::with_trigger`]).
+    pub fn with_trigger(mut self, trigger: crate::ReuseTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+}
+
+struct RcRefPolicy {
+    rho_t: u32,
+    reset: crate::RhoReset,
+    trigger: crate::ReuseTrigger,
+    rho: Rho,
+}
+
+impl PlacePolicy for RcRefPolicy {
+    fn begin_flow(&mut self) {
+        self.rho = Rho::NoReuse;
+    }
+
+    fn begin_transmission(&mut self) {
+        if self.reset == crate::RhoReset::PerTransmission {
+            self.rho = Rho::NoReuse;
+        }
+    }
+
+    fn place(
+        &mut self,
+        schedule: &Schedule,
+        model: &NetworkModel,
+        req: &PlaceRequest<'_>,
+    ) -> Option<(u32, usize)> {
+        let mut found: Option<(u32, usize)> = None;
+        loop {
+            let candidate =
+                find_slot(schedule, model, req.link, req.earliest, req.deadline_slot, self.rho);
+            if let Some((slot, offset)) = candidate {
+                found = Some((slot, offset));
+                let good_enough = match self.trigger {
+                    crate::ReuseTrigger::NegativeLaxity => {
+                        flow_laxity(schedule, slot, req.deadline_slot, req.remaining) >= 0
+                    }
+                    crate::ReuseTrigger::DeadlineMissOnly => true,
+                };
+                if good_enough {
+                    return found;
+                }
+            }
+            match self.rho.step_down(model.lambda_r(), self.rho_t) {
+                Some(next) => self.rho = next,
+                None => return found,
+            }
+        }
+    }
+}
+
+impl Scheduler for ReuseConservativelyRef {
+    fn name(&self) -> &'static str {
+        "RC-ref"
+    }
+
+    fn schedule_with(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+    ) -> Result<Schedule, ScheduleError> {
+        let mut policy = RcRefPolicy {
+            rho_t: self.rho_t,
+            reset: self.reset,
+            trigger: self.trigger,
+            rho: Rho::NoReuse,
+        };
+        run_fixed_priority(flows, model, config, &mut policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{model_for, parallel_set};
+    use crate::{NoReuse, ReuseAggressively, ReuseConservatively};
+
+    #[test]
+    fn reference_schedulers_match_optimized_on_contended_load() {
+        let (flows, reuse) = parallel_set(8, 4, 40, 10);
+        let model = model_for(&reuse, 1);
+        let ra = ReuseAggressively::new(2).schedule(&flows, &model).unwrap();
+        let ra_ref = ReuseAggressivelyRef::new(2).schedule(&flows, &model).unwrap();
+        assert_eq!(ra.entries(), ra_ref.entries());
+        let rc = ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+        let rc_ref = ReuseConservativelyRef::new(2).schedule(&flows, &model).unwrap();
+        assert_eq!(rc.entries(), rc_ref.entries());
+    }
+
+    #[test]
+    fn reference_nr_matches_optimized_nr() {
+        let (flows, reuse) = parallel_set(4, 4, 60, 30);
+        let model = model_for(&reuse, 2);
+        let nr = NoReuse::new().schedule(&flows, &model).unwrap();
+        let nr_ref = NoReuseRef::new().schedule(&flows, &model).unwrap();
+        assert_eq!(nr.entries(), nr_ref.entries());
+    }
+
+    #[test]
+    fn reference_and_optimized_agree_on_unschedulability() {
+        let (flows, reuse) = parallel_set(6, 2, 40, 3);
+        let model = model_for(&reuse, 1);
+        assert!(ReuseConservatively::new(2).schedule(&flows, &model).is_err());
+        assert!(ReuseConservativelyRef::new(2).schedule(&flows, &model).is_err());
+    }
+}

@@ -83,6 +83,10 @@ pub(crate) trait PlacePolicy {
         model: &NetworkModel,
         req: &PlaceRequest<'_>,
     ) -> Option<(u32, usize)>;
+
+    /// Called once when the engine finishes a run (success or miss) — RC
+    /// flushes its laxity-cache statistics here.
+    fn finish(&mut self) {}
 }
 
 /// Instrument handles shared by every scheduler run. Built once per
@@ -92,6 +96,7 @@ struct EngineMetrics {
     placements: wsan_obs::Counter,
     misses: wsan_obs::Counter,
     timer: wsan_obs::Timer,
+    place_timer: wsan_obs::Timer,
 }
 
 impl EngineMetrics {
@@ -102,6 +107,7 @@ impl EngineMetrics {
             placements: reg.counter("core.schedule.placements"),
             misses: reg.counter("core.schedule.deadline_misses"),
             timer: reg.timer("core.schedule"),
+            place_timer: reg.timer("core.schedule.place"),
         }
     }
 }
@@ -155,7 +161,11 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
                     deadline_slot: d_i,
                     remaining: &remaining_links[i + 1..],
                 };
-                let Some((slot, offset)) = policy.place(&schedule, model, &req) else {
+                let placed = {
+                    let _place_timed = metrics.as_ref().map(|m| m.place_timer.start());
+                    policy.place(&schedule, model, &req)
+                };
+                let Some((slot, offset)) = placed else {
                     if let Some(m) = &metrics {
                         m.misses.inc();
                     }
@@ -170,6 +180,7 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
                             ],
                         );
                     }
+                    policy.finish();
                     return Err(ScheduleError::Unschedulable {
                         flow: flow.id(),
                         job_index: job.index(),
@@ -194,6 +205,7 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
             }
         }
     }
+    policy.finish();
     Ok(schedule)
 }
 

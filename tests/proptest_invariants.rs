@@ -11,6 +11,10 @@ use wsan::net::{NodeId, ReuseGraph, Route};
 use wsan::stats::ks::two_sample;
 use wsan::stats::{BoxPlot, Ecdf, Histogram};
 
+/// An (algorithm label, optimized engine, reference engine) triple for the
+/// byte-identical-schedules equivalence suite.
+type SchedulerPair = (&'static str, Box<dyn Scheduler>, Box<dyn Scheduler>);
+
 /// A random connected reuse graph: a spanning chain plus random extra edges.
 fn arb_reuse_graph(max_nodes: usize) -> impl Strategy<Value = ReuseGraph> {
     (4..max_nodes, proptest::collection::vec((0usize..64, 0usize..64), 0..24)).prop_map(
@@ -170,6 +174,127 @@ proptest! {
         prop_assert!((sum - 1.0).abs() < 1e-9);
         let tail = h.proportions_with_tail(3);
         prop_assert!((tail.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The word-level hot path (PR 5) answers every primitive query
+    /// bit-for-bit like the slot-by-slot `reference` module, on schedule
+    /// states reached by a real scheduler over random topologies and loads.
+    #[test]
+    fn equivalence_hot_path_primitives_match_reference(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+        channels in 1usize..4,
+        queries in proptest::collection::vec(
+            (0usize..64, 0usize..64, 0u32..200, 0u32..400, 0u32..6), 1..24),
+    ) {
+        use wsan::core::laxity::LaxityCache;
+        use wsan::core::{constraints, reference, Rho};
+        use wsan::net::DirectedLink;
+
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, channels);
+        // RA leaves the densest occupancy patterns behind; an unschedulable
+        // load still exercises the partially filled grid states before it.
+        let Ok(schedule) = Algorithm::Ra { rho: 2 }.build().schedule(&set, &model) else {
+            return Ok(());
+        };
+        let mut cache = LaxityCache::new();
+        for (a, b, earliest, latest, rho_raw) in queries {
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                continue;
+            }
+            let link = DirectedLink::new(NodeId::new(a), NodeId::new(b));
+            let rho = if rho_raw == 0 { Rho::NoReuse } else { Rho::AtLeast(rho_raw) };
+            prop_assert_eq!(
+                constraints::find_slot(&schedule, &model, link, earliest, latest, rho),
+                reference::find_slot(&schedule, &model, link, earliest, latest, rho),
+                "find_slot diverged: link {} window [{},{}] rho {:?}",
+                link, earliest, latest, rho
+            );
+            let slot = earliest.min(schedule.horizon() - 1);
+            prop_assert_eq!(
+                constraints::best_offset(&schedule, &model, slot, link, rho),
+                reference::best_offset(&schedule, &model, slot, link, rho)
+            );
+            for offset in 0..channels {
+                prop_assert_eq!(
+                    constraints::channel_ok(&schedule, &model, slot, offset, link, rho),
+                    reference::channel_ok(&schedule, &model, slot, offset, link, rho)
+                );
+            }
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            let plain = schedule.conflict_slot_count(na, nb, earliest, latest);
+            prop_assert_eq!(plain, reference::conflict_slot_count(&schedule, na, nb, earliest, latest));
+            prop_assert_eq!(plain, cache.conflict_slot_count(&schedule, na, nb, earliest, latest));
+            let remaining = [link];
+            let lax = wsan::core::laxity::flow_laxity(&schedule, earliest, latest, &remaining);
+            prop_assert_eq!(lax, reference::flow_laxity(&schedule, earliest, latest, &remaining));
+            prop_assert_eq!(
+                lax,
+                wsan::core::laxity::flow_laxity_cached(
+                    &schedule, &mut cache, earliest, latest, &remaining)
+            );
+        }
+    }
+
+    /// NR/RA/RC (and the RC variants) produce byte-identical schedules —
+    /// same entries, same order — through the optimized and the reference
+    /// engines, and agree on unschedulability.
+    #[test]
+    fn equivalence_schedulers_byte_identical_to_reference(
+        graph in arb_reuse_graph(16),
+        flows_proto in arb_flows(8),
+        channels in 1usize..4,
+    ) {
+        use wsan::core::reference::{NoReuseRef, ReuseAggressivelyRef, ReuseConservativelyRef};
+        use wsan::core::{ReuseTrigger, RhoReset};
+
+        let n = graph.node_count();
+        let flows: Vec<Flow> = flows_proto
+            .into_iter()
+            .filter(|f| f.segments().iter().all(|r| r.nodes().iter().all(|nd| nd.index() < n)))
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let set = priority::deadline_monotonic(flows, vec![]);
+        let model = NetworkModel::from_reuse_graph(&graph, channels);
+        let pairs: Vec<SchedulerPair> = vec![
+            ("NR", Box::new(wsan::core::NoReuse::new()), Box::new(NoReuseRef::new())),
+            ("RA", Box::new(wsan::core::ReuseAggressively::new(2)),
+                Box::new(ReuseAggressivelyRef::new(2))),
+            ("RC", Box::new(wsan::core::ReuseConservatively::new(2)),
+                Box::new(ReuseConservativelyRef::new(2))),
+            ("RC-perflow",
+                Box::new(wsan::core::ReuseConservatively::new(2)
+                    .with_reset(RhoReset::PerFlow)),
+                Box::new(ReuseConservativelyRef::new(2).with_reset(RhoReset::PerFlow))),
+            ("RC-lite",
+                Box::new(wsan::core::ReuseConservatively::new(2)
+                    .with_trigger(ReuseTrigger::DeadlineMissOnly)),
+                Box::new(ReuseConservativelyRef::new(2)
+                    .with_trigger(ReuseTrigger::DeadlineMissOnly))),
+        ];
+        for (name, optimized, reference) in pairs {
+            match (optimized.schedule(&set, &model), reference.schedule(&set, &model)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a.entries(), b.entries(), "{} schedules diverged", name),
+                (Err(_), Err(_)) => {}
+                (a, b) => return Err(TestCaseError::fail(format!(
+                    "{name}: optimized {:?} vs reference {:?}",
+                    a.map(|s| s.entry_count()), b.map(|s| s.entry_count())
+                ))),
+            }
+        }
     }
 }
 
