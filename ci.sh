@@ -38,6 +38,65 @@ grep -q '"schedules_per_sec"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"speedup_rc_vs_reference"' "$bench_dir/BENCH_scheduler.json"
 rm -rf "$bench_dir"
 
+echo "==> gateway bench smoke (gateway_bench schema + committed snapshot)"
+gwb_dir="$(mktemp -d)"
+WSAN_RESULTS_DIR="$gwb_dir" ./target/release/gateway_bench --quick
+test -s "$gwb_dir/BENCH_gateway.json"
+grep -q '"schema": "wsan.gateway_bench/1"' "$gwb_dir/BENCH_gateway.json"
+grep -q '"speedup_delta_vs_full"' "$gwb_dir/BENCH_gateway.json"
+grep -q '"delta_admissions_per_sec"' "$gwb_dir/BENCH_gateway.json"
+# the committed snapshot must track the same schema
+grep -q '"schema": "wsan.gateway_bench/1"' BENCH_gateway.json
+rm -rf "$gwb_dir"
+
+echo "==> gateway crash/replay smoke (wsan serve, kill -9 mid-stream)"
+gws_dir="$(mktemp -d)"
+# the operation stream, split across the crash point
+cat > "$gws_dir/before.jsonl" <<'EOF'
+{"op":"add_flow","name":"a","source":0,"dest":5,"period":64,"deadline":48}
+{"op":"add_flow","name":"b","source":3,"dest":9,"period":64,"deadline":40}
+{"op":"add_flow","name":"c","source":10,"dest":2,"period":128,"deadline":96}
+EOF
+cat > "$gws_dir/after.jsonl" <<'EOF'
+{"op":"update_rate","name":"a","period":128,"deadline":100}
+{"op":"remove_flow","name":"b"}
+{"op":"add_flow","name":"d","source":7,"dest":1,"period":128,"deadline":64}
+EOF
+# reference: the same stream through one uninterrupted gateway
+{
+    cat "$gws_dir/before.jsonl" "$gws_dir/after.jsonl"
+    printf '{"op":"export","path":"%s/ref.csv"}\n{"op":"shutdown"}\n' "$gws_dir"
+} | ./target/release/wsan serve --testbed wustl --seed 1 \
+    > "$gws_dir/ref.out" 2> /dev/null
+test -s "$gws_dir/ref.csv"
+# interrupted: journal every ack, then kill -9 with no chance to flush
+mkfifo "$gws_dir/in.fifo"
+./target/release/wsan serve --testbed wustl --seed 1 \
+    --journal "$gws_dir/wal.jsonl" \
+    < "$gws_dir/in.fifo" > "$gws_dir/crash.out" 2> /dev/null &
+gws_pid=$!
+exec 9> "$gws_dir/in.fifo"
+cat "$gws_dir/before.jsonl" >&9
+# wait for all three acks: a written response means the WAL record is fsynced
+gws_acked=0
+for _ in $(seq 1 100); do
+    if [ "$(wc -l < "$gws_dir/crash.out")" -ge 3 ]; then gws_acked=1; break; fi
+    sleep 0.1
+done
+test "$gws_acked" -eq 1
+kill -9 "$gws_pid" 2> /dev/null || true
+wait "$gws_pid" 2> /dev/null || true
+exec 9>&-
+# restart from the journal and finish the stream
+{
+    cat "$gws_dir/after.jsonl"
+    printf '{"op":"export","path":"%s/resumed.csv"}\n{"op":"shutdown"}\n' "$gws_dir"
+} | ./target/release/wsan serve --testbed wustl --seed 1 \
+    --resume-journal "$gws_dir/wal.jsonl" \
+    > "$gws_dir/resume.out" 2> /dev/null
+cmp "$gws_dir/resumed.csv" "$gws_dir/ref.csv"
+rm -rf "$gws_dir"
+
 echo "==> campaign interrupt/resume smoke (wsan campaign)"
 camp_dir="$(mktemp -d)"
 out="$camp_dir/smoke.json"

@@ -24,9 +24,14 @@ pub const USAGE: &str = "usage:
   wsan faults   --testbed <indriya|wustl> --flows N [--collapse k1,k2,..]
                 [--epochs N] [--algo nr|ra|rc] [--channels a-b] [--seed N]
                 [--out FILE]                    # fault campaign → JSON
-  wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults>
+  wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults|churn>
                 [--jobs N] [--resume] [--sets N] [--seed N] [--quick]
                 [--out FILE] [--manifest FILE]  # checkpointed sweep → JSON
+  wsan serve    --testbed <indriya|wustl> [--algo nr|ra|rc] [--rho N]
+                [--channels a-b] [--seed N] [--prr X]
+                [--journal FILE | --resume-journal FILE] [--paranoid]
+                [--deadline-us N] [--listen SOCKET]
+                                                # JSONL gateway on stdin/socket
 
 observability (accepted by every subcommand):
   --log-level off|error|warn|info|debug|trace   structured events to stderr
@@ -52,6 +57,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "detect" => cmd_detect(&args),
         "faults" => cmd_faults(&args),
         "campaign" => cmd_campaign(&args),
+        "serve" => crate::serve::cmd_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -69,7 +75,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 const GLOBAL_OPTS: &[&str] = &["log-level", "log-format", "metrics-out"];
 
 /// Unknown-option check that also admits the global observability options.
-fn known(args: &Args, allowed: &[&str]) -> Result<(), String> {
+pub(crate) fn known(args: &Args, allowed: &[&str]) -> Result<(), String> {
     let mut all = allowed.to_vec();
     all.extend_from_slice(GLOBAL_OPTS);
     args.ensure_known(&all)
@@ -130,7 +136,7 @@ fn write_metrics_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_testbed(args: &Args) -> Result<Topology, String> {
+pub(crate) fn load_testbed(args: &Args) -> Result<Topology, String> {
     if let Some(path) = args.get("load") {
         return Topology::load(path).map_err(|e| format!("cannot load {path}: {e}"));
     }
@@ -143,7 +149,7 @@ fn load_testbed(args: &Args) -> Result<Topology, String> {
     }
 }
 
-fn channels_of(args: &Args) -> Result<ChannelSet, String> {
+pub(crate) fn channels_of(args: &Args) -> Result<ChannelSet, String> {
     let (a, b) = args.channel_range()?;
     ChannelId::range(a, b).map_err(|e| e.to_string())
 }

@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 

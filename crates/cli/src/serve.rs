@@ -1,0 +1,158 @@
+//! `wsan serve` — the long-lived online gateway process.
+//!
+//! Reads JSONL requests (`add_flow`, `remove_flow`, `update_rate`,
+//! `retire_link`, `status`, `export`, `shutdown`) from stdin — or from a
+//! Unix socket with `--listen` — and answers one JSON response per line.
+//! Every acknowledged mutation is `fsync`ed to the write-ahead journal
+//! (`--journal`), so a crashed gateway restarted with `--resume-journal`
+//! replays to exactly the schedule it acknowledged. See
+//! `wsan_core::gateway` for the delta-scheduling and shedding semantics.
+
+use crate::args::Args;
+use crate::commands::{channels_of, known, load_testbed};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
+use wsan_core::gateway::journal::JournalHeader;
+use wsan_core::gateway::service::GatewayService;
+use wsan_core::gateway::{GatewayConfig, GatewayState};
+use wsan_core::{NetworkModel, NoReuse, ReuseAggressively, ReuseConservatively, Scheduler};
+use wsan_net::Prr;
+
+pub(crate) fn cmd_serve(args: &Args) -> Result<(), String> {
+    known(
+        args,
+        &[
+            "testbed",
+            "load",
+            "seed",
+            "channels",
+            "prr",
+            "algo",
+            "rho",
+            "journal",
+            "resume-journal",
+            "paranoid",
+            "deadline-us",
+            "listen",
+        ],
+    )?;
+    let mut service = build_service(args)?;
+
+    if args.has("journal") && args.has("resume-journal") {
+        return Err("--journal and --resume-journal are mutually exclusive".to_string());
+    }
+    if let Some(path) = args.get("journal") {
+        service.journal_create(path).map_err(|e| format!("cannot create journal: {e}"))?;
+        eprintln!("journaling to {path}");
+    } else if let Some(path) = args.get("resume-journal") {
+        let replayed = service
+            .journal_resume(path)
+            .map_err(|e| format!("cannot resume journal {path}: {e}"))?;
+        eprintln!(
+            "resumed {path}: replayed {replayed} operation(s), {} flow(s) admitted",
+            service.state().len()
+        );
+    }
+
+    match args.get("listen") {
+        Some(socket) => serve_socket(&mut service, socket),
+        None => serve_stdin(&mut service),
+    }
+}
+
+/// Builds the gateway service from the topology/algorithm flags. The same
+/// flags must be passed again on restart: the journal header records the
+/// configuration identity and a mismatch refuses to resume.
+fn build_service(args: &Args) -> Result<GatewayService, String> {
+    let topo = load_testbed(args)?;
+    let channels = channels_of(args)?;
+    let prr_raw: f64 = args.get_or("prr", 0.9)?;
+    let prr = Prr::new(prr_raw).map_err(|e| e.to_string())?;
+    let comm = topo.comm_graph(&channels, prr);
+    let model = NetworkModel::new(&topo, &channels);
+
+    let rho: u32 = args.get_or("rho", 2)?;
+    let (scheduler, rho_t, algo): (Box<dyn Scheduler + Send + Sync>, Option<u32>, String) =
+        match args.get("algo").unwrap_or("rc") {
+            "nr" => (Box::new(NoReuse::new()), None, "nr".to_string()),
+            "ra" => (Box::new(ReuseAggressively::new(rho)), Some(rho), format!("ra/{rho}")),
+            "rc" => (Box::new(ReuseConservatively::new(rho)), Some(rho), format!("rc/{rho}")),
+            other => return Err(format!("unknown algorithm '{other}' (nr|ra|rc)")),
+        };
+
+    let config =
+        GatewayConfig { rho_t, paranoid: args.has("paranoid"), ..GatewayConfig::default() };
+    let state = GatewayState::new(model, scheduler, config);
+
+    let (lo, hi) = args.channel_range()?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let network = format!("{}/seed={seed}/ch={lo}-{hi}/prr={prr_raw}", topo.name());
+    let header = JournalHeader::new(&network, &algo);
+
+    let budget = match args.get("deadline-us") {
+        Some(raw) => {
+            let us: u64 = raw.parse().map_err(|_| format!("bad --deadline-us '{raw}'"))?;
+            Some(Duration::from_micros(us))
+        }
+        None => None,
+    };
+
+    eprintln!(
+        "gateway serving {algo} on {} ({} nodes, {} channels)",
+        topo.name(),
+        topo.node_count(),
+        channels.len()
+    );
+    Ok(GatewayService::new(state, comm, header).with_budget(budget))
+}
+
+/// One request per stdin line, one response per stdout line, flushed
+/// immediately so a client driving us through a pipe sees each ack as soon
+/// as it is durable.
+fn serve_stdin(service: &mut GatewayService) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writeln!(out, "{response}").map_err(|e| format!("stdout write failed: {e}"))?;
+        out.flush().map_err(|e| format!("stdout flush failed: {e}"))?;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves connections on a Unix socket, one client at a time, until a
+/// client sends `shutdown`. A dropped connection keeps the gateway (and
+/// its schedule) alive for the next client.
+fn serve_socket(service: &mut GatewayService, socket: &str) -> Result<(), String> {
+    let _ = std::fs::remove_file(socket);
+    let listener = std::os::unix::net::UnixListener::bind(socket)
+        .map_err(|e| format!("cannot bind {socket}: {e}"))?;
+    eprintln!("listening on {socket}");
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("accept failed: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("socket clone failed: {e}"))?;
+        for line in BufReader::new(stream).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = service.handle_line(&line);
+            if writeln!(writer, "{response}").is_err() {
+                break;
+            }
+            if service.shutdown_requested() {
+                let _ = std::fs::remove_file(socket);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

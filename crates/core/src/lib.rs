@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod constraints;
 mod error;
 pub mod export;
+pub mod gateway;
 pub mod laxity;
 pub mod metrics;
 mod model;

@@ -1,7 +1,7 @@
 //! NR — the standard WirelessHART baseline without channel reuse.
 
 use crate::constraints::find_slot;
-use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::scheduler::{run_fixed_priority, run_fixed_priority_onto, PlacePolicy, PlaceRequest};
 use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
 use wsan_flow::FlowSet;
 
@@ -44,6 +44,17 @@ impl Scheduler for NoReuse {
         config: &SchedulerConfig,
     ) -> Result<Schedule, ScheduleError> {
         run_fixed_priority(flows, model, config, &mut NrPolicy)
+    }
+
+    fn schedule_onto(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+        base: Schedule,
+        skip: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority_onto(flows, model, config, &mut NrPolicy, base, skip)
     }
 }
 

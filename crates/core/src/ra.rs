@@ -1,7 +1,7 @@
 //! RA — the aggressive channel reuse baseline.
 
 use crate::constraints::find_slot;
-use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::scheduler::{run_fixed_priority, run_fixed_priority_onto, PlacePolicy, PlaceRequest};
 use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
 use wsan_flow::FlowSet;
 
@@ -74,12 +74,28 @@ impl Scheduler for ReuseAggressively {
         model: &NetworkModel,
         config: &SchedulerConfig,
     ) -> Result<Schedule, ScheduleError> {
-        let mut policy = RaPolicy {
+        run_fixed_priority(flows, model, config, &mut self.policy())
+    }
+
+    fn schedule_onto(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+        base: Schedule,
+        skip: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority_onto(flows, model, config, &mut self.policy(), base, skip)
+    }
+}
+
+impl ReuseAggressively {
+    fn policy(&self) -> RaPolicy {
+        RaPolicy {
             rho: Rho::AtLeast(self.rho),
             reuse_placements: wsan_obs::metrics_enabled()
                 .then(|| wsan_obs::global_metrics().counter("ra.placements.reuse")),
-        };
-        run_fixed_priority(flows, model, config, &mut policy)
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::constraints::find_slot;
 use crate::laxity::{flow_laxity, flow_laxity_cached, LaxityCache};
-use crate::scheduler::{run_fixed_priority, PlacePolicy, PlaceRequest};
+use crate::scheduler::{run_fixed_priority, run_fixed_priority_onto, PlacePolicy, PlaceRequest};
 use crate::{NetworkModel, Rho, Schedule, ScheduleError, Scheduler, SchedulerConfig};
 use wsan_flow::FlowSet;
 
@@ -299,15 +299,31 @@ impl Scheduler for ReuseConservatively {
         model: &NetworkModel,
         config: &SchedulerConfig,
     ) -> Result<Schedule, ScheduleError> {
-        let mut policy = RcPolicy {
+        run_fixed_priority(flows, model, config, &mut self.policy())
+    }
+
+    fn schedule_onto(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+        base: Schedule,
+        skip: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        run_fixed_priority_onto(flows, model, config, &mut self.policy(), base, skip)
+    }
+}
+
+impl ReuseConservatively {
+    fn policy(&self) -> RcPolicy {
+        RcPolicy {
             rho_t: self.rho_t,
             reset: self.reset,
             trigger: self.trigger,
             rho: Rho::NoReuse,
             metrics: wsan_obs::metrics_enabled().then(RcMetrics::new),
             laxity: LaxityCache::new(),
-        };
-        run_fixed_priority(flows, model, config, &mut policy)
+        }
     }
 }
 

@@ -34,7 +34,7 @@ pub struct ScheduleEntry {
 ///   slice instead of the wider [`ScheduledTx`] cell vec,
 /// * per-node generation counters that let external rank caches
 ///   ([`crate::laxity::LaxityCache`]) invalidate lazily on [`Schedule::place`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Schedule {
     horizon: u32,
     channel_count: usize,
@@ -362,6 +362,49 @@ impl Iterator for FreeSlots<'_> {
             self.word += 1;
             self.bits = self.word_bits(self.word);
         }
+    }
+}
+
+/// Hand-written so that `clone_from` propagates to every `Vec` field —
+/// `Vec::clone_from` reuses the destination's allocations, which lets a
+/// caller that clones schedules repeatedly (the gateway's delta path keeps
+/// a scratch buffer) pay a memcpy instead of ~one allocation per occupied
+/// cell. A derived `Clone` would fall back to `*self = source.clone()`.
+impl Clone for Schedule {
+    fn clone(&self) -> Self {
+        Schedule {
+            horizon: self.horizon,
+            channel_count: self.channel_count,
+            node_count: self.node_count,
+            cells: self.cells.clone(),
+            slot_busy: self.slot_busy.clone(),
+            node_words: self.node_words,
+            node_busy: self.node_busy.clone(),
+            slot_words: self.slot_words,
+            entries: self.entries.clone(),
+            cell_links: self.cell_links.clone(),
+            occupied_offsets: self.occupied_offsets.clone(),
+            slot_full: self.slot_full.clone(),
+            node_gen: self.node_gen.clone(),
+            generation: self.generation,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.horizon = source.horizon;
+        self.channel_count = source.channel_count;
+        self.node_count = source.node_count;
+        self.cells.clone_from(&source.cells);
+        self.slot_busy.clone_from(&source.slot_busy);
+        self.node_words = source.node_words;
+        self.node_busy.clone_from(&source.node_busy);
+        self.slot_words = source.slot_words;
+        self.entries.clone_from(&source.entries);
+        self.cell_links.clone_from(&source.cell_links);
+        self.occupied_offsets.clone_from(&source.occupied_offsets);
+        self.slot_full.clone_from(&source.slot_full);
+        self.node_gen.clone_from(&source.node_gen);
+        self.generation = source.generation;
     }
 }
 

@@ -52,6 +52,41 @@ pub trait Scheduler {
     fn schedule(&self, flows: &FlowSet, model: &NetworkModel) -> Result<Schedule, ScheduleError> {
         self.schedule_with(flows, model, &SchedulerConfig::default())
     }
+
+    /// Schedules only the flows from priority position `skip` onward, on top
+    /// of `base` — a schedule that already holds exactly the placements a
+    /// full run would have made for flows `0..skip` of this `flows` set.
+    ///
+    /// Because the fixed-priority engine processes flows one at a time into
+    /// a growing schedule and no per-flow policy state crosses a flow
+    /// boundary (NR and RA are stateless; RC resets `ρ` in `begin_flow` and
+    /// its laxity cache is a proven-exact accelerator), the result is
+    /// byte-identical to `schedule_with` over the whole set. This is the
+    /// delta path used by [`gateway`](crate::gateway): an admission at
+    /// priority position `k` re-places only flows `k..n`.
+    ///
+    /// The default implementation ignores `base` and recomputes from
+    /// scratch — always correct, never incremental — so third-party
+    /// [`Scheduler`]s (including the frozen [`reference`](crate::reference)
+    /// baselines) stay valid oracles without changes. NR, RA, and RC
+    /// override it with the true suffix run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::schedule_with`]; implementations additionally
+    /// return [`ScheduleError::Inconsistent`] when `base`'s dimensions do
+    /// not match `flows` and `model`.
+    fn schedule_onto(
+        &self,
+        flows: &FlowSet,
+        model: &NetworkModel,
+        config: &SchedulerConfig,
+        base: Schedule,
+        skip: usize,
+    ) -> Result<Schedule, ScheduleError> {
+        let _ = (base, skip);
+        self.schedule_with(flows, model, config)
+    }
 }
 
 /// One placement request handed to a reuse policy: schedule `link` no
@@ -125,12 +160,53 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
     if model.channels() == 0 {
         return Err(ScheduleError::NoChannels);
     }
+    let base = Schedule::new(flows.hyperperiod(), model.channels(), model.node_count());
+    run_fixed_priority_onto(flows, model, config, policy, base, 0)
+}
+
+/// The suffix form of the engine: flows `skip..n` are placed on top of
+/// `base`, which must hold exactly the placements of flows `0..skip`. With
+/// an empty `base` and `skip == 0` this *is* [`run_fixed_priority`]; see
+/// [`Scheduler::schedule_onto`] for why the suffix run is byte-identical to
+/// a full run.
+pub(crate) fn run_fixed_priority_onto<P: PlacePolicy>(
+    flows: &FlowSet,
+    model: &NetworkModel,
+    config: &SchedulerConfig,
+    policy: &mut P,
+    base: Schedule,
+    skip: usize,
+) -> Result<Schedule, ScheduleError> {
+    if model.channels() == 0 {
+        return Err(ScheduleError::NoChannels);
+    }
+    let horizon = flows.hyperperiod();
+    if base.horizon() != horizon
+        || base.channel_count() != model.channels()
+        || base.node_count() != model.node_count()
+    {
+        return Err(ScheduleError::Inconsistent {
+            reason: format!(
+                "base schedule is {}x{}x{} but the flow set and model need {}x{}x{}",
+                base.horizon(),
+                base.channel_count(),
+                base.node_count(),
+                horizon,
+                model.channels(),
+                model.node_count()
+            ),
+        });
+    }
+    if skip > flows.len() {
+        return Err(ScheduleError::Inconsistent {
+            reason: format!("cannot skip {} of {} flows", skip, flows.len()),
+        });
+    }
     let metrics = wsan_obs::metrics_enabled().then(EngineMetrics::new);
     let _timed = metrics.as_ref().map(|m| {
         m.runs.inc();
         m.timer.start()
     });
-    let horizon = flows.hyperperiod();
     let _span = wsan_obs::span(
         wsan_obs::Level::Debug,
         "core.schedule",
@@ -140,9 +216,9 @@ pub(crate) fn run_fixed_priority<P: PlacePolicy>(
             Vec::new()
         },
     );
-    let mut schedule = Schedule::new(horizon, model.channels(), model.node_count());
+    let mut schedule = base;
     let attempts: u8 = if config.retries { 2 } else { 1 };
-    for flow in flows.iter() {
+    for flow in flows.iter().skip(skip) {
         policy.begin_flow();
         let links: Vec<DirectedLink> = flow.links();
         // The job's transmission sequence: every link primary + retries.

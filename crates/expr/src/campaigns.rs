@@ -15,8 +15,16 @@ use wsan_flow::{FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern};
 use wsan_net::{testbeds, ChannelId, Prr, Topology};
 
 /// Every campaign the catalog knows, in `run_named` dispatch order.
-pub const NAMES: &[&str] =
-    &["smoke", "schedulable", "efficiency", "exectime", "reliability", "detection", "faults"];
+pub const NAMES: &[&str] = &[
+    "smoke",
+    "schedulable",
+    "efficiency",
+    "exectime",
+    "reliability",
+    "detection",
+    "faults",
+    "churn",
+];
 
 /// Scale knobs shared by every catalog campaign (mirrors the figure
 /// binaries' `--sets/--seed/--quick`).
@@ -85,8 +93,45 @@ pub fn run_named(
         "reliability" => outcome(reliability_sets(opts, cfg)?),
         "detection" => outcome(detection_runs(opts, cfg)?),
         "faults" => outcome(faults(opts, cfg)?),
+        "churn" => outcome(churn(opts, cfg)?),
         other => Err(CampaignError::UnknownCampaign { name: other.to_string() }),
     }
+}
+
+/// Gateway flow-churn episodes: each point runs a seeded
+/// admit/remove/re-rate/retire stream against an online RC gateway and
+/// fails hard if any post-operation schedule differs from a fresh
+/// recompute of the same flow set (see [`crate::churn`]).
+pub fn churn(
+    opts: &SweepOptions,
+    cfg: &CampaignConfig,
+) -> Result<(Vec<crate::churn::ChurnRecord>, CampaignSummary), CampaignError> {
+    let sets = opts.sets_or(8);
+    let ops = if opts.quick { 25 } else { 60 };
+    let points: Vec<PointSpec<crate::churn::ChurnConfig>> = (0..sets)
+        .map(|i| {
+            let seed = opts.seed.wrapping_add(i as u64);
+            PointSpec::new(format!("s{seed}"), crate::churn::ChurnConfig { ops, seed, rho_t: 2 })
+        })
+        .collect();
+    let mut out = Vec::new();
+    let summary = run(
+        "churn",
+        &points,
+        cfg,
+        |p| {
+            let rec = crate::churn::episode(&p.input);
+            if rec.oracle_mismatches > 0 {
+                return Err(format!(
+                    "{} delta/oracle mismatch(es) at seed {}",
+                    rec.oracle_mismatches, rec.seed
+                ));
+            }
+            Ok(rec)
+        },
+        |_, r| out.push(r),
+    )?;
+    Ok((out, summary))
 }
 
 /// A tiny three-point schedulability sweep on the small WUSTL topology —

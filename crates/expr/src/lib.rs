@@ -25,6 +25,7 @@
 mod algo;
 pub mod campaign;
 pub mod campaigns;
+pub mod churn;
 pub mod detection;
 pub mod efficiency;
 pub mod exectime;
