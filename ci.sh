@@ -19,6 +19,13 @@ echo "==> hot-path equivalence suite runs in the default pass"
 cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_hot_path_primitives_match_reference"
 cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_schedulers_byte_identical_to_reference"
 
+echo "==> event-vs-oracle sim equivalence suite runs in the default pass"
+eq_list="$(cargo test -q -p wsan-sim --test engine_equivalence -- --list)"
+echo "$eq_list" | grep -q "dense_contract_run_is_byte_identical"
+echo "$eq_list" | grep -q "scheduled_faults_match_including_fault_log"
+echo "$eq_list" | grep -q "outside_contract_is_statistically_equivalent"
+echo "$eq_list" | grep -q "random_contract_scenarios_are_byte_identical"
+
 echo "==> release smoke run (fig6, tiny scale)"
 smoke_dir="$(mktemp -d)"
 WSAN_RESULTS_DIR="$smoke_dir" cargo run --release -q -p wsan-bench --bin fig6 -- --sets 2 --quick
@@ -37,6 +44,18 @@ grep -q '"median_ns_per_placement"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"schedules_per_sec"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"speedup_rc_vs_reference"' "$bench_dir/BENCH_scheduler.json"
 rm -rf "$bench_dir"
+
+echo "==> simulator bench smoke (sim_bench schema + committed snapshot)"
+simb_dir="$(mktemp -d)"
+WSAN_RESULTS_DIR="$simb_dir" ./target/release/sim_bench --quick
+test -s "$simb_dir/BENCH_sim.json"
+grep -q '"schema": "wsan.sim_bench/1"' "$simb_dir/BENCH_sim.json"
+grep -q '"speedup_events_vs_slots"' "$simb_dir/BENCH_sim.json"
+grep -q '"occupancy"' "$simb_dir/BENCH_sim.json"
+grep -q '"reports_identical": true' "$simb_dir/BENCH_sim.json"
+# the committed snapshot must track the same schema
+grep -q '"schema": "wsan.sim_bench/1"' BENCH_sim.json
+rm -rf "$simb_dir"
 
 echo "==> gateway bench smoke (gateway_bench schema + committed snapshot)"
 gwb_dir="$(mktemp -d)"

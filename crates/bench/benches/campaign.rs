@@ -9,7 +9,7 @@ use wsan_expr::campaign::CampaignConfig;
 use wsan_expr::campaigns::{run_named, SweepOptions};
 
 fn opts() -> SweepOptions {
-    SweepOptions { sets: 4, seed: 11, quick: false }
+    SweepOptions { sets: 4, seed: 11, ..SweepOptions::default() }
 }
 
 fn bench_campaign(c: &mut Criterion) {

@@ -1,0 +1,279 @@
+//! `sim_bench` — the tracked simulator-core benchmark.
+//!
+//! Times identical seeded runs through the slot-stepper and the
+//! event-driven engine on a dense schedule (every frame slot busy, where
+//! the engines should roughly tie) and a sparse long-horizon schedule
+//! (a few busy slots per 512-slot frame, where the event engine's
+//! skip-the-idle-slots design pays off), then writes `BENCH_sim.json`
+//! (median ns/run per engine, event-vs-stepper speedup, slot occupancy)
+//! so the perf trajectory is comparable across PRs. Both scenarios sit
+//! inside the draw-order contract of DESIGN.md §13, so every timed pair
+//! of runs is also asserted byte-identical — the benchmark doubles as an
+//! equivalence smoke. Hand-rolled `Instant` timing, ordinary binary:
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin sim_bench [-- --iters 20 --quick --out PATH]
+//! ```
+//!
+//! * `--iters N` — timed runs per engine/scenario (default 20),
+//! * `--seed S` — simulation seed (default 42),
+//! * `--quick` — caps iterations at 3 for a smoke pass,
+//! * `--out PATH` — output path (default `results/BENCH_sim.json`).
+
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::Instant;
+use wsan_bench::sched::median_ns;
+use wsan_bench::{results_dir, run_main, write_err, BenchError};
+use wsan_core::{NetworkModel, NoReuse, Schedule, Scheduler};
+use wsan_flow::{
+    priority, Flow, FlowId, FlowSet, FlowSetConfig, FlowSetGenerator, Period, PeriodRange,
+    TrafficPattern,
+};
+use wsan_net::propagation::PropagationModel;
+use wsan_net::{testbeds, ChannelId, ChannelSet, NodeId, Position, Prr, Route, Topology};
+use wsan_sim::{SimConfig, Simulator};
+
+/// The file-format tag checked by ci.sh's smoke step.
+const SCHEMA: &str = "wsan.sim_bench/1";
+
+#[derive(Debug, Serialize)]
+struct ScenarioResult {
+    name: String,
+    flows: u64,
+    horizon: u64,
+    /// Distinct busy slots per hyperperiod.
+    busy_slots: u64,
+    /// `busy_slots / horizon` — the event engine's work fraction.
+    occupancy: f64,
+    repetitions: u64,
+    slot_stepper_median_ns: u64,
+    event_driven_median_ns: u64,
+    /// Median-over-median speedup of the event engine vs. the stepper —
+    /// the acceptance series (≥ 3x at ≤ 10% occupancy).
+    speedup_events_vs_slots: f64,
+    /// Every timed pair of runs compared byte for byte (always true when
+    /// the binary exits zero; recorded so the JSON is self-describing).
+    reports_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    iters: u64,
+    seed: u64,
+    scenarios: Vec<ScenarioResult>,
+}
+
+struct Options {
+    iters: usize,
+    seed: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, BenchError> {
+    const USAGE: &str = "supported: --iters N --seed S --quick --out PATH";
+    let mut opts = Options { iters: 20, seed: 42, out: None };
+    let mut args = std::env::args().skip(1);
+    fn value<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, BenchError> {
+        let raw =
+            next.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value; {USAGE}")))?;
+        raw.parse()
+            .map_err(|_| BenchError::Usage(format!("{flag} got malformed value '{raw}'; {USAGE}")))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => opts.iters = value("--iters", args.next())?,
+            "--seed" => opts.seed = value("--seed", args.next())?,
+            "--out" => {
+                opts.out =
+                    Some(std::path::PathBuf::from(args.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--out needs a value; {USAGE}"))
+                    })?));
+            }
+            "--quick" => opts.iters = opts.iters.min(3),
+            other => return Err(BenchError::Usage(format!("unknown argument {other}; {USAGE}"))),
+        }
+    }
+    if opts.iters == 0 {
+        return Err(BenchError::Usage(format!("--iters must be at least 1; {USAGE}")));
+    }
+    Ok(opts)
+}
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// The dense scenario: the WUSTL synthetic testbed under conservative
+/// reuse — essentially every frame slot holds a transmission, so the event
+/// engine's batching buys little.
+fn dense(seed: u64) -> Result<(Topology, ChannelSet, FlowSet, Schedule), BenchError> {
+    let topo = testbeds::wustl(5);
+    let channels = ChannelId::range(11, 14).map_err(|e| BenchError::Run(e.to_string()))?;
+    let comm =
+        topo.comm_graph(&channels, Prr::new(0.9).map_err(|e| BenchError::Run(e.to_string()))?);
+    let model = NetworkModel::new(&topo, &channels);
+    let fsc = FlowSetConfig::new(
+        12,
+        PeriodRange::new(0, 0).map_err(|e| BenchError::Run(e.to_string()))?,
+        TrafficPattern::PeerToPeer,
+    );
+    let flows = FlowSetGenerator::new(seed)
+        .generate(&comm, &fsc)
+        .map_err(|e| BenchError::Run(format!("dense workload generation failed: {e}")))?;
+    let schedule = wsan_core::ReuseConservatively::new(2)
+        .schedule(&flows, &model)
+        .map_err(|e| BenchError::Run(format!("dense scenario unschedulable: {e}")))?;
+    Ok((topo, channels, flows, schedule))
+}
+
+/// The sparse long-horizon scenario: two one-hop flows with 512-slot
+/// periods, so only two of the 512 slots per frame hold transmissions
+/// (< 1% occupancy) and the stepper wastes ~99% of its iterations.
+fn sparse() -> Result<(Topology, ChannelSet, FlowSet, Schedule), BenchError> {
+    let run = || -> Result<_, String> {
+        let mut topo = Topology::new(
+            "sparse",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(8.0, 0.0, 0.0),
+                Position::new(60.0, 0.0, 0.0),
+                Position::new(68.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).map_err(|e| e.to_string())?;
+        for (a, b) in [(0, 1), (2, 3)] {
+            for ch in &channels {
+                topo.set_prr(n(a), n(b), ch, Prr::new(0.8).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+                topo.set_prr(n(b), n(a), ch, Prr::new(0.8).map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let period = Period::from_slots(512).map_err(|e| e.to_string())?;
+        let flows = priority::deadline_monotonic(
+            vec![
+                Flow::new(FlowId::new(0), Route::new(vec![n(0), n(1)]), period, 512)
+                    .map_err(|e| e.to_string())?,
+                Flow::new(FlowId::new(1), Route::new(vec![n(2), n(3)]), period, 512)
+                    .map_err(|e| e.to_string())?,
+            ],
+            vec![],
+        );
+        let model = NetworkModel::new(&topo, &channels);
+        let schedule = NoReuse::new().schedule(&flows, &model).map_err(|e| e.to_string())?;
+        Ok((topo, channels, flows, schedule))
+    };
+    run().map_err(|e| BenchError::Run(format!("sparse scenario: {e}")))
+}
+
+fn time_scenario(
+    name: &str,
+    topo: &Topology,
+    channels: &ChannelSet,
+    flows: &FlowSet,
+    schedule: &Schedule,
+    cfg: &SimConfig,
+    iters: usize,
+) -> Result<ScenarioResult, BenchError> {
+    let sim = Simulator::try_new(topo, channels, flows, schedule)
+        .map_err(|e| BenchError::Run(e.to_string()))?;
+    let busy: BTreeSet<u32> = schedule.entries().iter().map(|e| e.slot).collect();
+    let horizon = u64::from(schedule.horizon());
+    let occupancy = busy.len() as f64 / horizon as f64;
+    let mut slot_samples: Vec<u64> = Vec::with_capacity(iters);
+    let mut event_samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let oracle = sim.run(cfg);
+        slot_samples.push(elapsed_ns(start));
+        let start = Instant::now();
+        let events = sim.run_events(cfg);
+        event_samples.push(elapsed_ns(start));
+        if oracle != events {
+            return Err(BenchError::Run(format!(
+                "{name}: engines diverged inside the draw-order contract"
+            )));
+        }
+    }
+    let slots_median = median_ns(&mut slot_samples);
+    let events_median = median_ns(&mut event_samples);
+    let speedup = slots_median as f64 / events_median as f64;
+    println!(
+        "  {:>12}: {:>6.1}% occupancy  stepper {:>12} ns  events {:>12} ns  speedup {:.2}x",
+        name,
+        occupancy * 100.0,
+        slots_median,
+        events_median,
+        speedup
+    );
+    Ok(ScenarioResult {
+        name: name.to_string(),
+        flows: flows.len() as u64,
+        horizon,
+        busy_slots: busy.len() as u64,
+        occupancy,
+        repetitions: u64::from(cfg.repetitions),
+        slot_stepper_median_ns: slots_median,
+        event_driven_median_ns: events_median,
+        speedup_events_vs_slots: speedup,
+        reports_identical: true,
+    })
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    (start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64).max(1)
+}
+
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = parse_args()?;
+        println!("== sim_bench: {} iters/engine, seed {} ==", opts.iters, opts.seed);
+        let mut report = Report {
+            schema: SCHEMA.to_string(),
+            iters: opts.iters as u64,
+            seed: opts.seed,
+            scenarios: Vec::new(),
+        };
+        let (topo, channels, flows, schedule) = dense(0xFEED)?;
+        let cfg =
+            SimConfig { seed: opts.seed, repetitions: 50, window_reps: 5, ..SimConfig::default() };
+        report.scenarios.push(time_scenario(
+            "wustl-dense",
+            &topo,
+            &channels,
+            &flows,
+            &schedule,
+            &cfg,
+            opts.iters,
+        )?);
+        let (topo, channels, flows, schedule) = sparse()?;
+        let cfg = SimConfig {
+            seed: opts.seed,
+            repetitions: 400,
+            window_reps: 10,
+            ..SimConfig::default()
+        };
+        report.scenarios.push(time_scenario(
+            "sparse-long",
+            &topo,
+            &channels,
+            &flows,
+            &schedule,
+            &cfg,
+            opts.iters,
+        )?);
+        let path = opts.out.unwrap_or_else(|| results_dir().join("BENCH_sim.json"));
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(write_err(dir))?;
+        }
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| BenchError::Run(format!("serializing report: {e}")))?;
+        std::fs::write(&path, json + "\n").map_err(write_err(&path))?;
+        println!("report written to {}", path.display());
+        Ok(())
+    })
+}

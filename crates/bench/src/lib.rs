@@ -10,7 +10,9 @@
 //! * `--quick` — shorthand for a fast smoke-scale run,
 //! * `--jobs N` — campaign worker threads (0 = one per core),
 //! * `--resume` — resume from the figure's checkpoint manifest instead of
-//!   recomputing finished sweep points.
+//!   recomputing finished sweep points,
+//! * `--engine slots|events` — simulation core for the campaigns that
+//!   execute simulator runs (schedulability-only figures ignore it).
 //!
 //! Binaries exit non-zero with a diagnostic on malformed arguments or
 //! failed runs instead of panicking.
@@ -80,6 +82,8 @@ pub struct RunOptions {
     pub jobs: usize,
     /// Resume from the figure's checkpoint manifest.
     pub resume: bool,
+    /// Simulation core for the campaigns that execute simulator runs.
+    pub engine: wsan_sim::SimEngine,
 }
 
 impl RunOptions {
@@ -101,9 +105,16 @@ impl RunOptions {
         args: impl IntoIterator<Item = String>,
         default_sets: usize,
     ) -> Result<Self, BenchError> {
-        const USAGE: &str = "supported: --sets N --seed S --quick --jobs N --resume";
-        let mut options =
-            RunOptions { sets: default_sets, seed: 1, quick: false, jobs: 0, resume: false };
+        const USAGE: &str =
+            "supported: --sets N --seed S --quick --jobs N --resume --engine slots|events";
+        let mut options = RunOptions {
+            sets: default_sets,
+            seed: 1,
+            quick: false,
+            jobs: 0,
+            resume: false,
+            engine: wsan_sim::SimEngine::default(),
+        };
         let mut args = args.into_iter();
         fn value<T: std::str::FromStr>(flag: &str, next: Option<String>) -> Result<T, BenchError> {
             let raw =
@@ -117,6 +128,13 @@ impl RunOptions {
                 "--sets" => options.sets = value("--sets", args.next())?,
                 "--seed" => options.seed = value("--seed", args.next())?,
                 "--jobs" => options.jobs = value("--jobs", args.next())?,
+                "--engine" => {
+                    let raw = args.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--engine needs a value; {USAGE}"))
+                    })?;
+                    options.engine =
+                        raw.parse().map_err(|e| BenchError::Usage(format!("{e}; {USAGE}")))?;
+                }
                 "--resume" => options.resume = true,
                 "--quick" => {
                     options.quick = true;
@@ -132,7 +150,12 @@ impl RunOptions {
 
     /// The catalog-facing view of these options.
     pub fn sweep(&self) -> wsan_expr::campaigns::SweepOptions {
-        wsan_expr::campaigns::SweepOptions { sets: self.sets, seed: self.seed, quick: self.quick }
+        wsan_expr::campaigns::SweepOptions {
+            sets: self.sets,
+            seed: self.seed,
+            quick: self.quick,
+            engine: self.engine,
+        }
     }
 
     /// Campaign engine configuration for the named figure: workers and
@@ -178,13 +201,38 @@ mod tests {
     #[test]
     fn defaults_without_args() {
         let o = parse(&[], 100).unwrap();
-        assert_eq!(o, RunOptions { sets: 100, seed: 1, quick: false, jobs: 0, resume: false });
+        assert_eq!(
+            o,
+            RunOptions {
+                sets: 100,
+                seed: 1,
+                quick: false,
+                jobs: 0,
+                resume: false,
+                engine: wsan_sim::SimEngine::SlotStepper,
+            }
+        );
     }
 
     #[test]
     fn parses_all_flags() {
-        let o = parse(&["--sets", "7", "--seed", "9", "--jobs", "3", "--resume"], 100).unwrap();
-        assert_eq!(o, RunOptions { sets: 7, seed: 9, quick: false, jobs: 3, resume: true });
+        let o = parse(
+            &["--sets", "7", "--seed", "9", "--jobs", "3", "--resume", "--engine", "events"],
+            100,
+        )
+        .unwrap();
+        assert_eq!(
+            o,
+            RunOptions {
+                sets: 7,
+                seed: 9,
+                quick: false,
+                jobs: 3,
+                resume: true,
+                engine: wsan_sim::SimEngine::EventDriven,
+            }
+        );
+        assert_eq!(o.sweep().engine, wsan_sim::SimEngine::EventDriven);
     }
 
     #[test]
@@ -199,6 +247,7 @@ mod tests {
         assert!(matches!(parse(&["--sets"], 5), Err(BenchError::Usage(_))));
         assert!(matches!(parse(&["--sets", "many"], 5), Err(BenchError::Usage(_))));
         assert!(matches!(parse(&["--frobnicate"], 5), Err(BenchError::Usage(_))));
+        assert!(matches!(parse(&["--engine", "quantum"], 5), Err(BenchError::Usage(_))));
     }
 
     #[test]

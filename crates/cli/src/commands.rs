@@ -17,6 +17,7 @@ pub const USAGE: &str = "usage:
                 [--pattern p2p|centralized] [--channels a-b] [--seed N]
                 [--periods x,y] [--rho N]
   wsan simulate (schedule options) [--reps N] [--wifi] [--autonomous L]
+                [--engine slots|events]         # slot-stepper or event queue
   wsan run      alias for simulate
   wsan export   (schedule options) --out FILE     # CSV slotframe
   wsan detect   --testbed <indriya|wustl> --flows N [--epochs N] [--seed N]
@@ -26,6 +27,7 @@ pub const USAGE: &str = "usage:
                 [--out FILE]                    # fault campaign → JSON
   wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults|churn>
                 [--jobs N] [--resume] [--sets N] [--seed N] [--quick]
+                [--engine slots|events]
                 [--out FILE] [--manifest FILE]  # checkpointed sweep → JSON
   wsan serve    --testbed <indriya|wustl> [--algo nr|ra|rc] [--rho N]
                 [--channels a-b] [--seed N] [--prr X]
@@ -305,9 +307,18 @@ fn cmd_schedule(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Parses the optional `--engine slots|events` selector (see
+/// [`wsan_sim::SimEngine`]); absent means the slot-stepper.
+fn parse_engine(args: &Args) -> Result<wsan_sim::SimEngine, String> {
+    match args.get("engine") {
+        None => Ok(wsan_sim::SimEngine::default()),
+        Some(s) => s.parse(),
+    }
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let mut allowed = SCHEDULE_OPTS.to_vec();
-    allowed.extend(["reps", "wifi", "autonomous"]);
+    allowed.extend(["reps", "wifi", "autonomous", "engine"]);
     known(args, &allowed)?;
     let topo = load_testbed(args)?;
     let channels = channels_of(args)?;
@@ -340,8 +351,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         .build()
         .schedule(&set, &model)
         .map_err(|e| format!("{algo} cannot schedule this workload: {e}"))?;
+    let engine = parse_engine(args)?;
     let sim = Simulator::try_new(&topo, &channels, &set, &schedule).map_err(|e| e.to_string())?;
-    let report = sim.try_run(&sim_config).map_err(|e| e.to_string())?;
+    let report = sim.try_run_with(engine, &sim_config).map_err(|e| e.to_string())?;
     let pdrs = report.flow_pdrs();
     let boxplot = wsan_stats::BoxPlot::of(&pdrs).map_err(|e| e.to_string())?;
     println!("{algo} over {reps} hyperperiod executions:");
@@ -502,7 +514,7 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
 /// every sweep point is appended to a manifest as it completes, so an
 /// interrupted run re-invoked with `--resume` only computes what's missing.
 fn cmd_campaign(args: &Args) -> Result<(), String> {
-    known(args, &["name", "jobs", "resume", "sets", "seed", "quick", "out", "manifest"])?;
+    known(args, &["name", "jobs", "resume", "sets", "seed", "quick", "out", "manifest", "engine"])?;
     let names = wsan_expr::campaigns::NAMES.join("|");
     let Some(name) = args.get("name") else {
         return Err(format!("--name is required ({names})"));
@@ -511,6 +523,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         sets: args.get_or("sets", 0)?, // 0 = the campaign's own default
         seed: args.get_or("seed", 1)?,
         quick: args.has("quick"),
+        engine: parse_engine(args)?,
     };
     let manifest = args
         .get("manifest")
@@ -591,6 +604,37 @@ mod tests {
     fn simulate_small_workload() {
         run(&["simulate", "--testbed", "wustl", "--flows", "8", "--reps", "5", "--seed", "3"])
             .unwrap();
+    }
+
+    #[test]
+    fn simulate_selects_the_event_engine() {
+        run(&[
+            "simulate",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "8",
+            "--reps",
+            "5",
+            "--seed",
+            "3",
+            "--engine",
+            "events",
+        ])
+        .unwrap();
+        let err = run(&[
+            "simulate",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "8",
+            "--reps",
+            "5",
+            "--engine",
+            "quantum",
+        ])
+        .unwrap_err();
+        assert!(err.contains("quantum"));
     }
 
     #[test]

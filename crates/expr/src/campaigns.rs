@@ -37,11 +37,15 @@ pub struct SweepOptions {
     pub seed: u64,
     /// Quick mode: shrink the heaviest dimensions (and cap `sets` at 10).
     pub quick: bool,
+    /// Simulation core executing the simulator-backed campaigns
+    /// (reliability, detection); schedulability-only campaigns and the
+    /// recovery-supervised fault sweep ignore it.
+    pub engine: wsan_sim::SimEngine,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { sets: 0, seed: 1, quick: false }
+        SweepOptions { sets: 0, seed: 1, quick: false, engine: wsan_sim::SimEngine::default() }
     }
 }
 
@@ -443,6 +447,7 @@ pub fn reliability_sets(
         flow_count: if opts.quick { 25 } else { 50 },
         repetitions: if opts.quick { 30 } else { 100 },
         seed: opts.seed,
+        engine: opts.engine,
         ..reliability::ReliabilityConfig::default()
     };
     let points: Vec<PointSpec<usize>> =
@@ -470,6 +475,7 @@ pub fn detection_runs(
         window_reps: if opts.quick { 5 } else { 10 },
         flow_count: if opts.quick { 60 } else { 110 },
         seed: opts.seed,
+        engine: opts.engine,
         ..detection::DetectionConfig::default()
     };
     let algos = [Algorithm::Ra { rho: 2 }, Algorithm::Rc { rho_t: 2 }];
@@ -603,7 +609,7 @@ mod tests {
 
     #[test]
     fn smoke_campaign_runs_and_matches_sequentially() {
-        let opts = SweepOptions { sets: 2, seed: 7, quick: false };
+        let opts = SweepOptions { sets: 2, seed: 7, ..SweepOptions::default() };
         let (seq, s1) = smoke(&opts, &CampaignConfig { jobs: 1, ..Default::default() }).unwrap();
         let (par, s2) = smoke(&opts, &CampaignConfig { jobs: 3, ..Default::default() }).unwrap();
         assert_eq!(seq, par);

@@ -7,7 +7,7 @@ use wsan_expr::campaign::CampaignConfig;
 use wsan_expr::campaigns::{run_named, SweepOptions};
 
 fn opts() -> SweepOptions {
-    SweepOptions { sets: 2, seed: 3, quick: false }
+    SweepOptions { sets: 2, seed: 3, ..SweepOptions::default() }
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {

@@ -12,31 +12,33 @@ use wsan_flow::FlowSet;
 use wsan_net::{ChannelSet, DirectedLink, NodeId, Topology};
 
 /// One transmission opportunity of the slotframe, precomputed for fast
-/// repetition.
+/// repetition. Shared with the event engine (`crate::events`), which
+/// resolves the same records in the same order — just without visiting the
+/// slots between them.
 #[derive(Debug, Clone, Copy)]
-struct SlotTx {
-    offset: usize,
-    link: DirectedLink,
-    job_flat: usize,
-    hop_index: u32,
-    reuse: bool,
+pub(crate) struct SlotTx {
+    pub(crate) offset: usize,
+    pub(crate) link: DirectedLink,
+    pub(crate) job_flat: usize,
+    pub(crate) hop_index: u32,
+    pub(crate) reuse: bool,
 }
 
 /// Instrument handles for the per-slot loop, built once per run and only
 /// when global metrics are on. Recording never touches the engine RNG, so
 /// an instrumented run stays bit-identical to a plain one.
-struct SimMetrics {
-    tx: wsan_obs::Counter,
-    ack: wsan_obs::Counter,
-    collisions: wsan_obs::Counter,
-    fault_events: wsan_obs::Counter,
-    deliveries: wsan_obs::Counter,
-    expiries: wsan_obs::Counter,
-    prr: wsan_obs::Histogram,
+pub(crate) struct SimMetrics {
+    pub(crate) tx: wsan_obs::Counter,
+    pub(crate) ack: wsan_obs::Counter,
+    pub(crate) collisions: wsan_obs::Counter,
+    pub(crate) fault_events: wsan_obs::Counter,
+    pub(crate) deliveries: wsan_obs::Counter,
+    pub(crate) expiries: wsan_obs::Counter,
+    pub(crate) prr: wsan_obs::Histogram,
 }
 
 impl SimMetrics {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let reg = wsan_obs::global_metrics();
         SimMetrics {
             tx: reg.counter("sim.tx"),
@@ -58,23 +60,26 @@ impl SimMetrics {
 /// [`SimConfig`]s (seeds, interference environments).
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    topo: &'a Topology,
-    channels: &'a ChannelSet,
-    flows: &'a FlowSet,
-    horizon: u32,
+    pub(crate) topo: &'a Topology,
+    pub(crate) channels: &'a ChannelSet,
+    pub(crate) flows: &'a FlowSet,
+    pub(crate) horizon: u32,
     /// transmission opportunities grouped by slot
-    per_slot: Vec<Vec<SlotTx>>,
+    pub(crate) per_slot: Vec<Vec<SlotTx>>,
     /// flat job index base per flow
-    job_base: Vec<usize>,
+    pub(crate) job_base: Vec<usize>,
     /// route hop count per flow
-    flow_hops: Vec<u32>,
-    total_jobs: usize,
+    pub(crate) flow_hops: Vec<u32>,
+    pub(crate) total_jobs: usize,
     /// flow index of each flat job
-    job_flow: Vec<usize>,
+    pub(crate) job_flow: Vec<usize>,
     /// release slot of each flat job
-    job_release: Vec<u32>,
+    pub(crate) job_release: Vec<u32>,
     /// distinct links appearing in the schedule, for discovery probes
-    scheduled_links: Vec<DirectedLink>,
+    pub(crate) scheduled_links: Vec<DirectedLink>,
+    /// slots of the slotframe holding at least one scheduled transmission,
+    /// ascending — the event engine's itinerary
+    pub(crate) busy_slots: Vec<u32>,
 }
 
 impl<'a> Simulator<'a> {
@@ -153,13 +158,13 @@ impl<'a> Simulator<'a> {
             total_jobs += jobs as usize;
             flow_hops.push(flow.hop_count() as u32);
         }
-        // infer attempts per link per flow from the schedule
-        let mut entries_per_flow_job0 = vec![0usize; flows.len()];
-        for e in schedule.entries() {
-            if e.tx.job_index == 0 {
-                entries_per_flow_job0[e.tx.flow.index()] += 1;
-            }
-        }
+        // The hop a transmission advances is the link's position on its
+        // flow's route. (The historical inference `seq / attempts` assumed
+        // every hop gets the same number of attempts; repaired or shed
+        // schedules with uneven per-hop retries mislabeled hops, so
+        // later-hop transmissions never matched the job's progress and
+        // silently never fired.)
+        let flow_links: Vec<Vec<DirectedLink>> = flows.iter().map(wsan_flow::Flow::links).collect();
         let mut per_slot: Vec<Vec<SlotTx>> = vec![Vec::new(); horizon as usize];
         for slot in 0..horizon {
             for offset in 0..schedule.channel_count() {
@@ -167,18 +172,24 @@ impl<'a> Simulator<'a> {
                 let reuse = cell.len() > 1;
                 for tx in cell {
                     let fi = tx.flow.index();
-                    let hops = flow_hops[fi] as usize;
-                    let attempts = entries_per_flow_job0[fi].checked_div(hops).unwrap_or(1).max(1);
+                    let hop_index = flow_links[fi].iter().position(|l| *l == tx.link).ok_or(
+                        SimError::LinkNotOnRoute {
+                            flow_index: fi,
+                            link: (tx.link.tx.index(), tx.link.rx.index()),
+                        },
+                    )? as u32;
                     per_slot[slot as usize].push(SlotTx {
                         offset,
                         link: tx.link,
                         job_flat: job_base[fi] + tx.job_index as usize,
-                        hop_index: tx.seq as u32 / attempts as u32,
+                        hop_index,
                         reuse,
                     });
                 }
             }
         }
+        let busy_slots: Vec<u32> =
+            (0..horizon).filter(|&s| !per_slot[s as usize].is_empty()).collect();
         let mut scheduled_links: Vec<DirectedLink> =
             schedule.entries().iter().map(|e| e.tx.link).collect();
         scheduled_links.sort();
@@ -195,6 +206,7 @@ impl<'a> Simulator<'a> {
             job_flow,
             job_release,
             scheduled_links,
+            busy_slots,
         })
     }
 
@@ -254,12 +266,133 @@ impl<'a> Simulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `config.faults` is inconsistent with the simulated world.
+    /// Panics if `config.faults` is inconsistent with the simulated world;
+    /// use [`Simulator::try_run_traced`] to get a typed error instead.
     pub fn run_traced(&self, config: &SimConfig, trace: &mut crate::TraceBuffer) -> SimReport {
-        if let Err(e) = config.faults.validate(self.topo.node_count(), config.interferers.len()) {
-            panic!("{e}");
+        match self.try_run_traced(config, trace) {
+            Ok((report, _)) => report,
+            Err(e) => panic!("{e}"),
         }
-        self.run_impl(config, Some(trace)).0
+    }
+
+    /// Fallible variant of [`Simulator::run_traced`], completing the
+    /// `run`/`try_run`/`run_faulted`/`try_run_faulted` ladder: validates the
+    /// fault plan up front and also returns the [`FaultLog`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_traced(
+        &self,
+        config: &SimConfig,
+        trace: &mut crate::TraceBuffer,
+    ) -> Result<(SimReport, FaultLog), SimError> {
+        config.faults.validate(self.topo.node_count(), config.interferers.len())?;
+        Ok(self.run_impl(config, Some(trace)))
+    }
+
+    /// Runs the schedule on the discrete-event engine (see
+    /// [`crate::SimEngine`]). Equivalent to the slot-stepper — byte-identical
+    /// under the draw-order contract, statistically equivalent otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.faults` is inconsistent with the simulated world;
+    /// use [`Simulator::try_run_events`] to get a typed error instead.
+    pub fn run_events(&self, config: &SimConfig) -> SimReport {
+        match self.try_run_events(config) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Simulator::run_events`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_events(&self, config: &SimConfig) -> Result<SimReport, SimError> {
+        self.try_run_events_faulted(config).map(|(report, _)| report)
+    }
+
+    /// Event-engine variant of [`Simulator::try_run_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_events_faulted(
+        &self,
+        config: &SimConfig,
+    ) -> Result<(SimReport, FaultLog), SimError> {
+        config.faults.validate(self.topo.node_count(), config.interferers.len())?;
+        Ok(crate::events::run(self, config, None))
+    }
+
+    /// Runs on the selected engine. The dispatching twin of
+    /// [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.faults` is inconsistent with the simulated world;
+    /// use [`Simulator::try_run_with`] to get a typed error instead.
+    pub fn run_with(&self, engine: crate::SimEngine, config: &SimConfig) -> SimReport {
+        match self.try_run_with(engine, config) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible engine-dispatching run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_with(
+        &self,
+        engine: crate::SimEngine,
+        config: &SimConfig,
+    ) -> Result<SimReport, SimError> {
+        self.try_run_faulted_with(engine, config).map(|(report, _)| report)
+    }
+
+    /// Fallible engine-dispatching variant of [`Simulator::try_run_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_faulted_with(
+        &self,
+        engine: crate::SimEngine,
+        config: &SimConfig,
+    ) -> Result<(SimReport, FaultLog), SimError> {
+        match engine {
+            crate::SimEngine::SlotStepper => self.try_run_faulted(config),
+            crate::SimEngine::EventDriven => self.try_run_events_faulted(config),
+        }
+    }
+
+    /// Fallible engine-dispatching variant of [`Simulator::try_run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadFaultPlan`] under the same conditions as
+    /// [`Simulator::try_run`].
+    pub fn try_run_traced_with(
+        &self,
+        engine: crate::SimEngine,
+        config: &SimConfig,
+        trace: &mut crate::TraceBuffer,
+    ) -> Result<(SimReport, FaultLog), SimError> {
+        config.faults.validate(self.topo.node_count(), config.interferers.len())?;
+        match engine {
+            crate::SimEngine::SlotStepper => Ok(self.run_impl(config, Some(trace))),
+            crate::SimEngine::EventDriven => Ok(crate::events::run(self, config, Some(trace))),
+        }
     }
 
     fn run_impl(
@@ -510,7 +643,7 @@ impl<'a> Simulator<'a> {
     }
 }
 
-fn flush(
+pub(crate) fn flush(
     acc: &mut BTreeMap<(DirectedLink, LinkCondition), PrrSample>,
     report: &mut SimReport,
     metrics: Option<&SimMetrics>,
@@ -724,6 +857,98 @@ mod tests {
             clean.flow_pdrs(),
             noisy.flow_pdrs()
         );
+    }
+
+    /// Regression: `try_new` used to infer `hop_index = seq / attempts`,
+    /// assuming every hop of a flow has the same number of attempts. On a
+    /// repaired/shed schedule with uneven per-hop retries (here: two
+    /// attempts on hop 0, one on hop 1) the old inference labeled the hop-0
+    /// retry as hop 1 — so a "delivery" was counted without the final link
+    /// ever transmitting, and the real last hop never fired at all.
+    #[test]
+    fn uneven_per_hop_attempts_keep_hop_labels_straight() {
+        use wsan_core::{Schedule, ScheduledTx};
+        let mut topo = Topology::new(
+            "uneven",
+            vec![
+                Position::new(0.0, 0.0, 0.0),
+                Position::new(8.0, 0.0, 0.0),
+                Position::new(16.0, 0.0, 0.0),
+            ],
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 11).unwrap();
+        for (a, b) in [(0, 1), (1, 2)] {
+            for ch in &channels {
+                topo.set_prr(n(a), n(b), ch, Prr::ONE).unwrap();
+                topo.set_prr(n(b), n(a), ch, Prr::ONE).unwrap();
+            }
+        }
+        let flows = priority::deadline_monotonic(
+            vec![Flow::new(
+                FlowId::new(0),
+                Route::new(vec![n(0), n(1), n(2)]),
+                Period::from_slots(10).unwrap(),
+                10,
+            )
+            .unwrap()],
+            vec![],
+        );
+        // hand-built shed schedule: hop 0 keeps its retry, hop 1 lost its
+        // retry slot — 3 entries over 2 hops
+        let link01 = DirectedLink { tx: n(0), rx: n(1) };
+        let link12 = DirectedLink { tx: n(1), rx: n(2) };
+        let mut schedule = Schedule::new(10, 1, 3);
+        let place = |s: &mut Schedule, slot: u32, link: DirectedLink, seq: u16, attempt: u8| {
+            s.place(
+                slot,
+                0,
+                ScheduledTx { flow: FlowId::new(0), job_index: 0, link, seq, attempt },
+            );
+        };
+        place(&mut schedule, 0, link01, 0, 0);
+        place(&mut schedule, 1, link01, 1, 1);
+        place(&mut schedule, 2, link12, 2, 0);
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let report =
+            sim.run(&SimConfig { repetitions: 10, discovery_probes: 0, ..SimConfig::default() });
+        // the final hop must actually transmit…
+        let last_hop_sent: u32 = report
+            .link_samples
+            .iter()
+            .filter(|((l, _), _)| *l == link12)
+            .flat_map(|(_, v)| v.iter())
+            .map(|s| s.sent)
+            .sum();
+        assert!(last_hop_sent > 0, "hop 1→2 never fired: hops are mislabeled");
+        // …and with perfect links the packet arrives via slot 0 and slot 2:
+        // latency 3 slots, not the hop-0-only lie of 2
+        assert_eq!(report.network_pdr(), 1.0);
+        assert_eq!(report.latencies[0], vec![3; 10]);
+    }
+
+    /// A schedule placing a flow on a link outside its route is rejected
+    /// with a typed error instead of silently mislabeling the hop.
+    #[test]
+    fn off_route_link_is_rejected() {
+        let (topo, channels, flows) = setup(true);
+        use wsan_core::{Schedule, ScheduledTx};
+        let mut schedule = Schedule::new(10, 2, 4);
+        schedule.place(
+            0,
+            0,
+            ScheduledTx {
+                flow: FlowId::new(0),
+                job_index: 0,
+                link: DirectedLink { tx: n(2), rx: n(3) }, // flow 0's route is 0→1
+                seq: 0,
+                attempt: 0,
+            },
+        );
+        match Simulator::try_new(&topo, &channels, &flows, &schedule) {
+            Err(SimError::LinkNotOnRoute { flow_index: 0, link: (2, 3) }) => {}
+            other => panic!("expected LinkNotOnRoute, got {other:?}"),
+        }
     }
 
     #[test]

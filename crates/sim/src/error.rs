@@ -35,6 +35,14 @@ pub enum SimError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// The schedule places a flow's transmission on a link that is not part
+    /// of the flow's route, so the hop it advances is undefined.
+    LinkNotOnRoute {
+        /// The flow whose route was searched.
+        flow_index: usize,
+        /// The offending link, rendered as `tx→rx` node indices.
+        link: (usize, usize),
+    },
 }
 
 impl fmt::Display for SimError {
@@ -52,6 +60,12 @@ impl fmt::Display for SimError {
                 write!(f, "schedule references node {node}, topology has {nodes}")
             }
             SimError::BadFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
+            SimError::LinkNotOnRoute { flow_index, link } => write!(
+                f,
+                "schedule places flow {flow_index} on link {}→{}, which is not on the \
+                 flow's route",
+                link.0, link.1
+            ),
         }
     }
 }

@@ -1,0 +1,487 @@
+//! The discrete-event simulation core.
+//!
+//! The slot-stepper (`engine::run_impl`) walks every `(repetition, slot)`
+//! pair, which makes its cost proportional to the horizon even when almost
+//! every slot is empty. This engine replaces the time axis with a
+//! time-ordered queue of events over three component kinds:
+//!
+//! * **SlotBatch** — a slot of the slotframe holding at least one scheduled
+//!   transmission. The transmission component schedules its next busy slot
+//!   lazily from [`Simulator::busy_slots`], so idle slots are never visited.
+//! * **FaultChange** — an absolute slot at which the fault plan's state
+//!   machine changes (a firing or an expiry). Computed up front from the
+//!   *resolved* plan ([`FaultPlan::resolve_stochastic`]); between change
+//!   slots the injector's answers are constant, so it is only advanced at
+//!   those slots.
+//! * **RepBoundary** — end-of-repetition bookkeeping: neighbor-discovery
+//!   probes, delivery accounting, PRR-window flushes.
+//!
+//! At equal time the processing order is RepBoundary < FaultChange <
+//! SlotBatch: the boundary work of repetition `r` happens before a fault
+//! firing at the first slot of repetition `r+1`, which in turn precedes that
+//! slot's transmissions — exactly the slot-stepper's order.
+//!
+//! ## RNG draw-order contract (DESIGN.md §13)
+//!
+//! Within each visited slot the engine consumes the main RNG (fading and
+//! success draws) in precisely the slot-stepper's order. The stepper's only
+//! *per-slot* draws — environment-interferer duty gates, spawned-interferer
+//! duty gates, and pending stochastic triggers — are replaced by dedicated
+//! [`mix64`]-derived streams and a one-shot geometric resolution. Therefore:
+//!
+//! * when `config.interferers` is empty and the fault plan has no stochastic
+//!   triggers and no spawned interferers, *no* engine draws ever happen in an
+//!   idle slot, and skipping those slots reproduces the slot-stepper's output
+//!   **byte for byte** (report and fault log);
+//! * otherwise the engines draw the same distributions from independent
+//!   streams and are *statistically* equivalent — pinned by the K-S suite in
+//!   `tests/engine_equivalence.rs`.
+
+use crate::engine::{flush, SimMetrics, Simulator, SlotTx};
+use crate::faults::{mix64, FaultInjector, FaultKind, FaultLog};
+use crate::phy::Phy;
+use crate::{
+    FlowStats, LinkCondition, PrrSample, SimConfig, SimReport, TraceBuffer, TraceEvent,
+    WifiInterferer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use wsan_net::{DirectedLink, NodeId};
+
+/// Salt of the per-interferer environment duty-gate streams.
+const ENV_DUTY_SALT: u64 = 0xE57_D077;
+/// Salt of the per-event spawned-interferer duty-gate streams.
+const SPAWN_DUTY_SALT: u64 = 0x5AB_D077;
+
+/// What a queued event does. Variant order is the tie-break priority at
+/// equal time (derived `Ord` is declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// End-of-repetition bookkeeping: probes, accounting, window flush.
+    RepBoundary,
+    /// The fault plan's state machine changes (a firing or an expiry).
+    FaultChange,
+    /// A slot holding scheduled transmissions is resolved.
+    SlotBatch,
+}
+
+/// One queued event. Ordered by `(asn, kind)`; `rep` / `busy_idx` are
+/// payload for the component that scheduled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    asn: u64,
+    kind: EventKind,
+    rep: u32,
+    busy_idx: usize,
+}
+
+/// Runs `config` on the event queue. Interface twin of
+/// `Simulator::run_impl`; the caller has already validated the fault plan.
+pub(crate) fn run(
+    sim: &Simulator<'_>,
+    config: &SimConfig,
+    trace: Option<&mut TraceBuffer>,
+) -> (SimReport, FaultLog) {
+    let metrics = wsan_obs::metrics_enabled().then(SimMetrics::new);
+    let _span = wsan_obs::span(
+        wsan_obs::Level::Debug,
+        "sim.run_events",
+        if wsan_obs::enabled(wsan_obs::Level::Debug) {
+            vec![
+                wsan_obs::kv("seed", config.seed),
+                wsan_obs::kv("repetitions", config.repetitions),
+                wsan_obs::kv("horizon", sim.horizon),
+                wsan_obs::kv("busy_slots", sim.busy_slots.len()),
+            ]
+        } else {
+            Vec::new()
+        },
+    );
+    let horizon = u64::from(sim.horizon);
+    let total_slots = u64::from(config.repetitions) * horizon;
+    let resolved = config.faults.resolve_stochastic(total_slots);
+    let mut run = EventRun {
+        sim,
+        config,
+        phy: Phy::new(sim.topo, config.capture),
+        rng: StdRng::seed_from_u64(config.seed),
+        injector: FaultInjector::new(&resolved),
+        env_streams: (0..config.interferers.len())
+            .map(|i| StdRng::seed_from_u64(mix64(config.seed, ENV_DUTY_SALT ^ i as u64)))
+            .collect(),
+        spawn_streams: resolved
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                matches!(e.kind, FaultKind::SpawnInterferer { .. }).then(|| {
+                    StdRng::seed_from_u64(mix64(resolved.seed, SPAWN_DUTY_SALT ^ i as u64))
+                })
+            })
+            .collect(),
+        flow_stats: vec![FlowStats::default(); sim.flows.len()],
+        window_acc: BTreeMap::new(),
+        report: SimReport {
+            flows: Vec::new(),
+            link_samples: BTreeMap::new(),
+            latencies: vec![Vec::new(); sim.flows.len()],
+        },
+        window: config.window_reps.max(1),
+        progress: vec![0u32; sim.total_jobs],
+        spawned: Vec::new(),
+        env_active: vec![false; config.interferers.len()],
+        actives: Vec::new(),
+        advanced: Vec::new(),
+        interferers: Vec::new(),
+        trace,
+        metrics,
+    };
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    if config.repetitions > 0 {
+        queue.push(Reverse(Event {
+            asn: horizon,
+            kind: EventKind::RepBoundary,
+            rep: 0,
+            busy_idx: 0,
+        }));
+        if let Some(&s) = sim.busy_slots.first() {
+            queue.push(Reverse(Event {
+                asn: u64::from(s),
+                kind: EventKind::SlotBatch,
+                rep: 0,
+                busy_idx: 0,
+            }));
+        }
+        for asn in resolved.change_slots(total_slots) {
+            queue.push(Reverse(Event { asn, kind: EventKind::FaultChange, rep: 0, busy_idx: 0 }));
+        }
+    }
+    while let Some(Reverse(ev)) = queue.pop() {
+        match ev.kind {
+            EventKind::FaultChange => run.injector.advance(ev.asn),
+            EventKind::SlotBatch => {
+                run.slot_batch(ev.rep, ev.busy_idx, ev.asn);
+                // the transmission component re-arms itself for its next
+                // busy slot (FlowForge ComponentSlot style)
+                if ev.busy_idx + 1 < sim.busy_slots.len() {
+                    let slot = sim.busy_slots[ev.busy_idx + 1];
+                    queue.push(Reverse(Event {
+                        asn: u64::from(ev.rep) * horizon + u64::from(slot),
+                        kind: EventKind::SlotBatch,
+                        rep: ev.rep,
+                        busy_idx: ev.busy_idx + 1,
+                    }));
+                }
+            }
+            EventKind::RepBoundary => {
+                run.rep_boundary(ev.rep);
+                let next = ev.rep + 1;
+                if next < config.repetitions {
+                    run.progress.fill(0);
+                    queue.push(Reverse(Event {
+                        asn: (u64::from(next) + 1) * horizon,
+                        kind: EventKind::RepBoundary,
+                        rep: next,
+                        busy_idx: 0,
+                    }));
+                    if let Some(&s) = sim.busy_slots.first() {
+                        queue.push(Reverse(Event {
+                            asn: u64::from(next) * horizon + u64::from(s),
+                            kind: EventKind::SlotBatch,
+                            rep: next,
+                            busy_idx: 0,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    run.finish()
+}
+
+/// The mutable state of one event-driven run. Mirrors the local variables of
+/// `run_impl`; splitting it out lets the queue loop above stay readable.
+struct EventRun<'s, 'w, 't> {
+    sim: &'s Simulator<'w>,
+    config: &'s SimConfig,
+    phy: Phy<'w>,
+    /// Main stream: fading + success draws, in slot-stepper order.
+    rng: StdRng,
+    /// Driven on the *resolved* plan, only at change slots.
+    injector: FaultInjector,
+    /// One duty-gate stream per environment interferer.
+    env_streams: Vec<StdRng>,
+    /// One duty-gate stream per `SpawnInterferer` plan event (by index).
+    spawn_streams: Vec<Option<StdRng>>,
+    flow_stats: Vec<FlowStats>,
+    window_acc: BTreeMap<(DirectedLink, LinkCondition), PrrSample>,
+    report: SimReport,
+    window: u32,
+    progress: Vec<u32>,
+    spawned: Vec<WifiInterferer>,
+    env_active: Vec<bool>,
+    actives: Vec<&'s SlotTx>,
+    advanced: Vec<usize>,
+    interferers: Vec<NodeId>,
+    trace: Option<&'t mut TraceBuffer>,
+    metrics: Option<SimMetrics>,
+}
+
+impl<'s> EventRun<'s, '_, '_> {
+    /// Refills the duty-gate state (spawned and environment interferers)
+    /// from the dedicated streams. The slot-stepper draws these from the
+    /// injector / main RNG once per slot; under the draw-order contract both
+    /// sets are empty and neither engine consumes anything here.
+    fn sample_duty_gates(&mut self) {
+        self.spawned.clear();
+        for (i, w) in self.injector.active_spawns() {
+            let stream = self.spawn_streams[i].as_mut().expect("spawn event has a duty stream");
+            let u: f64 = stream.gen();
+            if u < w.duty_cycle {
+                self.spawned.push(w.clone());
+            }
+        }
+        for i in 0..self.config.interferers.len() {
+            let u: f64 = self.env_streams[i].gen();
+            let duty = u < self.config.interferers[i].duty_cycle;
+            self.env_active[i] = duty && !self.injector.interferer_silenced(i);
+        }
+    }
+
+    /// Resolves every transmission scheduled in busy slot `busy_idx` of
+    /// repetition `rep`. Body is the slot-stepper's per-slot block.
+    fn slot_batch(&mut self, _rep: u32, busy_idx: usize, asn: u64) {
+        let slot = self.sim.busy_slots[busy_idx];
+        self.sample_duty_gates();
+        // Which scheduled transmissions actually fire this slot?
+        // A crashed sender transmits nothing at all.
+        self.actives.clear();
+        let progress = &self.progress;
+        let injector = &self.injector;
+        self.actives.extend(
+            self.sim.per_slot[slot as usize]
+                .iter()
+                .filter(|t| progress[t.job_flat] == t.hop_index && !injector.node_down(t.link.tx)),
+        );
+        // Resolve receptions against the slot-start active set.
+        self.advanced.clear();
+        for t in &self.actives {
+            let channel = self.sim.channels.physical(asn, t.offset);
+            self.interferers.clear();
+            self.interferers.extend(
+                self.actives
+                    .iter()
+                    .filter(|o| o.offset == t.offset && o.job_flat != t.job_flat)
+                    .map(|o| o.link.tx),
+            );
+            let active_wifi = self
+                .config
+                .interferers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.env_active[*i])
+                .map(|(_, w)| w)
+                .chain(self.spawned.iter());
+            let external = self.phy.external_mw(t.link.rx, channel, active_wifi);
+            // temporal fading perturbs the SIR only when there is
+            // interference to compete with
+            let fading = if self.interferers.is_empty() && external <= 0.0 {
+                0.0
+            } else {
+                self.config.capture.fading.sample_db(&mut self.rng)
+            };
+            // A crashed receiver hears (and acknowledges) nothing;
+            // a collapsed link caps the base PRR the PHY sees.
+            let p = if self.injector.node_down(t.link.rx) {
+                0.0
+            } else {
+                self.phy.success_probability_faulted(
+                    t.link.tx,
+                    t.link.rx,
+                    channel,
+                    &self.interferers,
+                    external,
+                    fading,
+                    self.injector.link_prr_override(t.link, channel),
+                )
+            };
+            let success = self.rng.gen::<f64>() < p;
+            if let Some(buf) = self.trace.as_deref_mut() {
+                buf.push(TraceEvent::Attempt {
+                    asn,
+                    link: t.link,
+                    flow: self
+                        .sim
+                        .flows
+                        .flow(wsan_flow::FlowId::new(self.sim.job_flow[t.job_flat]))
+                        .id(),
+                    interferers: self.interferers.len(),
+                    success,
+                });
+            }
+            let cond = if t.reuse { LinkCondition::Reuse } else { LinkCondition::ContentionFree };
+            let sample = self.window_acc.entry((t.link, cond)).or_default();
+            sample.sent += 1;
+            if success {
+                sample.acked += 1;
+                self.advanced.push(t.job_flat);
+            }
+            if let Some(m) = &self.metrics {
+                m.tx.inc();
+                if success {
+                    m.ack.inc();
+                } else if !self.interferers.is_empty() || external > 0.0 {
+                    // a loss with competing energy in the air
+                    m.collisions.inc();
+                }
+            }
+        }
+        for i in 0..self.advanced.len() {
+            let job = self.advanced[i];
+            self.progress[job] += 1;
+            // record delivery latency the moment the last hop lands
+            if self.progress[job] == self.sim.flow_hops[self.sim.job_flow[job]] {
+                let latency = slot - self.sim.job_release[job] + 1;
+                self.report.latencies[self.sim.job_flow[job]].push(latency);
+                if let Some(m) = &self.metrics {
+                    m.deliveries.inc();
+                }
+                if let Some(buf) = self.trace.as_deref_mut() {
+                    buf.push(TraceEvent::Delivered {
+                        asn,
+                        flow: wsan_flow::FlowId::new(self.sim.job_flow[job]),
+                        latency,
+                    });
+                }
+            }
+        }
+    }
+
+    /// End-of-repetition bookkeeping: discovery probes, delivery accounting,
+    /// window flushes. Body is the slot-stepper's per-repetition tail.
+    fn rep_boundary(&mut self, rep: u32) {
+        // neighbor-discovery probes: contention-free, cycling channels
+        for _ in 0..self.config.discovery_probes {
+            for i in 0..self.sim.scheduled_links.len() {
+                let link = self.sim.scheduled_links[i];
+                let channel = self.sim.channels.at((rep as usize + i) % self.sim.channels.len());
+                self.sample_duty_gates();
+                let wifi_active = self
+                    .config
+                    .interferers
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| self.env_active[*idx])
+                    .map(|(_, w)| w)
+                    .chain(self.spawned.iter());
+                let external = self.phy.external_mw(link.rx, channel, wifi_active);
+                let fading = if external <= 0.0 {
+                    0.0
+                } else {
+                    self.config.capture.fading.sample_db(&mut self.rng)
+                };
+                // a crashed sender probes nothing; a crashed receiver
+                // acknowledges nothing — probes see faults exactly like
+                // data slots so the §VI classifier gets honest CF samples
+                if self.injector.node_down(link.tx) {
+                    continue;
+                }
+                let p = if self.injector.node_down(link.rx) {
+                    0.0
+                } else {
+                    self.phy.success_probability_faulted(
+                        link.tx,
+                        link.rx,
+                        channel,
+                        &[],
+                        external,
+                        fading,
+                        self.injector.link_prr_override(link, channel),
+                    )
+                };
+                let sample =
+                    self.window_acc.entry((link, LinkCondition::ContentionFree)).or_default();
+                sample.sent += 1;
+                if self.rng.gen::<f64>() < p {
+                    sample.acked += 1;
+                }
+            }
+        }
+        // account deliveries
+        for (fi, flow) in self.sim.flows.iter().enumerate() {
+            let jobs = self.sim.horizon.div_ceil(flow.period().slots()) as usize;
+            for j in 0..jobs {
+                self.flow_stats[fi].released += 1;
+                if self.progress[self.sim.job_base[fi] + j] >= self.sim.flow_hops[fi] {
+                    self.flow_stats[fi].delivered += 1;
+                } else {
+                    if let Some(m) = &self.metrics {
+                        m.expiries.inc();
+                    }
+                    if let Some(buf) = self.trace.as_deref_mut() {
+                        buf.push(TraceEvent::Expired {
+                            asn: u64::from(rep) * u64::from(self.sim.horizon)
+                                + u64::from(self.sim.horizon - 1),
+                            flow: wsan_flow::FlowId::new(fi),
+                        });
+                    }
+                }
+            }
+        }
+        // flush sample windows
+        if (rep + 1).is_multiple_of(self.window) {
+            flush(&mut self.window_acc, &mut self.report, self.metrics.as_ref());
+        }
+    }
+
+    fn finish(mut self) -> (SimReport, FaultLog) {
+        flush(&mut self.window_acc, &mut self.report, self.metrics.as_ref());
+        self.report.flows = self.flow_stats;
+        let log = self.injector.into_log();
+        if let Some(m) = &self.metrics {
+            m.fault_events.add(log.fired() as u64);
+        }
+        if wsan_obs::enabled(wsan_obs::Level::Info) {
+            wsan_obs::event(
+                wsan_obs::Level::Info,
+                "wsan_sim::events",
+                "event-driven run complete",
+                &[
+                    wsan_obs::kv("network_pdr", self.report.network_pdr()),
+                    wsan_obs::kv("faults_fired", log.fired()),
+                ],
+            );
+        }
+        (self.report, log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_ordering_is_rep_fault_slot_at_equal_time() {
+        let rep = Event { asn: 10, kind: EventKind::RepBoundary, rep: 0, busy_idx: 0 };
+        let fault = Event { asn: 10, kind: EventKind::FaultChange, rep: 0, busy_idx: 0 };
+        let slot = Event { asn: 10, kind: EventKind::SlotBatch, rep: 1, busy_idx: 0 };
+        let earlier = Event { asn: 9, kind: EventKind::SlotBatch, rep: 0, busy_idx: 3 };
+        assert!(earlier < rep, "time dominates kind");
+        assert!(rep < fault && fault < slot);
+        let mut heap =
+            BinaryHeap::from([Reverse(slot), Reverse(rep), Reverse(fault), Reverse(earlier)]);
+        let order: Vec<EventKind> =
+            std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.kind)).collect();
+        assert_eq!(
+            order,
+            vec![
+                EventKind::SlotBatch,
+                EventKind::RepBoundary,
+                EventKind::FaultChange,
+                EventKind::SlotBatch
+            ]
+        );
+    }
+}

@@ -93,8 +93,12 @@ impl SimReport {
     }
 
     /// The worst per-flow PDR (the paper's headline reliability number).
+    ///
+    /// A report with no flows has delivered nothing and returns 0.0,
+    /// consistent with [`SimReport::network_pdr`] and [`FlowStats::pdr`] on
+    /// empty input.
     pub fn worst_flow_pdr(&self) -> f64 {
-        self.flow_pdrs().into_iter().fold(f64::INFINITY, f64::min).min(1.0)
+        self.flow_pdrs().into_iter().reduce(f64::min).unwrap_or(0.0)
     }
 
     /// PRR values (one per window) of `link` under `condition`, skipping
@@ -179,6 +183,16 @@ mod tests {
         assert_eq!(r.network_pdr(), 0.75);
         assert_eq!(r.worst_flow_pdr(), 0.5);
         assert_eq!(r.flow_pdrs(), vec![1.0, 0.5]);
+    }
+
+    /// Regression: the worst-flow fold used to start from `f64::INFINITY`
+    /// and clamp with `.min(1.0)`, so a report with zero flows claimed a
+    /// perfect worst-flow PDR of 1.0.
+    #[test]
+    fn empty_report_has_zero_worst_flow_pdr() {
+        let r = SimReport::default();
+        assert_eq!(r.worst_flow_pdr(), 0.0);
+        assert_eq!(r.network_pdr(), 0.0, "worst_flow_pdr must agree with network_pdr on empty");
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Oracle-equivalence suite: the event-driven engine against the
+//! slot-stepper.
+//!
+//! The slot-stepper is the golden oracle (its own output is pinned by
+//! `golden_report.rs`). This suite pins the event engine to it along the
+//! draw-order contract of DESIGN.md §13:
+//!
+//! * **inside the contract** (no environment interferers, no stochastic
+//!   fault triggers, no spawned interferers) the engines must agree **byte
+//!   for byte** — reports, fault logs, and traces — across dense, sparse,
+//!   faulted, and traced scenarios, plus randomized small topologies;
+//! * **outside the contract** the engines draw from independent streams and
+//!   must agree *statistically*: a two-sample K-S test on pooled delivery
+//!   latencies accepts, and mean PDRs coincide closely.
+
+use proptest::prelude::*;
+use wsan_core::{NetworkModel, NoReuse, Scheduler};
+use wsan_flow::{
+    priority, Flow, FlowId, FlowSetConfig, FlowSetGenerator, Period, PeriodRange, TrafficPattern,
+};
+use wsan_net::propagation::PropagationModel;
+use wsan_net::{testbeds, ChannelId, ChannelSet, NodeId, Position, Prr, Route, Topology};
+use wsan_sim::{
+    FaultEvent, FaultKind, FaultPlan, FaultTrigger, SimConfig, SimEngine, Simulator, TraceBuffer,
+    WifiInterferer,
+};
+use wsan_stats::ks::{two_sample, KsOutcome};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// The dense catalog scenario: the WUSTL synthetic testbed under
+/// conservative reuse, every slot of the frame in use somewhere.
+fn dense() -> (Topology, ChannelSet, wsan_flow::FlowSet, wsan_core::Schedule) {
+    let topo = testbeds::wustl(5);
+    let channels = ChannelId::range(11, 14).unwrap();
+    let comm = topo.comm_graph(&channels, Prr::new(0.9).unwrap());
+    let model = NetworkModel::new(&topo, &channels);
+    let fsc = FlowSetConfig::new(12, PeriodRange::new(0, 0).unwrap(), TrafficPattern::PeerToPeer);
+    let flows = FlowSetGenerator::new(0xFEED).generate(&comm, &fsc).unwrap();
+    let schedule = wsan_core::ReuseConservatively::new(2).schedule(&flows, &model).unwrap();
+    (topo, channels, flows, schedule)
+}
+
+/// The sparse catalog scenario: two short flows with 512-slot periods, so
+/// only a handful of the 512 slots per frame hold transmissions.
+fn sparse() -> (Topology, ChannelSet, wsan_flow::FlowSet) {
+    let mut topo = Topology::new(
+        "sparse",
+        vec![
+            Position::new(0.0, 0.0, 0.0),
+            Position::new(8.0, 0.0, 0.0),
+            Position::new(60.0, 0.0, 0.0),
+            Position::new(68.0, 0.0, 0.0),
+        ],
+    );
+    topo.set_propagation_model(PropagationModel::default());
+    let channels = ChannelId::range(11, 12).unwrap();
+    for (a, b) in [(0, 1), (2, 3)] {
+        for ch in &channels {
+            topo.set_prr(n(a), n(b), ch, Prr::new(0.8).unwrap()).unwrap();
+            topo.set_prr(n(b), n(a), ch, Prr::new(0.8).unwrap()).unwrap();
+        }
+    }
+    let flows = priority::deadline_monotonic(
+        vec![
+            Flow::new(
+                FlowId::new(0),
+                Route::new(vec![n(0), n(1)]),
+                Period::from_slots(512).unwrap(),
+                512,
+            )
+            .unwrap(),
+            Flow::new(
+                FlowId::new(1),
+                Route::new(vec![n(2), n(3)]),
+                Period::from_slots(512).unwrap(),
+                512,
+            )
+            .unwrap(),
+        ],
+        vec![],
+    );
+    (topo, channels, flows)
+}
+
+/// A contract-respecting fault plan: scheduled triggers only, no spawned
+/// interferers — crashes and collapses with finite and permanent durations.
+fn contract_faults(horizon: u32, victim: wsan_net::DirectedLink) -> FaultPlan {
+    FaultPlan::new(0xBAD).collapse_link_at(u64::from(horizon) * 4, victim, 0.1).with(FaultEvent {
+        trigger: FaultTrigger::AtSlot(u64::from(horizon) * 8),
+        duration: Some(u64::from(horizon) * 6),
+        kind: FaultKind::CrashNode { node: n(3) },
+    })
+}
+
+#[test]
+fn dense_contract_run_is_byte_identical() {
+    let (topo, channels, flows, schedule) = dense();
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let cfg = SimConfig { seed: 42, repetitions: 30, window_reps: 5, ..SimConfig::default() };
+    let oracle = sim.run(&cfg);
+    let events = sim.run_events(&cfg);
+    assert_eq!(oracle, events, "dense contract scenario must match byte for byte");
+    // and through the dispatching API
+    assert_eq!(
+        sim.run_with(SimEngine::SlotStepper, &cfg),
+        sim.run_with(SimEngine::EventDriven, &cfg)
+    );
+}
+
+#[test]
+fn sparse_contract_run_is_byte_identical() {
+    let (topo, channels, flows) = sparse();
+    let model = NetworkModel::new(&topo, &channels);
+    let schedule = NoReuse::new().schedule(&flows, &model).unwrap();
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let cfg = SimConfig { seed: 7, repetitions: 200, window_reps: 10, ..SimConfig::default() };
+    assert_eq!(sim.run(&cfg), sim.run_events(&cfg), "sparse scenario must match byte for byte");
+}
+
+#[test]
+fn scheduled_faults_match_including_fault_log() {
+    let (topo, channels, flows, schedule) = dense();
+    let victim = schedule.entries()[0].tx.link;
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let cfg = SimConfig {
+        seed: 9,
+        repetitions: 30,
+        window_reps: 5,
+        faults: contract_faults(schedule.horizon(), victim),
+        ..SimConfig::default()
+    };
+    let (oracle, oracle_log) = sim.try_run_faulted(&cfg).unwrap();
+    let (events, events_log) = sim.try_run_events_faulted(&cfg).unwrap();
+    assert_eq!(oracle, events, "scheduled-fault reports must match byte for byte");
+    assert_eq!(
+        oracle_log, events_log,
+        "fault logs must match, including firing and clearing slots"
+    );
+    assert!(oracle_log.fired() >= 2, "the plan's events must actually fire");
+}
+
+#[test]
+fn traced_runs_match_event_for_event() {
+    let (topo, channels, flows, schedule) = dense();
+    let victim = schedule.entries()[0].tx.link;
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let cfg = SimConfig {
+        seed: 11,
+        repetitions: 20,
+        window_reps: 5,
+        faults: contract_faults(schedule.horizon(), victim),
+        ..SimConfig::default()
+    };
+    let mut oracle_buf = TraceBuffer::with_capacity(1 << 20);
+    let mut events_buf = TraceBuffer::with_capacity(1 << 20);
+    let (oracle, _) =
+        sim.try_run_traced_with(SimEngine::SlotStepper, &cfg, &mut oracle_buf).unwrap();
+    let (events, _) =
+        sim.try_run_traced_with(SimEngine::EventDriven, &cfg, &mut events_buf).unwrap();
+    assert_eq!(oracle, events);
+    assert!(!oracle_buf.events().is_empty());
+    assert_eq!(oracle_buf, events_buf, "traces must match event for event, ASNs included");
+}
+
+#[test]
+fn zero_repetitions_agree() {
+    let (topo, channels, flows, schedule) = dense();
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let cfg = SimConfig { seed: 1, repetitions: 0, ..SimConfig::default() };
+    assert_eq!(sim.run(&cfg), sim.run_events(&cfg));
+}
+
+/// Outside the contract the engines use independent RNG streams for the
+/// duty gates and stochastic triggers, so outputs differ byte-wise but must
+/// agree in distribution: pooled delivery latencies pass a two-sample K-S
+/// test and mean PDRs coincide.
+#[test]
+fn outside_contract_is_statistically_equivalent() {
+    let (topo, channels, flows, schedule) = dense();
+    let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+    let spawn = WifiInterferer::wifi_channel_1(Position::new(30.0, 30.0, 0.0), 10.0, 0.3);
+    let mut oracle_lat: Vec<f64> = Vec::new();
+    let mut events_lat: Vec<f64> = Vec::new();
+    let mut oracle_pdr = 0.0;
+    let mut events_pdr = 0.0;
+    let seeds = 8u64;
+    for seed in 0..seeds {
+        let faults = FaultPlan::new(seed ^ 0xF0)
+            .spawn_wifi_at(u64::from(schedule.horizon()) * 3, spawn.clone(), None)
+            .with(FaultEvent {
+                trigger: FaultTrigger::Stochastic { per_slot: 0.001 },
+                duration: Some(u64::from(schedule.horizon()) * 5),
+                kind: FaultKind::CrashNode { node: n(7) },
+            });
+        let cfg = SimConfig {
+            seed,
+            repetitions: 25,
+            window_reps: 5,
+            interferers: vec![WifiInterferer::wifi_channel_1(
+                Position::new(10.0, 5.0, 0.0),
+                10.0,
+                0.2,
+            )],
+            faults,
+            ..SimConfig::default()
+        };
+        let oracle = sim.run(&cfg);
+        let events = sim.run_events(&cfg);
+        oracle_lat.extend(oracle.latencies.iter().flatten().map(|&l| f64::from(l)));
+        events_lat.extend(events.latencies.iter().flatten().map(|&l| f64::from(l)));
+        oracle_pdr += oracle.network_pdr() / seeds as f64;
+        events_pdr += events.network_pdr() / seeds as f64;
+    }
+    assert!(oracle_lat.len() > 500 && events_lat.len() > 500, "need real sample sizes");
+    let ks = two_sample(&oracle_lat, &events_lat).unwrap();
+    assert_eq!(
+        ks.outcome(0.01),
+        KsOutcome::Accept,
+        "latency distributions must be K-S-indistinguishable: D={} p={}",
+        ks.statistic(),
+        ks.p_value()
+    );
+    assert!(
+        (oracle_pdr - events_pdr).abs() < 0.02,
+        "mean PDRs must coincide: oracle {oracle_pdr} events {events_pdr}"
+    );
+}
+
+/// Strategy for small random contract scenarios: a chain of 3–6 nodes with
+/// randomized spacing and per-link PRR, and 1–3 flows over prefixes of the
+/// chain with assorted periods.
+fn arb_scenario() -> impl Strategy<Value = (u64, usize, u8, u8)> {
+    // (seed, node count, prr decile 5..=10, period selector)
+    (0u64..1 << 16, 3usize..=6, 5u8..=10, 0u8..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inside the contract, every random small scenario agrees byte for
+    /// byte between the two engines.
+    #[test]
+    fn random_contract_scenarios_are_byte_identical(
+        (seed, nodes, prr_decile, psel) in arb_scenario()
+    ) {
+        let spacing = 6.0 + (seed % 5) as f64;
+        let mut topo = Topology::new(
+            "prop",
+            (0..nodes).map(|i| Position::new(spacing * i as f64, 0.0, 0.0)).collect(),
+        );
+        topo.set_propagation_model(PropagationModel::default());
+        let channels = ChannelId::range(11, 12).unwrap();
+        let prr = Prr::new(f64::from(prr_decile) / 10.0).unwrap();
+        for a in 0..nodes - 1 {
+            for ch in &channels {
+                topo.set_prr(n(a), n(a + 1), ch, prr).unwrap();
+                topo.set_prr(n(a + 1), n(a), ch, prr).unwrap();
+            }
+        }
+        let period = [16u32, 20, 32, 40][psel as usize];
+        let flow_count = 1 + (seed as usize % 3).min(nodes - 2);
+        let mut raw = Vec::new();
+        for f in 0..flow_count {
+            let len = 2 + (seed as usize + f) % (nodes - 1);
+            let route: Vec<NodeId> = (0..len.min(nodes)).map(n).collect();
+            raw.push(
+                Flow::new(
+                    FlowId::new(f),
+                    Route::new(route),
+                    Period::from_slots(period).unwrap(),
+                    period,
+                )
+                .unwrap(),
+            );
+        }
+        let flows = priority::deadline_monotonic(raw, vec![]);
+        let model = NetworkModel::new(&topo, &channels);
+        let Ok(schedule) = NoReuse::new().schedule(&flows, &model) else {
+            // an unschedulable draw is not a property violation
+            return Ok(());
+        };
+        let sim = Simulator::new(&topo, &channels, &flows, &schedule);
+        let cfg = SimConfig { seed, repetitions: 15, window_reps: 4, ..SimConfig::default() };
+        prop_assert_eq!(sim.run(&cfg), sim.run_events(&cfg));
+        // …and with a scheduled fault plan in play
+        let faulted = SimConfig {
+            faults: FaultPlan::new(seed).crash_at(u64::from(schedule.horizon()) * 5, n(nodes - 1)),
+            ..cfg
+        };
+        let (ro, lo) = sim.try_run_faulted(&faulted).unwrap();
+        let (re, le) = sim.try_run_events_faulted(&faulted).unwrap();
+        prop_assert_eq!(ro, re);
+        prop_assert_eq!(lo, le);
+    }
+}
