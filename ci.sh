@@ -33,6 +33,8 @@ test -s "$smoke_dir/fig6.json"
 test -s "$smoke_dir/fig6.manifest.jsonl"
 rm -rf "$smoke_dir"
 
+fresh_bench_dir="$(mktemp -d)"
+
 echo "==> scheduler bench smoke (criterion + sched_bench schema)"
 bench_dir="$(mktemp -d)"
 WSAN_BENCH_SAMPLES=2 cargo bench -q -p wsan-bench --bench scheduler > "$bench_dir/criterion.out"
@@ -43,6 +45,7 @@ grep -q '"schema": "wsan.sched_bench/1"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"median_ns_per_placement"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"schedules_per_sec"' "$bench_dir/BENCH_scheduler.json"
 grep -q '"speedup_rc_vs_reference"' "$bench_dir/BENCH_scheduler.json"
+cp "$bench_dir/BENCH_scheduler.json" "$fresh_bench_dir/"
 rm -rf "$bench_dir"
 
 echo "==> simulator bench smoke (sim_bench schema + committed snapshot)"
@@ -55,6 +58,7 @@ grep -q '"occupancy"' "$simb_dir/BENCH_sim.json"
 grep -q '"reports_identical": true' "$simb_dir/BENCH_sim.json"
 # the committed snapshot must track the same schema
 grep -q '"schema": "wsan.sim_bench/1"' BENCH_sim.json
+cp "$simb_dir/BENCH_sim.json" "$fresh_bench_dir/"
 rm -rf "$simb_dir"
 
 echo "==> gateway bench smoke (gateway_bench schema + committed snapshot)"
@@ -66,7 +70,14 @@ grep -q '"speedup_delta_vs_full"' "$gwb_dir/BENCH_gateway.json"
 grep -q '"delta_admissions_per_sec"' "$gwb_dir/BENCH_gateway.json"
 # the committed snapshot must track the same schema
 grep -q '"schema": "wsan.gateway_bench/1"' BENCH_gateway.json
+cp "$gwb_dir/BENCH_gateway.json" "$fresh_bench_dir/"
 rm -rf "$gwb_dir"
+
+echo "==> bench regression gate (advisory: quick-mode timings are noisy)"
+cargo run --release -q -p wsan-bench --bin bench_check -- \
+    --fresh "$fresh_bench_dir" --tolerance 1.5 \
+    || echo "bench_check: regression beyond tolerance (advisory only in CI)"
+rm -rf "$fresh_bench_dir"
 
 echo "==> gateway crash/replay smoke (wsan serve, kill -9 mid-stream)"
 gws_dir="$(mktemp -d)"
@@ -115,6 +126,71 @@ exec 9>&-
     > "$gws_dir/resume.out" 2> /dev/null
 cmp "$gws_dir/resumed.csv" "$gws_dir/ref.csv"
 rm -rf "$gws_dir"
+
+echo "==> status plane smoke (wsan serve --status-socket under churn, kill -9)"
+sp_dir="$(mktemp -d)"
+mkfifo "$sp_dir/in.fifo"
+./target/release/wsan serve --testbed wustl --seed 1 \
+    --flightrec 1024 --status-socket "$sp_dir/status.sock" \
+    --metrics-out "$sp_dir/metrics.json" --metrics-interval-ms 50 \
+    < "$sp_dir/in.fifo" > "$sp_dir/out.jsonl" 2> /dev/null &
+sp_pid=$!
+exec 8> "$sp_dir/in.fifo"
+for _ in $(seq 1 100); do
+    if [ -S "$sp_dir/status.sock" ]; then break; fi
+    sleep 0.1
+done
+test -S "$sp_dir/status.sock"
+# churn the gateway, then query the plane while it keeps serving
+printf '{"op":"add_flow","name":"a","source":0,"dest":5,"period":64,"deadline":48}\n' >&8
+printf '{"op":"add_flow","name":"b","source":3,"dest":9,"period":64,"deadline":40}\n' >&8
+sp_acked=0
+for _ in $(seq 1 100); do
+    if [ "$(wc -l < "$sp_dir/out.jsonl")" -ge 2 ]; then sp_acked=1; break; fi
+    sleep 0.1
+done
+test "$sp_acked" -eq 1
+./target/release/wsan status --socket "$sp_dir/status.sock" > "$sp_dir/status.json"
+grep -q '"ok":true' "$sp_dir/status.json"
+grep -q '"flows":2' "$sp_dir/status.json"
+./target/release/wsan status --socket "$sp_dir/status.sock" --query metrics > "$sp_dir/metrics-q.json"
+grep -q '"gateway.request_us"' "$sp_dir/metrics-q.json"
+./target/release/wsan status --socket "$sp_dir/status.sock" --query flightrec > "$sp_dir/flightrec.json"
+grep -q '"records"' "$sp_dir/flightrec.json"
+# the request loop kept answering throughout the status queries
+printf '{"op":"status"}\n' >&8
+sp_live=0
+for _ in $(seq 1 100); do
+    if [ "$(wc -l < "$sp_dir/out.jsonl")" -ge 3 ]; then sp_live=1; break; fi
+    sleep 0.1
+done
+test "$sp_live" -eq 1
+# give the periodic flusher one interval, then kill -9: the atomic-rename
+# flush must leave a complete, parseable snapshot behind
+sleep 0.3
+kill -9 "$sp_pid" 2> /dev/null || true
+wait "$sp_pid" 2> /dev/null || true
+exec 8>&-
+test -s "$sp_dir/metrics.json"
+grep -q '"quantiles"' "$sp_dir/metrics.json"
+grep -q '"gateway.request_us"' "$sp_dir/metrics.json"
+rm -rf "$sp_dir"
+
+echo "==> traced-vs-untraced determinism smoke (wsan simulate)"
+det_dir="$(mktemp -d)"
+./target/release/wsan simulate --testbed wustl --flows 8 --reps 5 --seed 3 \
+    --engine events > "$det_dir/plain.out"
+./target/release/wsan simulate --testbed wustl --flows 8 --reps 5 --seed 3 \
+    --engine events --log-level trace --log-format json \
+    --flightrec 4096 --flightrec-dump "$det_dir/dump.jsonl" \
+    --metrics-out "$det_dir/metrics.json" \
+    > "$det_dir/traced.out" 2> /dev/null
+cmp "$det_dir/plain.out" "$det_dir/traced.out"
+test -s "$det_dir/dump.jsonl"
+./target/release/wsan trace export --in "$det_dir/dump.jsonl" \
+    --out "$det_dir/trace.json" --chrome 2> /dev/null
+grep -q '"traceEvents"' "$det_dir/trace.json"
+rm -rf "$det_dir"
 
 echo "==> campaign interrupt/resume smoke (wsan campaign)"
 camp_dir="$(mktemp -d)"

@@ -5,7 +5,9 @@
 //! atomic load. The acceptance bar is that `sim/null-subscriber` (an
 //! installed but always-off subscriber, metrics still disabled) stays
 //! within 5% of it in release mode. `sim/metrics-enabled` shows what the
-//! counters and histograms cost when they actually record.
+//! counters and histograms cost when they actually record, and
+//! `sim/flightrec-armed` what the seqlock ring adds on top when every
+//! trace-level record is also captured.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -37,6 +39,10 @@ fn bench_observability(c: &mut Criterion) {
     wsan_obs::set_metrics_enabled(true);
     c.bench_function("sim/metrics-enabled", |b| b.iter(|| sim.run(&sim_cfg)));
     wsan_obs::set_metrics_enabled(false);
+
+    wsan_obs::flightrec::arm(4096, wsan_obs::Level::Trace);
+    c.bench_function("sim/flightrec-armed", |b| b.iter(|| sim.run(&sim_cfg)));
+    wsan_obs::flightrec::disarm();
 }
 
 criterion_group! {

@@ -33,12 +33,20 @@ pub const USAGE: &str = "usage:
                 [--channels a-b] [--seed N] [--prr X]
                 [--journal FILE | --resume-journal FILE] [--paranoid]
                 [--deadline-us N] [--listen SOCKET]
+                [--status-socket SOCKET]        # live status/metrics/flightrec plane
                                                 # JSONL gateway on stdin/socket
+  wsan status   --socket SOCKET [--query status|metrics|flightrec]
+                                                # one-shot status-plane client
+  wsan trace export --in DUMP.jsonl [--out FILE] [--chrome]
+                                                # flight-recorder dump → Chrome trace
 
 observability (accepted by every subcommand):
   --log-level off|error|warn|info|debug|trace   structured events to stderr
   --log-format pretty|json                      event rendering (default pretty)
-  --metrics-out FILE                            write a metrics snapshot as JSON";
+  --metrics-out FILE                            write a metrics snapshot as JSON
+  --metrics-interval-ms N                       also re-flush the snapshot every N ms
+  --flightrec [N]                               arm an N-record flight recorder (default 4096)
+  --flightrec-dump FILE                         dump the ring as JSONL on exit/error/panic";
 
 /// Dispatches a full argv (without the program name).
 ///
@@ -48,6 +56,20 @@ observability (accepted by every subcommand):
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((command, rest)) = argv.split_first() else {
         return Err("missing subcommand".to_string());
+    };
+    // `wsan trace export` is the one two-word subcommand: strip the
+    // positional verb before the flags-only parser sees it.
+    let rest: &[String] = if command == "trace" {
+        match rest.split_first() {
+            Some((verb, tail)) if verb == "export" => tail,
+            _ => {
+                return Err(
+                    "usage: wsan trace export --in DUMP.jsonl [--out FILE] [--chrome]".to_string()
+                )
+            }
+        }
+    } else {
+        rest
     };
     let args = Args::parse(rest)?;
     init_observability(&args)?;
@@ -60,6 +82,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "faults" => cmd_faults(&args),
         "campaign" => cmd_campaign(&args),
         "serve" => crate::serve::cmd_serve(&args),
+        "status" => crate::serve::cmd_status(&args),
+        "trace" => cmd_trace_export(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -69,12 +93,20 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     wsan_obs::flush();
     if result.is_ok() {
         write_metrics_report(&args)?;
+        write_flightrec_dump(&args)?;
     }
     result
 }
 
 /// Observability options accepted by every subcommand.
-const GLOBAL_OPTS: &[&str] = &["log-level", "log-format", "metrics-out"];
+const GLOBAL_OPTS: &[&str] = &[
+    "log-level",
+    "log-format",
+    "metrics-out",
+    "metrics-interval-ms",
+    "flightrec",
+    "flightrec-dump",
+];
 
 /// Unknown-option check that also admits the global observability options.
 pub(crate) fn known(args: &Args, allowed: &[&str]) -> Result<(), String> {
@@ -83,13 +115,35 @@ pub(crate) fn known(args: &Args, allowed: &[&str]) -> Result<(), String> {
     args.ensure_known(&all)
 }
 
-/// Turns `--log-level`/`--log-format`/`--metrics-out` into an installed
-/// subscriber and/or an enabled global metrics registry, before the command
-/// runs. With none of the flags this is a no-op and the stack stays on its
+/// Turns the observability flags into an installed subscriber, an enabled
+/// global metrics registry, an armed flight recorder, a periodic metrics
+/// flusher, and/or the crash-flush panic hook, before the command runs.
+/// With none of the flags this is a no-op and the stack stays on its
 /// zero-overhead path.
 fn init_observability(args: &Args) -> Result<(), String> {
     if args.has("metrics-out") {
         wsan_obs::set_metrics_enabled(true);
+    }
+    if args.has("flightrec") || args.has("flightrec-dump") {
+        // Trace level so simulator event dispatch is captured too.
+        let capacity = match args.get("flightrec") {
+            None | Some("") => 4096,
+            Some(raw) => {
+                raw.parse().map_err(|_| format!("--flightrec expects a capacity, got '{raw}'"))?
+            }
+        };
+        wsan_obs::flightrec::arm(capacity, wsan_obs::Level::Trace);
+    }
+    install_panic_hook(args);
+    if args.has("metrics-interval-ms") {
+        if !args.has("metrics-out") {
+            return Err("--metrics-interval-ms requires --metrics-out FILE".to_string());
+        }
+        let interval: u64 = args.get_or("metrics-interval-ms", 1000)?;
+        spawn_metrics_flusher(
+            args.get("metrics-out").expect("checked above").to_string(),
+            std::time::Duration::from_millis(interval.max(10)),
+        );
     }
     let level = match args.get("log-level") {
         Some(raw) => wsan_obs::Level::parse(raw)?,
@@ -135,6 +189,162 @@ fn write_metrics_report(args: &Args) -> Result<(), String> {
     }
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     eprintln!("metrics snapshot written to {path}");
+    Ok(())
+}
+
+/// Writes `contents` to `path` through a uniquely named temporary file and
+/// an atomic rename, so a concurrent reader (or a `kill -9` mid-write)
+/// never observes a half-written file.
+fn atomic_write(path: &str, contents: &str) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = format!("{path}.tmp{}", TMP_SEQ.fetch_add(1, Ordering::Relaxed));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Paths the panic hook flushes to; refreshed on every dispatch so the
+/// hook (installed once per process) always sees the latest flags.
+static PANIC_FLUSH: std::sync::OnceLock<std::sync::Mutex<PanicFlushPaths>> =
+    std::sync::OnceLock::new();
+
+#[derive(Default)]
+struct PanicFlushPaths {
+    metrics_out: Option<String>,
+    flightrec_dump: Option<String>,
+}
+
+/// Installs (once) a panic hook that flushes the metrics snapshot and the
+/// flight-recorder ring before unwinding, so a crashing process still
+/// leaves its last observations behind. Chains the previous hook.
+fn install_panic_hook(args: &Args) {
+    let paths = PANIC_FLUSH.get_or_init(std::sync::Mutex::default);
+    if let Ok(mut p) = paths.lock() {
+        // last dispatch with the flag wins; a later flag-less dispatch (as
+        // in the test harness) never un-registers a crash-flush target
+        if let Some(out) = args.get("metrics-out") {
+            p.metrics_out = Some(out.to_string());
+        }
+        if let Some(dump) = args.get("flightrec-dump") {
+            p.flightrec_dump = Some(dump.to_string());
+        }
+    }
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            panic_flush();
+            previous(info);
+        }));
+    });
+}
+
+/// Best-effort flush performed by the panic hook: metrics to
+/// `--metrics-out`, flight-recorder ring to `--flightrec-dump` (or stderr
+/// when armed without a dump path). Must not panic or allocate the world —
+/// every failure is swallowed.
+fn panic_flush() {
+    let Some(paths) = PANIC_FLUSH.get() else { return };
+    let Ok(paths) = paths.lock() else { return };
+    if let Some(path) = &paths.metrics_out {
+        if wsan_obs::metrics_enabled() {
+            if let Ok(json) = serde_json::to_string_pretty(&wsan_obs::global_metrics().snapshot()) {
+                let _ = atomic_write(path, &json);
+            }
+        }
+    }
+    if let Some(rec) = wsan_obs::flightrec::armed() {
+        let dump = rec.dump_jsonl();
+        match &paths.flightrec_dump {
+            Some(path) => {
+                let _ = atomic_write(path, &dump);
+            }
+            None => eprint!("{dump}"),
+        }
+    }
+}
+
+/// Spawns the detached `--metrics-interval-ms` flusher: re-renders the
+/// global metrics snapshot every `interval` and replaces `--metrics-out`
+/// atomically, so a live (or killed) process always leaves a recent,
+/// complete report on disk.
+fn spawn_metrics_flusher(path: String, interval: std::time::Duration) {
+    std::thread::spawn(move || loop {
+        std::thread::sleep(interval);
+        if let Ok(json) = serde_json::to_string_pretty(&wsan_obs::global_metrics().snapshot()) {
+            let _ = atomic_write(&path, &json);
+        }
+    });
+}
+
+/// Writes the armed flight recorder's ring to `--flightrec-dump` after a
+/// successful command (the gateway additionally dumps on request errors,
+/// and the panic hook on crashes).
+fn write_flightrec_dump(args: &Args) -> Result<(), String> {
+    let Some(path) = args.get("flightrec-dump") else {
+        return Ok(());
+    };
+    if path.is_empty() {
+        return Err("--flightrec-dump expects a file path".to_string());
+    }
+    let Some(rec) = wsan_obs::flightrec::armed() else {
+        return Ok(());
+    };
+    let records = rec.dump();
+    let count = records.len();
+    let mut jsonl = String::new();
+    for record in &records {
+        jsonl.push_str(&serde_json::to_string(record).map_err(|e| e.to_string())?);
+        jsonl.push('\n');
+    }
+    atomic_write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("flight recorder dump ({count} records) written to {path}");
+    Ok(())
+}
+
+/// `wsan trace export`: reads a flight-recorder JSONL dump and re-emits it
+/// either normalised (validating every line) or, with `--chrome`, as
+/// Chrome `trace_event` JSON loadable in chrome://tracing / Perfetto.
+fn cmd_trace_export(args: &Args) -> Result<(), String> {
+    known(args, &["in", "out", "chrome"])?;
+    let Some(input) = args.get("in") else {
+        return Err("--in DUMP.jsonl is required".to_string());
+    };
+    let raw = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let mut records: Vec<wsan_obs::FlightRecord> = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: wsan_obs::FlightRecord = serde_json::from_str(line)
+            .map_err(|e| format!("{input}:{}: bad flight record: {e}", lineno + 1))?;
+        records.push(record);
+    }
+    records.sort_by_key(|r| r.seq);
+    let rendered = if args.has("chrome") {
+        let mut json = wsan_obs::chrome_trace(&records);
+        json.push('\n');
+        json
+    } else {
+        let mut jsonl = String::new();
+        for record in &records {
+            jsonl.push_str(&serde_json::to_string(record).map_err(|e| e.to_string())?);
+            jsonl.push('\n');
+        }
+        jsonl
+    };
+    match args.get("out") {
+        Some(path) if !path.is_empty() => {
+            atomic_write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{} records exported to {path}", records.len());
+        }
+        _ => print!("{rendered}"),
+    }
     Ok(())
 }
 
@@ -558,6 +768,13 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Serialises tests that arm/disarm the process-global flight recorder.
+#[cfg(test)]
+pub(crate) fn flightrec_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -782,6 +999,95 @@ mod export_tests {
         assert!(run(&["campaign"]).unwrap_err().contains("--name"));
         let err = run(&["campaign", "--name", "nope"]).unwrap_err();
         assert!(err.contains("nope"), "got: {err}");
+    }
+
+    #[test]
+    fn flightrec_dump_exports_to_chrome_trace() {
+        let _guard = super::flightrec_test_lock();
+        let dir = std::env::temp_dir().join("wsan-cli-flightrec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("dump.jsonl");
+        let chrome = dir.join("trace.json");
+        run(&[
+            "run",
+            "--testbed",
+            "wustl",
+            "--flows",
+            "6",
+            "--reps",
+            "3",
+            "--seed",
+            "3",
+            "--engine",
+            "events",
+            "--flightrec",
+            "256",
+            "--flightrec-dump",
+            dump.to_str().unwrap(),
+        ])
+        .unwrap();
+        wsan_obs::flightrec::disarm();
+        let raw = std::fs::read_to_string(&dump).unwrap();
+        assert!(!raw.trim().is_empty(), "armed run must leave records behind");
+        for line in raw.lines() {
+            let _record: wsan_obs::FlightRecord = serde_json::from_str(line).unwrap();
+        }
+        run(&[
+            "trace",
+            "export",
+            "--in",
+            dump.to_str().unwrap(),
+            "--out",
+            chrome.to_str().unwrap(),
+            "--chrome",
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&chrome).unwrap();
+        let doc: serde::value::Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_seq().unwrap();
+        assert!(!events.is_empty(), "chrome trace must contain events");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn panic_hook_flushes_the_flight_recorder() {
+        let _guard = super::flightrec_test_lock();
+        let dir = std::env::temp_dir().join("wsan-cli-panic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("panic-dump.jsonl");
+        let _ = std::fs::remove_file(&dump);
+        let argv: Vec<String> = ["--flightrec", "64", "--flightrec-dump", dump.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&argv).unwrap();
+        init_observability(&args).unwrap();
+        wsan_obs::event(wsan_obs::Level::Info, "cli-test", "pre-panic breadcrumb", &[]);
+        let caught = std::panic::catch_unwind(|| panic!("synthetic crash"));
+        assert!(caught.is_err());
+        wsan_obs::flightrec::disarm();
+        let raw = std::fs::read_to_string(&dump).expect("panic hook must write the dump");
+        assert!(raw.contains("pre-panic breadcrumb"), "{raw}");
+        for line in raw.lines() {
+            let _record: wsan_obs::FlightRecord = serde_json::from_str(line).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn trace_requires_the_export_verb_and_an_input() {
+        let err = run(&["trace"]).unwrap_err();
+        assert!(err.contains("trace export"), "{err}");
+        let err = run(&["trace", "export"]).unwrap_err();
+        assert!(err.contains("--in"), "{err}");
+    }
+
+    #[test]
+    fn metrics_interval_requires_metrics_out() {
+        let err =
+            run(&["schedule", "--testbed", "wustl", "--flows", "8", "--metrics-interval-ms", "50"])
+                .unwrap_err();
+        assert!(err.contains("--metrics-out"), "{err}");
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   the DM order (the flows the shedding ladder would sacrifice first) are
 //!   rejected up front with a retryable error and a backoff hint; any
 //!   in-budget operation clears the state.
-//! * **Observability** — `gateway.*` counters and admission-latency
-//!   timer/histogram via `wsan-obs`, when global metrics are enabled.
+//! * **Observability** — `gateway.*` counters and a `gateway.request_us`
+//!   HDR quantile histogram (p50/p90/p99/p999) via `wsan-obs`, when global
+//!   metrics are enabled. When tracing is enabled every request runs under
+//!   a fresh `RequestId` bound with `wsan_obs::request_scope`, with child
+//!   spans for parse → admit (delta-schedule) → journal fsync, so a
+//!   flight-recorder dump reconstructs the full causal path of a failed
+//!   request; [`GatewayService::with_flightrec_dump`] writes that dump as
+//!   JSONL whenever a request errors.
 //!
 //! ## Protocol
 //!
@@ -69,7 +75,7 @@ struct ServiceMetrics {
     journal_records: wsan_obs::Counter,
     replayed: wsan_obs::Counter,
     latency: wsan_obs::Timer,
-    latency_us: wsan_obs::Histogram,
+    request_us: wsan_obs::HdrHistogram,
 }
 
 impl ServiceMetrics {
@@ -85,10 +91,7 @@ impl ServiceMetrics {
             journal_records: reg.counter("gateway.journal.records"),
             replayed: reg.counter("gateway.journal.replayed"),
             latency: reg.timer("gateway.request"),
-            latency_us: reg.histogram(
-                "gateway.admission_us",
-                &[50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 50000.0],
-            ),
+            request_us: reg.quantile("gateway.request_us"),
         }
     }
 }
@@ -105,6 +108,7 @@ pub struct GatewayService {
     requests: u64,
     shutdown: bool,
     metrics: Option<ServiceMetrics>,
+    flightrec_dump: Option<std::path::PathBuf>,
 }
 
 impl GatewayService {
@@ -123,7 +127,16 @@ impl GatewayService {
             requests: 0,
             shutdown: false,
             metrics: wsan_obs::metrics_enabled().then(ServiceMetrics::new),
+            flightrec_dump: None,
         }
+    }
+
+    /// Dumps the armed flight recorder (if any) as JSONL to `path` whenever
+    /// a request produces an error response.
+    #[must_use]
+    pub fn with_flightrec_dump(mut self, path: Option<std::path::PathBuf>) -> Self {
+        self.flightrec_dump = path;
+        self
     }
 
     /// Sets the per-request latency budget that arms overload shedding.
@@ -193,12 +206,36 @@ impl GatewayService {
 
     /// Handles one request line, returning the response line (no trailing
     /// newline). Never panics on untrusted input.
+    ///
+    /// With tracing enabled the whole request runs inside a
+    /// `gateway.request` span under a fresh [`wsan_obs::RequestId`], so
+    /// every child span (parse, admit, journal fsync) and event carries the
+    /// same causal id in subscriber output and flight-recorder dumps.
     pub fn handle_line(&mut self, line: &str) -> String {
         self.requests += 1;
         if let Some(m) = &self.metrics {
             m.requests.inc();
         }
-        let response = match parse_request(line) {
+        let traced = wsan_obs::enabled(wsan_obs::Level::Debug);
+        let _request_scope = traced.then(|| wsan_obs::request_scope(wsan_obs::next_request_id()));
+        let _request_span = traced.then(|| {
+            wsan_obs::span(
+                wsan_obs::Level::Debug,
+                "gateway.request",
+                vec![wsan_obs::kv("seq", self.requests)],
+            )
+        });
+        let parsed = {
+            let _parse_span = traced.then(|| {
+                wsan_obs::span(
+                    wsan_obs::Level::Debug,
+                    "gateway.parse",
+                    vec![wsan_obs::kv("bytes", line.len())],
+                )
+            });
+            parse_request(line)
+        };
+        let response = match parsed {
             Ok(request) => self.handle(request),
             Err(message) => {
                 if let Some(m) = &self.metrics {
@@ -207,8 +244,37 @@ impl GatewayService {
                 error_response(None, "malformed", &message, false, None)
             }
         };
+        if response.get("ok") == Some(&Value::Bool(false)) {
+            self.on_request_error(&response);
+        }
         serde_json::to_string(&response)
             .unwrap_or_else(|_| r#"{"ok":false,"error":{"kind":"internal"}}"#.to_string())
+    }
+
+    /// Error-path hooks: an `error`-level event (so the failure itself is
+    /// the newest flight-recorder record) and, when configured, a JSONL
+    /// dump of the armed recorder.
+    fn on_request_error(&self, response: &Value) {
+        if wsan_obs::enabled(wsan_obs::Level::Error) {
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| match k {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            wsan_obs::event(
+                wsan_obs::Level::Error,
+                "wsan_core::gateway",
+                "request failed",
+                &[wsan_obs::kv("kind", kind)],
+            );
+        }
+        if let (Some(path), Some(rec)) = (&self.flightrec_dump, wsan_obs::flightrec::armed()) {
+            // Best effort: a failed dump must not take down the service.
+            let _ = std::fs::write(path, rec.dump_jsonl());
+        }
     }
 
     fn handle(&mut self, request: Request) -> Value {
@@ -247,7 +313,16 @@ impl GatewayService {
             }
         }
         let started = Instant::now();
-        let result = self.apply(&op);
+        let result = {
+            let _admit_span = wsan_obs::enabled(wsan_obs::Level::Debug).then(|| {
+                wsan_obs::span(
+                    wsan_obs::Level::Debug,
+                    "gateway.admit",
+                    vec![wsan_obs::kv("op", op.name())],
+                )
+            });
+            self.apply(&op)
+        };
         let elapsed = started.elapsed();
         let mut budget_exceeded = false;
         if let Some(budget) = self.budget {
@@ -259,7 +334,7 @@ impl GatewayService {
         }
         if let Some(m) = &self.metrics {
             m.latency.record(elapsed);
-            m.latency_us.observe(elapsed.as_secs_f64() * 1e6);
+            m.request_us.record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
         }
         match result {
             Ok(report) => {
@@ -267,6 +342,11 @@ impl GatewayService {
                     m.applied.inc();
                     m.evicted.add(report.evicted.len() as u64);
                 }
+                let _journal_span = (self.journal.is_some()
+                    && wsan_obs::enabled(wsan_obs::Level::Debug))
+                .then(|| {
+                    wsan_obs::span(wsan_obs::Level::Debug, "gateway.journal_fsync", Vec::new())
+                });
                 let seq = match &mut self.journal {
                     Some(journal) => match journal.append(&op) {
                         Ok(seq) => {
@@ -631,6 +711,43 @@ mod tests {
         let resp = svc.handle_line("{\"op\":\"remove_flow\",\"name\":\"f1\"}");
         assert!(resp.contains("\"validation\""), "{resp}");
         assert!(resp.contains("\"retryable\":false"), "{resp}");
+    }
+
+    #[test]
+    fn flight_recorder_captures_a_session_and_exports_a_chrome_trace() {
+        let dump_path = temp_path("flightrec-dump");
+        let _ = std::fs::remove_file(&dump_path);
+        let _rec = wsan_obs::flightrec::arm(1024, wsan_obs::Level::Debug);
+        let mut svc = service(8).with_flightrec_dump(Some(dump_path.clone()));
+        let resp = svc.handle_line(
+            "{\"op\":\"add_flow\",\"name\":\"f1\",\"source\":0,\"dest\":3,\"period\":100,\"deadline\":80}",
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        // a failing request triggers the on-error JSONL dump of the ring
+        let resp = svc.handle_line("{\"op\":\"frobnicate\"}");
+        assert!(resp.contains("\"ok\":false"), "{resp}");
+        wsan_obs::flightrec::disarm();
+
+        let raw = std::fs::read_to_string(&dump_path).expect("error dump written");
+        let records: Vec<wsan_obs::FlightRecord> =
+            raw.lines().map(|l| serde_json::from_str(l).expect("record parses")).collect();
+        assert!(!records.is_empty());
+        assert!(records.iter().any(|r| r.name == "gateway.request"), "{records:?}");
+        assert!(records.iter().any(|r| r.name == "gateway.admit"), "{records:?}");
+        assert!(
+            records.iter().any(|r| r.kind == "event" && r.level == "error"),
+            "the failure itself must be recorded: {records:?}"
+        );
+        // every span/event of one request carries the same request id
+        let failed = records.iter().rfind(|r| r.level == "error").expect("error event");
+        assert!(failed.request > 0);
+
+        // the dump round-trips through the Chrome trace_event exporter
+        let chrome = wsan_obs::chrome_trace(&records);
+        let doc: serde::value::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+        let events = doc.get("traceEvents").expect("traceEvents").as_seq().expect("list");
+        assert!(!events.is_empty());
+        let _ = std::fs::remove_file(&dump_path);
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! The flight recorder: a fixed-capacity lock-free ring buffer of the most
+//! recent span/event records, kept off the hot path and dumped on demand
+//! (request errors, schedule inconsistencies, panics, or operator query).
+//!
+//! # Memory layout and write protocol
+//!
+//! The ring is a fixed `Vec` of slots; every slot is a handful of
+//! `AtomicU64` fields plus a `state` word used as a seqlock version:
+//!
+//! * a writer claims a global ticket with `head.fetch_add(1)` and owns slot
+//!   `ticket % capacity`;
+//! * it stores `2·ticket + 1` (odd = write in progress) into `state`,
+//!   writes the payload fields, then stores `2·ticket + 2` (even =
+//!   complete, encodes the ticket);
+//! * a dump reader loads `state`, skips odd/empty slots, reads the payload,
+//!   re-loads `state`, and keeps the record only if the two loads match —
+//!   a record can be lost to a concurrent overwrite but never observed
+//!   torn.
+//!
+//! Recording is wait-free per record and allocation-free in steady state:
+//! span/event names are interned once (cold path, short lock) into `u32`
+//! indices so the hot path stores only integers.
+
+use crate::trace::{Level, RequestId, SpanId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Hard cap on distinct interned names; pathological dynamic names beyond
+/// the cap all map to index 0 (`"<other>"`).
+const MAX_NAMES: usize = 4096;
+
+/// What a ring record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A fired event.
+    Event,
+    /// A span entry.
+    SpanEnter,
+    /// A span exit; `dur_ns` carries the elapsed time.
+    SpanExit,
+}
+
+impl RecordKind {
+    fn as_u64(self) -> u64 {
+        match self {
+            RecordKind::Event => 0,
+            RecordKind::SpanEnter => 1,
+            RecordKind::SpanExit => 2,
+        }
+    }
+
+    fn from_u64(v: u64) -> RecordKind {
+        match v {
+            1 => RecordKind::SpanEnter,
+            2 => RecordKind::SpanExit,
+            _ => RecordKind::Event,
+        }
+    }
+
+    /// Lowercase wire name used in JSONL dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::Event => "event",
+            RecordKind::SpanEnter => "span_enter",
+            RecordKind::SpanExit => "span_exit",
+        }
+    }
+}
+
+/// One ring slot: a seqlock `state` word plus the payload fields.
+struct Slot {
+    /// 0 = never written; odd = writer active; even > 0 = complete record
+    /// for ticket `(state - 2) / 2`.
+    state: AtomicU64,
+    /// Nanoseconds since the recorder's epoch.
+    t_ns: AtomicU64,
+    /// Packed `kind | level << 8 | name_idx << 32`.
+    meta: AtomicU64,
+    /// Span id (0 = none).
+    span: AtomicU64,
+    /// Parent span id (0 = none).
+    parent: AtomicU64,
+    /// Request id (0 = none).
+    request: AtomicU64,
+    /// Span-exit duration in nanoseconds (0 otherwise).
+    dur_ns: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            state: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            request: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Interns names to dense `u32` indices; lookup takes a shared read lock
+/// (uncontended in steady state), insertion a short write lock.
+struct NameTable {
+    map: RwLock<HashMap<String, u32>>,
+    list: RwLock<Vec<String>>,
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        NameTable {
+            map: RwLock::new(HashMap::from([("<other>".to_string(), 0u32)])),
+            list: RwLock::new(vec!["<other>".to_string()]),
+        }
+    }
+
+    fn intern(&self, name: &str) -> u32 {
+        if let Some(&idx) = self.map.read().expect("name map poisoned").get(name) {
+            return idx;
+        }
+        let mut map = self.map.write().expect("name map poisoned");
+        if let Some(&idx) = map.get(name) {
+            return idx;
+        }
+        let mut list = self.list.write().expect("name list poisoned");
+        if list.len() >= MAX_NAMES {
+            return 0;
+        }
+        let idx = list.len() as u32;
+        list.push(name.to_string());
+        map.insert(name.to_string(), idx);
+        idx
+    }
+
+    fn get(&self, idx: u32) -> String {
+        let list = self.list.read().expect("name list poisoned");
+        list.get(idx as usize).cloned().unwrap_or_else(|| "<other>".to_string())
+    }
+}
+
+/// A fixed-capacity lock-free ring of recent span/event records.
+pub struct FlightRecorder {
+    epoch: Instant,
+    head: AtomicU64,
+    slots: Vec<Slot>,
+    names: NameTable,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the most recent `capacity` records
+    /// (minimum 16).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(16);
+        FlightRecorder {
+            epoch: Instant::now(),
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            names: NameTable::new(),
+        }
+    }
+
+    /// Ring capacity (the N in "most recent N records").
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Writes one record. Wait-free; allocation-free once `name` has been
+    /// interned.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        kind: RecordKind,
+        level: Level,
+        name: &str,
+        span: Option<SpanId>,
+        parent: Option<SpanId>,
+        request: Option<RequestId>,
+        dur_ns: u64,
+    ) {
+        let name_idx = self.names.intern(name);
+        let t_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        slot.state.store(2 * ticket + 1, Ordering::Release);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.meta.store(
+            kind.as_u64() | (level as u64) << 8 | u64::from(name_idx) << 32,
+            Ordering::Relaxed,
+        );
+        slot.span.store(span.map_or(0, |s| s.0), Ordering::Relaxed);
+        slot.parent.store(parent.map_or(0, |s| s.0), Ordering::Relaxed);
+        slot.request.store(request.map_or(0, |r| r.0), Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.state.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Snapshots the ring: every complete, un-torn record, oldest first.
+    /// Records being overwritten concurrently are skipped, never torn.
+    pub fn dump(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<(u64, FlightRecord)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let s1 = slot.state.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let span = slot.span.load(Ordering::Relaxed);
+            let parent = slot.parent.load(Ordering::Relaxed);
+            let request = slot.request.load(Ordering::Relaxed);
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            let s2 = slot.state.load(Ordering::Acquire);
+            if s1 != s2 {
+                continue;
+            }
+            let ticket = (s1 - 2) / 2;
+            let kind = RecordKind::from_u64(meta & 0xff);
+            let level = Level::from_u8(((meta >> 8) & 0xff) as u8).unwrap_or(Level::Trace);
+            let name = self.names.get((meta >> 32) as u32);
+            out.push((
+                ticket,
+                FlightRecord {
+                    seq: ticket,
+                    t_ns,
+                    kind: kind.as_str().to_string(),
+                    level: level.as_str().to_string(),
+                    name,
+                    span,
+                    parent,
+                    request,
+                    dur_ns,
+                },
+            ));
+        }
+        out.sort_by_key(|(ticket, _)| *ticket);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Renders the current ring contents as JSON lines (one record per
+    /// line, oldest first).
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.dump() {
+            out.push_str(&serde_json::to_string(&record).expect("flight record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One decoded flight-recorder record (the JSONL dump row).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Global write sequence number (monotone across the process).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was armed.
+    pub t_ns: u64,
+    /// `event`, `span_enter`, or `span_exit`.
+    pub kind: String,
+    /// Severity name.
+    pub level: String,
+    /// Span name or event message.
+    pub name: String,
+    /// Span id (0 = none).
+    pub span: u64,
+    /// Parent span id (0 = none).
+    pub parent: u64,
+    /// Request id (0 = none).
+    pub request: u64,
+    /// Elapsed nanoseconds for `span_exit` records (0 otherwise).
+    pub dur_ns: u64,
+}
+
+/// Renders flight records as Chrome `trace_event` JSON (the object form:
+/// `{"traceEvents": [...]}`), loadable in chrome://tracing and Perfetto.
+/// `span_exit` records become complete (`"ph":"X"`) slices spanning the
+/// measured duration; events become instants (`"ph":"i"`). The thread id
+/// is the request id so one request reads as one track.
+pub fn chrome_trace(records: &[FlightRecord]) -> String {
+    use serde::value::Value;
+    let mut events: Vec<Value> = Vec::new();
+    for r in records {
+        let (ph, ts_ns, dur_us) = match r.kind.as_str() {
+            "span_exit" => ("X", r.t_ns.saturating_sub(r.dur_ns), Some(r.dur_ns as f64 / 1e3)),
+            "event" => ("i", r.t_ns, None),
+            // span_enter carries no interval; the matching exit already
+            // renders the full slice.
+            _ => continue,
+        };
+        let mut obj: Vec<(String, Value)> = vec![
+            ("name".to_string(), Value::Str(r.name.clone())),
+            ("cat".to_string(), Value::Str(r.level.clone())),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), Value::Float(ts_ns as f64 / 1e3)),
+            ("pid".to_string(), Value::UInt(1)),
+            ("tid".to_string(), Value::UInt(r.request.max(1))),
+        ];
+        if let Some(dur) = dur_us {
+            obj.push(("dur".to_string(), Value::Float(dur)));
+        }
+        if ph == "i" {
+            obj.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        obj.push((
+            "args".to_string(),
+            Value::Map(vec![
+                ("seq".to_string(), Value::UInt(r.seq)),
+                ("span".to_string(), Value::UInt(r.span)),
+                ("parent".to_string(), Value::UInt(r.parent)),
+                ("request".to_string(), Value::UInt(r.request)),
+            ]),
+        ));
+        events.push(Value::Map(obj));
+    }
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ns".to_string())),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace serializes")
+}
+
+static ARMED_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn armed_slot() -> &'static RwLock<Option<Arc<FlightRecorder>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<FlightRecorder>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Arms a process-global flight recorder capturing records up to `level`
+/// into a ring of `capacity` slots, and returns it. Replaces any
+/// previously armed recorder.
+pub fn arm(capacity: usize, level: Level) -> Arc<FlightRecorder> {
+    let recorder = Arc::new(FlightRecorder::new(capacity));
+    *armed_slot().write().expect("flightrec lock poisoned") = Some(Arc::clone(&recorder));
+    ARMED_LEVEL.store(level as u8, Ordering::Release);
+    crate::trace::recompute_max_level();
+    recorder
+}
+
+/// Disarms the global flight recorder (existing handles keep working).
+pub fn disarm() {
+    ARMED_LEVEL.store(0, Ordering::Release);
+    *armed_slot().write().expect("flightrec lock poisoned") = None;
+    crate::trace::recompute_max_level();
+}
+
+/// The armed global recorder, if any.
+pub fn armed() -> Option<Arc<FlightRecorder>> {
+    armed_slot().read().expect("flightrec lock poisoned").clone()
+}
+
+/// The armed recorder's level as a raw `u8` (0 = disarmed); feeds the
+/// combined fast-path gate in `trace`.
+pub(crate) fn armed_level_u8() -> u8 {
+    ARMED_LEVEL.load(Ordering::Acquire)
+}
+
+#[inline]
+fn rec_enabled(level: Level) -> bool {
+    level as u8 <= ARMED_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Records an event into the armed recorder, if any wants `level`.
+pub(crate) fn record_event(
+    level: Level,
+    message: &str,
+    span: Option<SpanId>,
+    request: Option<RequestId>,
+) {
+    if !rec_enabled(level) {
+        return;
+    }
+    if let Some(rec) = armed_slot().read().expect("flightrec lock poisoned").as_ref() {
+        rec.record(RecordKind::Event, level, message, span, None, request, 0);
+    }
+}
+
+/// Records a span entry into the armed recorder, if any wants `level`.
+pub(crate) fn record_span_enter(
+    level: Level,
+    name: &'static str,
+    id: SpanId,
+    parent: Option<SpanId>,
+    request: Option<RequestId>,
+) {
+    if !rec_enabled(level) {
+        return;
+    }
+    if let Some(rec) = armed_slot().read().expect("flightrec lock poisoned").as_ref() {
+        rec.record(RecordKind::SpanEnter, level, name, Some(id), parent, request, 0);
+    }
+}
+
+/// Records a span exit into the armed recorder, if any wants `level`.
+pub(crate) fn record_span_exit(
+    level: Level,
+    name: &'static str,
+    id: SpanId,
+    parent: Option<SpanId>,
+    request: Option<RequestId>,
+    elapsed: std::time::Duration,
+) {
+    if !rec_enabled(level) {
+        return;
+    }
+    if let Some(rec) = armed_slot().read().expect("flightrec lock poisoned").as_ref() {
+        let dur_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        rec.record(RecordKind::SpanExit, level, name, Some(id), parent, request, dur_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_the_ring() {
+        let rec = FlightRecorder::new(32);
+        rec.record(
+            RecordKind::SpanEnter,
+            Level::Debug,
+            "gw.request",
+            Some(SpanId(7)),
+            None,
+            Some(RequestId(3)),
+            0,
+        );
+        rec.record(
+            RecordKind::Event,
+            Level::Info,
+            "admitted",
+            Some(SpanId(7)),
+            None,
+            Some(RequestId(3)),
+            0,
+        );
+        rec.record(
+            RecordKind::SpanExit,
+            Level::Debug,
+            "gw.request",
+            Some(SpanId(7)),
+            None,
+            Some(RequestId(3)),
+            1234,
+        );
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump[0].kind, "span_enter");
+        assert_eq!(dump[1].name, "admitted");
+        assert_eq!(dump[2].dur_ns, 1234);
+        assert_eq!(dump[2].request, 3);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent_capacity_records() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..100u64 {
+            rec.record(RecordKind::Event, Level::Info, "e", Some(SpanId(i + 1)), None, None, i);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 16);
+        let seqs: Vec<u64> = dump.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (84..100).collect::<Vec<_>>());
+        assert!(dump.iter().all(|r| r.dur_ns == r.seq));
+    }
+
+    #[test]
+    fn name_table_caps_at_max_names() {
+        let table = NameTable::new();
+        assert_eq!(table.intern("a"), table.intern("a"));
+        let idx = table.intern("b");
+        assert_eq!(table.get(idx), "b");
+        assert_eq!(table.get(999_999), "<other>");
+    }
+
+    #[test]
+    fn chrome_trace_shapes_events_and_slices() {
+        let records = vec![
+            FlightRecord {
+                seq: 0,
+                t_ns: 5_000,
+                kind: "span_exit".to_string(),
+                level: "debug".to_string(),
+                name: "gw.request".to_string(),
+                span: 1,
+                parent: 0,
+                request: 9,
+                dur_ns: 4_000,
+            },
+            FlightRecord {
+                seq: 1,
+                t_ns: 6_000,
+                kind: "event".to_string(),
+                level: "info".to_string(),
+                name: "admitted".to_string(),
+                span: 1,
+                parent: 0,
+                request: 9,
+                dur_ns: 0,
+            },
+        ];
+        let json = chrome_trace(&records);
+        let doc: serde::value::Value = serde_json::from_str(&json).expect("chrome trace parses");
+        let events = doc.get("traceEvents").expect("traceEvents present");
+        let items = events.as_seq().expect("traceEvents is a list");
+        assert_eq!(items.len(), 2);
+        assert!(json.contains("\"ph\": \"X\"") || json.contains("\"ph\":\"X\""));
+    }
+}

@@ -1,6 +1,6 @@
 //! Zero-dependency observability for the WSAN stack.
 //!
-//! Two independent facilities share this crate:
+//! Four facilities share this crate:
 //!
 //! - **Tracing** ([`trace`]): structured spans and events with key/value
 //!   fields, dispatched through a process-global [`Subscriber`]. Bundled
@@ -9,10 +9,19 @@
 //!   record). With no subscriber installed — the default — every emission
 //!   site costs one relaxed atomic load.
 //! - **Metrics** ([`metrics`]): named counters, gauges, fixed-bucket
-//!   histograms, and monotonic timers in a [`Registry`], snapshotting to
+//!   histograms, HDR quantile histograms ([`hdr`], p50/p90/p99/p999), and
+//!   monotonic timers in a [`Registry`], snapshotting to
 //!   serde-serializable [`MetricsSnapshot`] reports. The global registry
 //!   is gated by [`set_metrics_enabled`] (default off), so components skip
 //!   instrument creation entirely on uninstrumented runs.
+//! - **Span/request context** ([`trace`]): every entered span gets a
+//!   process-unique [`SpanId`] with parent/child causality, and
+//!   [`request_scope`] binds a [`RequestId`] that every span and event in
+//!   the scope carries.
+//! - **Flight recorder** ([`flightrec`]): a fixed-capacity lock-free ring
+//!   of the most recent span/event records, armed globally with
+//!   [`flightrec::arm`], dumped as JSONL on failure or on demand, and
+//!   exportable as Chrome `trace_event` JSON for Perfetto.
 //!
 //! Both facilities are off by default, and instrumented code gates on
 //! [`enabled`] / [`metrics_enabled`] before doing any work, so a seeded
@@ -43,11 +52,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flightrec;
+pub mod hdr;
 pub mod metrics;
 pub mod profile;
 pub mod subscribers;
 pub mod trace;
 
+pub use flightrec::{chrome_trace, FlightRecord, FlightRecorder};
+pub use hdr::{HdrHistogram, HdrSnapshot};
 pub use metrics::{
     global as global_metrics, metrics_enabled, set_metrics_enabled, Counter, Gauge, Histogram,
     MetricsSnapshot, Registry, Timer,
@@ -55,6 +68,7 @@ pub use metrics::{
 pub use profile::{PhaseProfile, PhaseProfiler, PhaseTiming};
 pub use subscribers::{JsonLinesSubscriber, NullSubscriber, SharedBuffer, StderrSubscriber};
 pub use trace::{
-    enabled, event, flush, install, kv, span, uninstall, EventRecord, Field, FieldValue, Level,
-    SpanGuard, SpanRecord, Subscriber,
+    current_request, enabled, event, flush, install, kv, next_request_id, request_scope, span,
+    uninstall, EventRecord, Field, FieldValue, Level, RequestId, SpanGuard, SpanId, SpanRecord,
+    Subscriber,
 };

@@ -9,6 +9,7 @@
 //! disabled (the default), callers skip building their handle structs and
 //! pay nothing.
 
+use crate::hdr::{HdrHistogram, HdrSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -176,6 +177,7 @@ struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    quantiles: BTreeMap<String, HdrHistogram>,
     timers: BTreeMap<String, Timer>,
 }
 
@@ -229,6 +231,14 @@ impl Registry {
             .clone()
     }
 
+    /// Returns the HDR quantile histogram registered under `name`, creating
+    /// it on first use. All quantile histograms share one fixed log-linear
+    /// layout (see [`HdrHistogram`]), so no bounds are supplied.
+    pub fn quantile(&self, name: &str) -> HdrHistogram {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        inner.quantiles.entry(name.to_string()).or_default().clone()
+    }
+
     /// Returns the timer registered under `name`, creating it on first use.
     pub fn timer(&self, name: &str) -> Timer {
         let mut inner = self.inner.write().expect("registry lock poisoned");
@@ -251,6 +261,7 @@ impl Registry {
             counters: inner.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
             gauges: inner.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
             histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+            quantiles: inner.quantiles.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
             timers: inner
                 .timers
                 .iter()
@@ -317,6 +328,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// HDR quantile-histogram states by name (p50/p90/p99/p999).
+    pub quantiles: BTreeMap<String, HdrSnapshot>,
     /// Timer states by name.
     pub timers: BTreeMap<String, TimerSnapshot>,
 }

@@ -186,6 +186,17 @@ fn push_json_span_path(out: &mut String, path: &[&'static str]) {
     out.push(']');
 }
 
+/// Appends the span/parent/request id fields shared by both span records.
+fn push_json_ids(out: &mut String, span: &SpanRecord<'_>) {
+    out.push_str(&format!(",\"span_id\":{}", span.id.0));
+    if let Some(parent) = span.parent {
+        out.push_str(&format!(",\"parent\":{}", parent.0));
+    }
+    if let Some(req) = span.request {
+        out.push_str(&format!(",\"request\":{}", req.0));
+    }
+}
+
 impl<W: Write + Send> Subscriber for JsonLinesSubscriber<W> {
     fn max_level(&self) -> Option<Level> {
         Some(self.max_level)
@@ -203,6 +214,12 @@ impl<W: Write + Send> Subscriber for JsonLinesSubscriber<W> {
         push_json_str(&mut line, event.message);
         line.push_str(",\"span\":");
         push_json_span_path(&mut line, event.span_path);
+        if let Some(id) = event.span_id {
+            line.push_str(&format!(",\"span_id\":{}", id.0));
+        }
+        if let Some(req) = event.request {
+            line.push_str(&format!(",\"request\":{}", req.0));
+        }
         line.push_str(",\"fields\":");
         push_json_fields(&mut line, event.fields);
         line.push('}');
@@ -217,6 +234,7 @@ impl<W: Write + Send> Subscriber for JsonLinesSubscriber<W> {
         push_json_str(&mut line, span.level.as_str());
         line.push_str(",\"span\":");
         push_json_span_path(&mut line, span.span_path);
+        push_json_ids(&mut line, span);
         line.push_str(",\"fields\":");
         push_json_fields(&mut line, span.fields);
         line.push('}');
@@ -231,6 +249,7 @@ impl<W: Write + Send> Subscriber for JsonLinesSubscriber<W> {
         push_json_str(&mut line, span.level.as_str());
         line.push_str(",\"span\":");
         push_json_span_path(&mut line, span.span_path);
+        push_json_ids(&mut line, span);
         line.push_str(&format!(",\"elapsed_ns\":{}", elapsed.as_nanos()));
         line.push('}');
         self.write_line(&line);
@@ -297,6 +316,8 @@ mod tests {
             message: "hello \"world\"\n",
             fields,
             span_path: path,
+            span_id: Some(crate::trace::SpanId(11)),
+            request: Some(crate::trace::RequestId(4)),
         }
     }
 
@@ -318,6 +339,8 @@ mod tests {
         assert_eq!(parsed.get("message"), Some(&Value::Str("hello \"world\"\n".into())));
         let span = parsed.get("span").and_then(Value::as_seq).unwrap();
         assert_eq!(span, [Value::Str("outer".into()), Value::Str("inner".into())]);
+        assert_eq!(parsed.get("span_id"), Some(&Value::Int(11)));
+        assert_eq!(parsed.get("request"), Some(&Value::Int(4)));
         let fields_obj = parsed.get("fields").unwrap();
         assert_eq!(fields_obj.as_map().unwrap().len(), 5);
         assert_eq!(fields_obj.get("n"), Some(&Value::Int(3)));
@@ -344,12 +367,22 @@ mod tests {
         let buf = SharedBuffer::new();
         let sub = JsonLinesSubscriber::new(Level::Trace, buf.clone());
         sub.on_span_exit(
-            &SpanRecord { level: Level::Info, name: "s", fields: &[], span_path: &["s"] },
+            &SpanRecord {
+                level: Level::Info,
+                name: "s",
+                fields: &[],
+                span_path: &["s"],
+                id: crate::trace::SpanId(2),
+                parent: Some(crate::trace::SpanId(1)),
+                request: None,
+            },
             Duration::from_nanos(42),
         );
         sub.flush();
         let text = buf.contents();
         assert!(text.contains("\"kind\":\"span_exit\""));
+        assert!(text.contains("\"span_id\":2"));
+        assert!(text.contains("\"parent\":1"));
         assert!(text.contains("\"elapsed_ns\":42"));
     }
 }

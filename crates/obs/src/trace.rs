@@ -1,18 +1,26 @@
-//! The tracing facade: levels, structured fields, spans, events, and the
-//! global dispatcher.
+//! The tracing facade: levels, structured fields, spans, events, span and
+//! request identity, and the global dispatcher.
 //!
 //! The design optimizes for the disabled case: every emission site first
-//! checks [`enabled`], a single relaxed atomic load against the installed
-//! subscriber's maximum level. With the [`NullSubscriber`] installed (or
-//! nothing installed at all, the default) that check fails and no field
-//! formatting, locking, or allocation happens — instrumented hot paths stay
-//! within noise of uninstrumented ones.
+//! checks [`enabled`], a single relaxed atomic load against the maximum
+//! level any sink (the installed subscriber or the armed flight recorder)
+//! wants. With the [`NullSubscriber`] installed (or nothing installed at
+//! all, the default) that check fails and no field formatting, locking, or
+//! allocation happens — instrumented hot paths stay within noise of
+//! uninstrumented ones.
+//!
+//! Every entered span is assigned a process-unique [`SpanId`]; its parent
+//! is whatever span was innermost on the same thread at entry. A
+//! [`RequestId`] can be bound to the current thread with [`request_scope`]
+//! so that every span and event emitted while serving one gateway request
+//! carries the same causal id.
 //!
 //! [`NullSubscriber`]: crate::NullSubscriber
 
+use crate::flightrec;
 use std::cell::RefCell;
 use std::fmt;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
@@ -61,12 +69,56 @@ impl Level {
             Level::Trace => "trace",
         }
     }
+
+    /// Rebuilds a level from its `u8` repr (used by the flight recorder).
+    pub(crate) fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Level {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// Process-unique identity of one entered span. Ids are allocated from a
+/// global counter and never reused within a process; `SpanId(0)` never
+/// occurs (0 is the "none" encoding in the flight recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// Identity of one externally driven request (a gateway operation, a
+/// simulate run). Bound to a thread with [`request_scope`]; every span and
+/// event emitted inside the scope carries it. `RequestId(0)` never occurs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh [`RequestId`] from the global counter.
+pub fn next_request_id() -> RequestId {
+    RequestId(NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
 }
 
 /// The value of one structured field.
@@ -168,6 +220,10 @@ pub struct EventRecord<'a> {
     pub fields: &'a [Field],
     /// Names of the spans currently open on this thread, outermost first.
     pub span_path: &'a [&'static str],
+    /// Id of the innermost open span, if any.
+    pub span_id: Option<SpanId>,
+    /// The request scope this event fired under, if any.
+    pub request: Option<RequestId>,
 }
 
 /// An entered or exited span as the subscriber sees it. `span_path`
@@ -182,6 +238,12 @@ pub struct SpanRecord<'a> {
     pub fields: &'a [Field],
     /// Open spans on this thread, outermost first, this span last.
     pub span_path: &'a [&'static str],
+    /// This span's process-unique id.
+    pub id: SpanId,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// The request scope this span opened under, if any.
+    pub request: Option<RequestId>,
 }
 
 /// Receives events and span transitions. Implementations must be cheap to
@@ -204,15 +266,37 @@ pub trait Subscriber: Send + Sync {
     fn flush(&self) {}
 }
 
+/// The combined fast-path gate: max of the subscriber's level and the
+/// armed flight recorder's level. [`enabled`] reads only this.
 static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+/// The installed subscriber's own level (dispatch re-checks this so a
+/// trace-level flight recorder does not flood an info-level subscriber).
+static SUB_LEVEL: AtomicU8 = AtomicU8::new(0);
 
 fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
     static SLOT: OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> = OnceLock::new();
     SLOT.get_or_init(|| RwLock::new(None))
 }
 
+/// Per-thread span context: parallel name/id stacks (parallel so the
+/// subscriber-facing `span_path: &[&'static str]` borrows straight from
+/// the stack without per-dispatch allocation) plus the bound request.
+#[derive(Default)]
+struct ThreadCtx {
+    names: Vec<&'static str>,
+    ids: Vec<SpanId>,
+    request: Option<RequestId>,
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx::default());
+}
+
+/// Recomputes [`MAX_LEVEL`] from the subscriber and flight-recorder
+/// levels. Called whenever either side changes.
+pub(crate) fn recompute_max_level() {
+    let combined = SUB_LEVEL.load(Ordering::Acquire).max(flightrec::armed_level_u8());
+    MAX_LEVEL.store(combined, Ordering::Release);
 }
 
 /// Installs `subscriber` as the process-global sink and arms the fast-path
@@ -221,27 +305,63 @@ thread_local! {
 pub fn install(subscriber: Arc<dyn Subscriber>) {
     let level = subscriber.max_level().map_or(0, |l| l as u8);
     *subscriber_slot().write().expect("subscriber lock poisoned") = Some(subscriber);
-    MAX_LEVEL.store(level, Ordering::Release);
+    SUB_LEVEL.store(level, Ordering::Release);
+    recompute_max_level();
 }
 
-/// Removes the global subscriber: tracing reverts to disabled, the
-/// default.
+/// Removes the global subscriber: subscriber dispatch reverts to disabled,
+/// the default (an armed flight recorder keeps recording).
 pub fn uninstall() {
-    MAX_LEVEL.store(0, Ordering::Release);
+    SUB_LEVEL.store(0, Ordering::Release);
     *subscriber_slot().write().expect("subscriber lock poisoned") = None;
+    recompute_max_level();
 }
 
-/// Whether an emission at `level` would reach the installed subscriber.
-/// One relaxed atomic load — gate hot-path instrumentation on this.
+/// Whether an emission at `level` would reach any sink (subscriber or
+/// flight recorder). One relaxed atomic load — gate hot-path
+/// instrumentation on this.
 #[inline]
 pub fn enabled(level: Level) -> bool {
     level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether the installed subscriber itself wants `level`.
+#[inline]
+fn sub_enabled(level: Level) -> bool {
+    level as u8 <= SUB_LEVEL.load(Ordering::Relaxed)
 }
 
 /// Flushes the installed subscriber's buffered output, if any.
 pub fn flush() {
     if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
         sub.flush();
+    }
+}
+
+/// The [`RequestId`] bound to the current thread, if any.
+pub fn current_request() -> Option<RequestId> {
+    CTX.with_borrow(|ctx| ctx.request)
+}
+
+/// Binds `id` as the current thread's request until the guard drops;
+/// nested scopes restore the previous binding. Every span and event
+/// emitted inside the scope carries `id`.
+pub fn request_scope(id: RequestId) -> RequestGuard {
+    let previous = CTX.with_borrow_mut(|ctx| ctx.request.replace(id));
+    RequestGuard { previous }
+}
+
+/// RAII guard returned by [`request_scope`]; dropping restores the
+/// previously bound request (if any).
+#[must_use = "dropping the guard immediately unbinds the request"]
+pub struct RequestGuard {
+    previous: Option<RequestId>,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CTX.with_borrow_mut(|ctx| ctx.request = previous);
     }
 }
 
@@ -252,27 +372,68 @@ pub fn event(level: Level, target: &str, message: &str, fields: &[Field]) {
     if !enabled(level) {
         return;
     }
-    if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
-        SPAN_STACK.with_borrow(|stack| {
-            sub.on_event(&EventRecord { level, target, message, fields, span_path: stack });
-        });
-    }
+    CTX.with_borrow(|ctx| {
+        let span_id = ctx.ids.last().copied();
+        if sub_enabled(level) {
+            if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref()
+            {
+                sub.on_event(&EventRecord {
+                    level,
+                    target,
+                    message,
+                    fields,
+                    span_path: &ctx.names,
+                    span_id,
+                    request: ctx.request,
+                });
+            }
+        }
+        flightrec::record_event(level, message, span_id, ctx.request);
+    });
 }
 
-/// Opens a span: emits the entry immediately and the exit (with elapsed
-/// wall time) when the returned guard drops. When `level` is not
-/// [`enabled`] the guard is inert and nothing is recorded.
+/// Opens a span: assigns it a fresh [`SpanId`], emits the entry
+/// immediately, and emits the exit (with elapsed wall time) when the
+/// returned guard drops. When `level` is not [`enabled`] the guard is
+/// inert and nothing is recorded.
 pub fn span(level: Level, name: &'static str, fields: Vec<Field>) -> SpanGuard {
     if !enabled(level) {
         return SpanGuard { active: None };
     }
-    SPAN_STACK.with_borrow_mut(|stack| stack.push(name));
-    if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
-        SPAN_STACK.with_borrow(|stack| {
-            sub.on_span_enter(&SpanRecord { level, name, fields: &fields, span_path: stack });
-        });
+    let id = SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed));
+    let (parent, request) = CTX.with_borrow_mut(|ctx| {
+        let parent = ctx.ids.last().copied();
+        ctx.names.push(name);
+        ctx.ids.push(id);
+        (parent, ctx.request)
+    });
+    if sub_enabled(level) {
+        if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
+            CTX.with_borrow(|ctx| {
+                sub.on_span_enter(&SpanRecord {
+                    level,
+                    name,
+                    fields: &fields,
+                    span_path: &ctx.names,
+                    id,
+                    parent,
+                    request,
+                });
+            });
+        }
     }
-    SpanGuard { active: Some(ActiveSpan { level, name, fields, start: Instant::now() }) }
+    flightrec::record_span_enter(level, name, id, parent, request);
+    SpanGuard {
+        active: Some(ActiveSpan {
+            level,
+            name,
+            fields,
+            start: Instant::now(),
+            id,
+            parent,
+            request,
+        }),
+    }
 }
 
 struct ActiveSpan {
@@ -280,6 +441,9 @@ struct ActiveSpan {
     name: &'static str,
     fields: Vec<Field>,
     start: Instant,
+    id: SpanId,
+    parent: Option<SpanId>,
+    request: Option<RequestId>,
 }
 
 /// RAII guard returned by [`span`]; exiting the scope closes the span.
@@ -288,28 +452,54 @@ pub struct SpanGuard {
     active: Option<ActiveSpan>,
 }
 
+impl SpanGuard {
+    /// The id assigned to this span, or `None` when the span was disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(active) = self.active.take() else {
             return;
         };
         let elapsed = active.start.elapsed();
-        if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref() {
-            SPAN_STACK.with_borrow(|stack| {
-                sub.on_span_exit(
-                    &SpanRecord {
-                        level: active.level,
-                        name: active.name,
-                        fields: &active.fields,
-                        span_path: stack,
-                    },
-                    elapsed,
-                );
-            });
+        if sub_enabled(active.level) {
+            if let Some(sub) = subscriber_slot().read().expect("subscriber lock poisoned").as_ref()
+            {
+                CTX.with_borrow(|ctx| {
+                    sub.on_span_exit(
+                        &SpanRecord {
+                            level: active.level,
+                            name: active.name,
+                            fields: &active.fields,
+                            span_path: &ctx.names,
+                            id: active.id,
+                            parent: active.parent,
+                            request: active.request,
+                        },
+                        elapsed,
+                    );
+                });
+            }
         }
-        SPAN_STACK.with_borrow_mut(|stack| {
-            debug_assert_eq!(stack.last(), Some(&active.name), "span guard dropped out of order");
-            stack.pop();
+        flightrec::record_span_exit(
+            active.level,
+            active.name,
+            active.id,
+            active.parent,
+            active.request,
+            elapsed,
+        );
+        CTX.with_borrow_mut(|ctx| {
+            debug_assert_eq!(
+                ctx.names.last(),
+                Some(&active.name),
+                "span guard dropped out of order"
+            );
+            ctx.names.pop();
+            ctx.ids.pop();
         });
     }
 }
@@ -325,6 +515,8 @@ mod tests {
         assert!(Level::parse("loud").is_err());
         assert!(Level::Error < Level::Trace);
         assert_eq!(Level::Warn.to_string(), "warn");
+        assert_eq!(Level::from_u8(Level::Trace as u8), Some(Level::Trace));
+        assert_eq!(Level::from_u8(0), None);
     }
 
     #[test]
@@ -344,5 +536,23 @@ mod tests {
         assert!(!enabled(Level::Error) || MAX_LEVEL.load(Ordering::Relaxed) > 0);
         event(Level::Trace, "t", "nothing listens", &[]);
         let _guard = span(Level::Trace, "noop", Vec::new());
+    }
+
+    #[test]
+    fn request_scope_nests_and_restores() {
+        assert_eq!(current_request(), None);
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        {
+            let _outer = request_scope(a);
+            assert_eq!(current_request(), Some(a));
+            {
+                let _inner = request_scope(b);
+                assert_eq!(current_request(), Some(b));
+            }
+            assert_eq!(current_request(), Some(a));
+        }
+        assert_eq!(current_request(), None);
     }
 }

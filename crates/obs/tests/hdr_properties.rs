@@ -1,0 +1,97 @@
+//! Property-based invariants of the HDR quantile histogram: reported
+//! quantiles stay within one bucket width of the exact order statistic,
+//! and merging histograms is indistinguishable from recording the
+//! concatenated stream.
+
+use proptest::prelude::*;
+use wsan_obs::HdrHistogram;
+
+/// Random observation streams mixing small exact-bucket values with
+/// values from every log-linear block up to ~2^40.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..41, 0u64..1_000_000), 1..400).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(shift, raw)| {
+                let base = 1u64 << shift;
+                base.saturating_add(raw % base.max(1))
+            })
+            .collect()
+    })
+}
+
+/// The exact order statistic of rank `ceil(q * n)` (1-based, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile lies within the bucket of the exact order
+    /// statistic (relative error bounded by the 1/64 bucket width), never
+    /// above the recorded maximum.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(samples in arb_samples()) {
+        let h = HdrHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let max = *sorted.last().expect("non-empty");
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = h.value_at_quantile(q);
+            let (lo, hi) = HdrHistogram::equivalent_range(exact);
+            prop_assert!(
+                got >= lo && got <= hi.min(max),
+                "q={q}: got {got}, exact {exact}, bucket [{lo},{hi}], max {max}"
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.min, *sorted.first().expect("non-empty"));
+        prop_assert_eq!(snap.max, max);
+        prop_assert_eq!(snap.sum, samples.iter().copied().map(u128::from).sum::<u128>() as u64);
+    }
+
+    /// merge(a, b) is bucket-identical to recording a ++ b into one
+    /// histogram — same buckets, same snapshot, same quantiles.
+    #[test]
+    fn merge_equals_concatenated_stream(a in arb_samples(), b in arb_samples()) {
+        let ha = HdrHistogram::new();
+        let hb = HdrHistogram::new();
+        let concat = HdrHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.nonzero_buckets(), concat.nonzero_buckets());
+        prop_assert_eq!(ha.snapshot(), concat.snapshot());
+        for &q in &[0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.value_at_quantile(q), concat.value_at_quantile(q));
+        }
+    }
+
+    /// The bucket invariant behind the error bound: every value maps to a
+    /// bucket containing it, with width at most 1/64 of the value.
+    #[test]
+    fn equivalent_range_contains_value_with_bounded_width(v in 0u64..=u64::MAX) {
+        let (lo, hi) = HdrHistogram::equivalent_range(v);
+        prop_assert!(lo <= v && v <= hi);
+        if v >= 64 {
+            let width = hi - lo;
+            prop_assert!(u128::from(width) * 64 <= u128::from(v) * 2, "width {width} too wide for {v}");
+        } else {
+            prop_assert_eq!(lo, hi);
+        }
+    }
+}

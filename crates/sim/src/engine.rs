@@ -35,6 +35,9 @@ pub(crate) struct SimMetrics {
     pub(crate) deliveries: wsan_obs::Counter,
     pub(crate) expiries: wsan_obs::Counter,
     pub(crate) prr: wsan_obs::Histogram,
+    /// Wall time spent resolving one busy slot's transmissions, with
+    /// p50/p90/p99/p999 quantiles (both engines record into it).
+    pub(crate) slot_batch_ns: wsan_obs::HdrHistogram,
 }
 
 impl SimMetrics {
@@ -48,6 +51,27 @@ impl SimMetrics {
             deliveries: reg.counter("sim.deliveries"),
             expiries: reg.counter("sim.expiries"),
             prr: reg.histogram("sim.prr", &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
+            slot_batch_ns: reg.quantile("sim.slot_batch_ns"),
+        }
+    }
+
+    /// Publishes per-flow end-to-end gauges from a finished report:
+    /// `sim.flow.<i>.pdr` and `sim.flow.<i>.latency_mean_slots`. Cold path
+    /// (once per run); gauge registration takes the registry write lock.
+    pub(crate) fn record_flow_gauges(report: &crate::SimReport) {
+        let reg = wsan_obs::global_metrics();
+        for (fi, stats) in report.flows.iter().enumerate() {
+            let pdr = if stats.released == 0 {
+                0.0
+            } else {
+                stats.delivered as f64 / stats.released as f64
+            };
+            reg.gauge(&format!("sim.flow.{fi}.pdr")).set(pdr);
+            let lat = &report.latencies[fi];
+            if !lat.is_empty() {
+                let mean = lat.iter().map(|&l| f64::from(l)).sum::<f64>() / lat.len() as f64;
+                reg.gauge(&format!("sim.flow.{fi}.latency_mean_slots")).set(mean);
+            }
         }
     }
 }
@@ -450,6 +474,8 @@ impl<'a> Simulator<'a> {
                     let duty = rng.gen::<f64>() < w.duty_cycle;
                     env_active[i] = duty && !injector.interferer_silenced(i);
                 }
+                let batch_started = (metrics.is_some() && !self.per_slot[slot as usize].is_empty())
+                    .then(std::time::Instant::now);
                 // Which scheduled transmissions actually fire this slot?
                 // A crashed sender transmits nothing at all.
                 actives.clear();
@@ -546,6 +572,9 @@ impl<'a> Simulator<'a> {
                         }
                     }
                 }
+                if let (Some(m), Some(started)) = (&metrics, batch_started) {
+                    m.slot_batch_ns.record_nanos(started.elapsed());
+                }
             }
             // neighbor-discovery probes: contention-free, cycling channels
             for _ in 0..config.discovery_probes {
@@ -627,6 +656,7 @@ impl<'a> Simulator<'a> {
         let log = injector.into_log();
         if let Some(m) = &metrics {
             m.fault_events.add(log.fired() as u64);
+            SimMetrics::record_flow_gauges(&report);
         }
         if wsan_obs::enabled(wsan_obs::Level::Info) {
             wsan_obs::event(

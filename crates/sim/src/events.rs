@@ -67,6 +67,17 @@ enum EventKind {
     SlotBatch,
 }
 
+impl EventKind {
+    /// Display name used by dispatch tracing.
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::RepBoundary => "rep_boundary",
+            EventKind::FaultChange => "fault_change",
+            EventKind::SlotBatch => "slot_batch",
+        }
+    }
+}
+
 /// One queued event. Ordered by `(asn, kind)`; `rep` / `busy_idx` are
 /// payload for the component that scheduled it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -159,6 +170,19 @@ pub(crate) fn run(
         }
     }
     while let Some(Reverse(ev)) = queue.pop() {
+        // Per-event dispatch tracing (trace-level firehose). Fired inside
+        // the `sim.run_events` span, so every dispatch record carries its
+        // span id and any enclosing request id — the causal chain from a
+        // gateway request down to a single event stays reconstructable from
+        // a flight-recorder dump. Never touches the engine RNG.
+        if wsan_obs::enabled(wsan_obs::Level::Trace) {
+            wsan_obs::event(
+                wsan_obs::Level::Trace,
+                "wsan_sim::events",
+                ev.kind.as_str(),
+                &[wsan_obs::kv("asn", ev.asn), wsan_obs::kv("rep", ev.rep)],
+            );
+        }
         match ev.kind {
             EventKind::FaultChange => run.injector.advance(ev.asn),
             EventKind::SlotBatch => {
@@ -253,6 +277,7 @@ impl<'s> EventRun<'s, '_, '_> {
     /// Resolves every transmission scheduled in busy slot `busy_idx` of
     /// repetition `rep`. Body is the slot-stepper's per-slot block.
     fn slot_batch(&mut self, _rep: u32, busy_idx: usize, asn: u64) {
+        let batch_started = self.metrics.is_some().then(std::time::Instant::now);
         let slot = self.sim.busy_slots[busy_idx];
         self.sample_duty_gates();
         // Which scheduled transmissions actually fire this slot?
@@ -357,6 +382,9 @@ impl<'s> EventRun<'s, '_, '_> {
                 }
             }
         }
+        if let (Some(m), Some(started)) = (&self.metrics, batch_started) {
+            m.slot_batch_ns.record_nanos(started.elapsed());
+        }
     }
 
     /// End-of-repetition bookkeeping: discovery probes, delivery accounting,
@@ -442,6 +470,7 @@ impl<'s> EventRun<'s, '_, '_> {
         let log = self.injector.into_log();
         if let Some(m) = &self.metrics {
             m.fault_events.add(log.fired() as u64);
+            SimMetrics::record_flow_gauges(&self.report);
         }
         if wsan_obs::enabled(wsan_obs::Level::Info) {
             wsan_obs::event(

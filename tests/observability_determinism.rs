@@ -51,4 +51,28 @@ fn null_subscriber_and_metrics_do_not_change_a_seeded_run() {
     let snapshot = wsan::obs::global_metrics().snapshot();
     assert!(snapshot.counters.get("sim.tx").copied().unwrap_or(0) > 0);
     assert!(snapshot.counters.get("core.schedule.runs").copied().unwrap_or(0) > 0);
+
+    // full-bore: live tracing at trace level into an in-memory JSON sink,
+    // flight recorder armed, metrics on — the report must STILL be
+    // byte-identical, because instrumentation never draws from the engine
+    // RNG and never changes control flow.
+    let sink = wsan::obs::SharedBuffer::new();
+    wsan::obs::install(Arc::new(wsan::obs::JsonLinesSubscriber::new(
+        wsan::obs::Level::Trace,
+        sink.clone(),
+    )));
+    wsan::obs::set_metrics_enabled(true);
+    let recorder = wsan::obs::flightrec::arm(4096, wsan::obs::Level::Trace);
+    let traced = seeded_run();
+    wsan::obs::flightrec::disarm();
+    wsan::obs::uninstall();
+    wsan::obs::set_metrics_enabled(false);
+    assert_eq!(baseline, traced, "tracing + flight recorder must not perturb the simulation");
+    assert!(recorder.recorded() > 0, "the armed recorder must have captured the run");
+    for record in recorder.dump() {
+        // every ring record round-trips through its serde form
+        let line = serde_json::to_string(&record).expect("record serializes");
+        let back: wsan::obs::FlightRecord = serde_json::from_str(&line).expect("record parses");
+        assert_eq!(record, back);
+    }
 }
