@@ -73,6 +73,27 @@ grep -q '"schema": "wsan.gateway_bench/1"' BENCH_gateway.json
 cp "$gwb_dir/BENCH_gateway.json" "$fresh_bench_dir/"
 rm -rf "$gwb_dir"
 
+echo "==> shard bench smoke (shard_bench schema + committed snapshot)"
+shb_dir="$(mktemp -d)"
+WSAN_RESULTS_DIR="$shb_dir" ./target/release/shard_bench --quick
+test -s "$shb_dir/BENCH_shard.json"
+grep -q '"schema": "wsan.shard_bench/1"' "$shb_dir/BENCH_shard.json"
+grep -q '"speedup_vs_single"' "$shb_dir/BENCH_shard.json"
+grep -q '"median_schedule_ns"' "$shb_dir/BENCH_shard.json"
+# the committed snapshot must track the same schema
+grep -q '"schema": "wsan.shard_bench/1"' BENCH_shard.json
+cp "$shb_dir/BENCH_shard.json" "$fresh_bench_dir/"
+rm -rf "$shb_dir"
+
+echo "==> multi-gateway shard smoke (small plant, stitched validation)"
+shard_dir="$(mktemp -d)"
+cargo run --release -q -p wsan-cli --bin wsan -- shard --nodes 120 --shards 2 \
+    --flows-per-shard 3 --seed 3 --out "$shard_dir/shard.json" > "$shard_dir/shard.log"
+cat "$shard_dir/shard.log"
+grep -q "validated" "$shard_dir/shard.log"
+grep -q '"shards": 2' "$shard_dir/shard.json"
+rm -rf "$shard_dir"
+
 echo "==> bench regression gate (advisory: quick-mode timings are noisy)"
 cargo run --release -q -p wsan-bench --bin bench_check -- \
     --fresh "$fresh_bench_dir" --tolerance 1.5 \

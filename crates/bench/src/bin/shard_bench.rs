@@ -1,0 +1,237 @@
+//! `shard_bench` — the tracked multi-gateway scaling benchmark.
+//!
+//! Generates one ~1200-node city plant and schedules it end to end —
+//! partition, per-shard scheduling on the worker pool, stitch,
+//! whole-network validation — at increasing shard counts, with shard
+//! count 1 as the single-gateway baseline. Writes `BENCH_shard.json`
+//! (schema-checked by ci.sh) so the sharded-scheduling wall-clock
+//! trajectory is comparable across PRs. Every timed run also re-checks
+//! the stitched-schedule digest against a sequential (`jobs = 1`) run:
+//! the pool must never change the schedule.
+//!
+//! ```sh
+//! cargo run --release -p wsan-bench --bin shard_bench [-- --iters 5 --quick --out PATH]
+//! ```
+//!
+//! * `--iters N` — timed repetitions per shard count (default 5),
+//! * `--seed S` — plant + workload seed (default 42),
+//! * `--nodes N` — target plant size (default 1200),
+//! * `--quick` — caps iterations at 2 for a smoke pass,
+//! * `--out PATH` — output path (default `results/BENCH_shard.json`).
+
+use serde::Serialize;
+use std::process::ExitCode;
+use wsan_bench::{results_dir, run_main, write_err, BenchError};
+use wsan_core::shard::ShardConfig;
+use wsan_expr::sharding::schedule_sharded;
+use wsan_expr::Algorithm;
+use wsan_net::plants::{generate, PlantConfig};
+use wsan_net::ChannelId;
+
+/// The file-format tag checked by ci.sh's smoke step.
+const SCHEMA: &str = "wsan.shard_bench/1";
+
+/// Total flows scheduled across the whole plant, constant over every
+/// shard count (divisible by 1, 2, 4, and 8) so the comparison is fair.
+const TOTAL_FLOWS: usize = 24;
+
+#[derive(Debug, Serialize)]
+struct ScenarioResult {
+    /// Shards (= gateways); 1 is the single-gateway baseline.
+    shards: u64,
+    /// Spectrum colors the shard conflict graph needed.
+    colors: u64,
+    /// Flows scheduled (summed over shards).
+    flows: u64,
+    /// Entries in the stitched whole-network schedule.
+    entries: u64,
+    /// Stitched hyperperiod in slots.
+    horizon: u64,
+    /// Stitched-schedule digest — identical for every iteration and for
+    /// `jobs = 1` vs the full pool.
+    digest: String,
+    /// Median wall-clock of partition + parallel per-shard scheduling.
+    median_schedule_ns: u64,
+    /// Median wall-clock of stitching the shard schedules.
+    median_stitch_ns: u64,
+    /// Median wall-clock of whole-network validation.
+    median_validate_ns: u64,
+    /// `median_schedule_ns(shards = 1) / median_schedule_ns` — the
+    /// multi-gateway acceptance series.
+    speedup_vs_single: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    iters: u64,
+    seed: u64,
+    target_nodes: u64,
+    nodes: u64,
+    links: u64,
+    channels: u64,
+    algorithm: String,
+    scenarios: Vec<ScenarioResult>,
+}
+
+struct Options {
+    iters: usize,
+    seed: u64,
+    nodes: usize,
+    out: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, BenchError> {
+    const USAGE: &str = "supported: --iters N --seed S --nodes N --quick --out PATH";
+    let mut opts = Options { iters: 5, seed: 42, nodes: 1200, out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| BenchError::Usage(format!("--iters needs a value; {USAGE}")))?;
+                opts.iters = raw.parse().map_err(|_| {
+                    BenchError::Usage(format!("--iters got malformed value '{raw}'; {USAGE}"))
+                })?;
+            }
+            "--seed" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| BenchError::Usage(format!("--seed needs a value; {USAGE}")))?;
+                opts.seed = raw.parse().map_err(|_| {
+                    BenchError::Usage(format!("--seed got malformed value '{raw}'; {USAGE}"))
+                })?;
+            }
+            "--nodes" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| BenchError::Usage(format!("--nodes needs a value; {USAGE}")))?;
+                opts.nodes = raw.parse().map_err(|_| {
+                    BenchError::Usage(format!("--nodes got malformed value '{raw}'; {USAGE}"))
+                })?;
+            }
+            "--out" => {
+                opts.out =
+                    Some(std::path::PathBuf::from(args.next().ok_or_else(|| {
+                        BenchError::Usage(format!("--out needs a value; {USAGE}"))
+                    })?));
+            }
+            "--quick" => opts.iters = opts.iters.min(2),
+            other => return Err(BenchError::Usage(format!("unknown argument {other}; {USAGE}"))),
+        }
+    }
+    if opts.iters == 0 {
+        return Err(BenchError::Usage(format!("--iters must be at least 1; {USAGE}")));
+    }
+    Ok(opts)
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    run_main(|| {
+        let opts = parse_args()?;
+        let plant_cfg = PlantConfig::city(format!("city-{}", opts.nodes), opts.nodes);
+        let plant = generate(&plant_cfg, opts.seed);
+        let channels = ChannelId::all();
+        let algo = Algorithm::Rc { rho_t: 2 };
+        println!(
+            "== shard_bench: {} iters, seed {}, {} nodes, {} links ==",
+            opts.iters,
+            opts.seed,
+            plant.node_count(),
+            plant.links().len()
+        );
+
+        let mut report = Report {
+            schema: SCHEMA.to_string(),
+            iters: opts.iters as u64,
+            seed: opts.seed,
+            target_nodes: opts.nodes as u64,
+            nodes: plant.node_count() as u64,
+            links: plant.links().len() as u64,
+            channels: channels.len() as u64,
+            algorithm: algo.to_string(),
+            scenarios: Vec::new(),
+        };
+
+        let mut single_gateway_ns = None;
+        for shards in [1usize, 2, 4, 8] {
+            let cfg = ShardConfig {
+                flows_per_shard: TOTAL_FLOWS / shards,
+                ..ShardConfig::new(shards, opts.seed, 0)
+            };
+            let mut schedule_samples = Vec::with_capacity(opts.iters);
+            let mut stitch_samples = Vec::with_capacity(opts.iters);
+            let mut validate_samples = Vec::with_capacity(opts.iters);
+            let mut last = None;
+            for _ in 0..opts.iters {
+                let outcome = schedule_sharded(&plant, &channels, &cfg, &algo, 0)
+                    .map_err(|e| BenchError::Run(format!("{shards} shard(s): {e}")))?;
+                if let Some(prev) = &last {
+                    if *prev != outcome.report.digest {
+                        return Err(BenchError::Run(format!(
+                            "{shards} shard(s): digest changed between iterations"
+                        )));
+                    }
+                }
+                last = Some(outcome.report.digest);
+                schedule_samples.push(outcome.report.schedule_ns.max(1));
+                stitch_samples.push(outcome.report.stitch_ns.max(1));
+                validate_samples.push(outcome.report.validate_ns.max(1));
+                if schedule_samples.len() == opts.iters {
+                    // determinism pin: the full pool and a sequential run
+                    // must stitch byte-identical schedules
+                    let seq = schedule_sharded(&plant, &channels, &cfg, &algo, 1)
+                        .map_err(|e| BenchError::Run(format!("{shards} shard(s) seq: {e}")))?;
+                    if seq.report.digest != outcome.report.digest {
+                        return Err(BenchError::Run(format!(
+                            "{shards} shard(s): jobs=1 digest diverged from pool digest"
+                        )));
+                    }
+                    let median_schedule_ns = median(&mut schedule_samples);
+                    let median_stitch_ns = median(&mut stitch_samples);
+                    let median_validate_ns = median(&mut validate_samples);
+                    let single = *single_gateway_ns.get_or_insert(median_schedule_ns);
+                    let speedup = single as f64 / median_schedule_ns as f64;
+                    println!(
+                        "  k={shards}: schedule {:>8.2} ms  stitch {:>6.2} ms  validate {:>6.2} ms  \
+                         {} colors  speedup {speedup:.2}x",
+                        median_schedule_ns as f64 / 1e6,
+                        median_stitch_ns as f64 / 1e6,
+                        median_validate_ns as f64 / 1e6,
+                        outcome.report.colors,
+                    );
+                    report.scenarios.push(ScenarioResult {
+                        shards: shards as u64,
+                        colors: outcome.report.colors as u64,
+                        flows: outcome.report.flows as u64,
+                        entries: outcome.report.entries as u64,
+                        horizon: u64::from(outcome.report.horizon),
+                        digest: format!("{:016x}", outcome.report.digest),
+                        median_schedule_ns,
+                        median_stitch_ns,
+                        median_validate_ns,
+                        speedup_vs_single: speedup,
+                    });
+                }
+            }
+        }
+
+        let out = opts.out.unwrap_or_else(|| results_dir().join("BENCH_shard.json"));
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(write_err(parent))?;
+            }
+        }
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| BenchError::Run(format!("cannot serialise report: {e}")))?;
+        std::fs::write(&out, json).map_err(write_err(&out))?;
+        println!("report written to {}", out.display());
+        Ok(())
+    })
+}

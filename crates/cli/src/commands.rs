@@ -25,10 +25,15 @@ pub const USAGE: &str = "usage:
   wsan faults   --testbed <indriya|wustl> --flows N [--collapse k1,k2,..]
                 [--epochs N] [--algo nr|ra|rc] [--channels a-b] [--seed N]
                 [--out FILE]                    # fault campaign → JSON
-  wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults|churn>
+  wsan campaign --name <smoke|schedulable|efficiency|exectime|reliability|detection|faults|churn|scale>
                 [--jobs N] [--resume] [--sets N] [--seed N] [--quick]
                 [--engine slots|events]
                 [--out FILE] [--manifest FILE]  # checkpointed sweep → JSON
+  wsan shard    --nodes N --shards K [--algo nr|ra|rc|rc-lite] [--rho N]
+                [--flows-per-shard N] [--pattern p2p|centralized] [--periods x,y]
+                [--seed N] [--jobs N] [--channels a-b] [--out FILE]
+                                                # city plant → validated stitched schedule
+                                                # (all 16 channels unless --channels given)
   wsan serve    --testbed <indriya|wustl> [--algo nr|ra|rc] [--rho N]
                 [--channels a-b] [--seed N] [--prr X]
                 [--journal FILE | --resume-journal FILE] [--paranoid]
@@ -81,6 +86,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "detect" => cmd_detect(&args),
         "faults" => cmd_faults(&args),
         "campaign" => cmd_campaign(&args),
+        "shard" => cmd_shard(&args),
         "serve" => crate::serve::cmd_serve(&args),
         "status" => crate::serve::cmd_status(&args),
         "trace" => cmd_trace_export(&args),
@@ -720,6 +726,95 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Generates a city-scale plant, partitions it into per-gateway shards,
+/// schedules every shard in parallel, stitches, and validates the result
+/// against the whole network — the multi-gateway scaling path.
+fn cmd_shard(args: &Args) -> Result<(), String> {
+    known(
+        args,
+        &[
+            "nodes",
+            "shards",
+            "algo",
+            "rho",
+            "flows-per-shard",
+            "pattern",
+            "periods",
+            "seed",
+            "jobs",
+            "channels",
+            "out",
+        ],
+    )?;
+    let nodes: usize = args.get_or("nodes", 0)?;
+    if nodes == 0 {
+        return Err("--nodes is required (and must be positive)".to_string());
+    }
+    let shards: usize = args.get_or("shards", 2)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let jobs: usize = args.get_or("jobs", 0)?;
+    let algo = algorithm_of(args, Algorithm::Rc { rho_t: 2 })?;
+    let reuse_floor = match algo {
+        Algorithm::Nr => None,
+        Algorithm::Ra { rho } => Some(rho),
+        Algorithm::Rc { rho_t } | Algorithm::RcLite { rho_t } | Algorithm::RcPerFlow { rho_t } => {
+            Some(rho_t)
+        }
+    };
+    // city plants get the full 2.4 GHz band unless the user narrows it:
+    // the spectrum is what gets split between conflicting shards
+    let channels = if args.has("channels") { channels_of(args)? } else { ChannelId::all() };
+    let shard_cfg = wsan_core::shard::ShardConfig {
+        shards,
+        seed,
+        flows_per_shard: args.get_or("flows-per-shard", 6)?,
+        periods: periods_of(args)?,
+        pattern: pattern_of(args)?,
+        reuse_floor,
+        prr_t: Prr::new(0.9).expect("valid"),
+    };
+    let plant_cfg = wsan_net::plants::PlantConfig::city(format!("city-{nodes}"), nodes);
+    let plant = wsan_net::plants::generate(&plant_cfg, seed);
+    println!(
+        "plant {}: {} nodes, {} links (cutoff {:.1} m)",
+        plant.name(),
+        plant.node_count(),
+        plant.links().len(),
+        plant.cutoff_m()
+    );
+    let outcome = wsan_expr::sharding::schedule_sharded(&plant, &channels, &shard_cfg, &algo, jobs)
+        .map_err(|e| format!("sharded scheduling failed: {e}"))?;
+    let report = &outcome.report;
+    println!(
+        "{algo} over {} shard(s), {} spectrum color(s): {} flows, {} entries, horizon {}",
+        report.shards, report.colors, report.flows, report.entries, report.horizon
+    );
+    for shard in outcome.plan.shards() {
+        println!(
+            "  shard {}: gateway n{}, {} nodes, offsets {}..{}",
+            shard.index,
+            shard.gateway.index(),
+            shard.nodes.len(),
+            shard.offset_base,
+            shard.offset_base + shard.offsets
+        );
+    }
+    println!(
+        "stitched schedule validated against the whole network \
+         (schedule {:.1} ms, stitch {:.1} ms, validate {:.1} ms, digest {:016x})",
+        report.schedule_ns as f64 / 1e6,
+        report.stitch_ns as f64 / 1e6,
+        report.validate_ns as f64 / 1e6,
+        report.digest
+    );
+    if let Some(out) = args.get("out") {
+        wsan_expr::table::write_json(out, report)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("report written to {out}");
+    }
+    Ok(())
+}
+
 /// Runs a named experiment campaign through the checkpointing engine:
 /// every sweep point is appended to a manifest as it completes, so an
 /// interrupted run re-invoked with `--resume` only computes what's missing.
@@ -1115,6 +1210,41 @@ mod export_tests {
         let result: wsan_expr::recovery::CampaignResult = serde_json::from_str(&json).unwrap();
         assert_eq!(result.points.len(), 2);
         assert_eq!(result.points[0].collapsed_links, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shard_requires_nodes() {
+        let err = run(&["shard"]).unwrap_err();
+        assert!(err.contains("--nodes"), "{err}");
+    }
+
+    #[test]
+    fn shard_schedules_a_city_plant_and_writes_a_report() {
+        let dir = std::env::temp_dir().join("wsan-cli-shard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.json");
+        run(&[
+            "shard",
+            "--nodes",
+            "120",
+            "--shards",
+            "2",
+            "--flows-per-shard",
+            "3",
+            "--seed",
+            "3",
+            "--jobs",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let report: wsan_expr::sharding::ShardedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.flows, 6);
+        assert!(report.entries > 0);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

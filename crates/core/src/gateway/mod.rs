@@ -553,6 +553,7 @@ impl GatewayState {
                 });
             }
             let from = if horizon == old_horizon { changed_from.min(candidate.len()) } else { 0 };
+            let from = self.effective_from(from, horizon);
             let base = self.prefix_schedule(horizon, from);
             reschedules += 1;
             match self.scheduler.schedule_onto(&set, &self.model, &self.sched_config, base, from) {
@@ -577,6 +578,35 @@ impl GatewayState {
                 }
                 Err(e) => return Err(GatewayError::Schedule(e)),
             }
+        }
+    }
+
+    /// Mid-order admissions re-place every flow at or below the insertion
+    /// point. When that suffix's earliest current placement (the
+    /// *affected-slot watermark*) sits in the first quarter of the
+    /// timeline, the change invalidates the schedule almost from slot 0:
+    /// the suffix run redoes nearly all the placement work of a full run
+    /// *and* pays the prefix snapshot + replay on top. Detect the case
+    /// with one pass over the committed entries (far cheaper than either
+    /// schedule run) and fall through to a full run (`from = 0`) early
+    /// instead, skipping the snapshot. Shallower watermarks stay on the
+    /// suffix path — there the skipped prefix flows outweigh the replay
+    /// cost. Tail appends (`from >= admitted.len()`) never pay this check
+    /// beyond two comparisons.
+    fn effective_from(&self, from: usize, horizon: u32) -> usize {
+        if from == 0 || from >= self.admitted.len() {
+            return from;
+        }
+        let watermark = self
+            .schedule
+            .entries()
+            .iter()
+            .filter(|e| e.tx.flow.index() >= from)
+            .map(|e| e.slot)
+            .min();
+        match watermark {
+            Some(watermark) if u64::from(watermark) * 4 < u64::from(horizon) => 0,
+            _ => from,
         }
     }
 
@@ -687,6 +717,24 @@ mod tests {
         // shorter deadline -> higher priority -> position 0 -> full run
         assert_eq!(r.path, DeltaPath::Full);
         assert_eq!(gw.flow_names(), vec!["high", "low"]);
+        assert_oracle(&gw);
+    }
+
+    #[test]
+    fn deep_mid_order_admission_falls_through_to_full() {
+        let mut gw = rc_gateway(12, 2);
+        gw.add_flow("h1", spec(&[0, 1], 100, 20)).unwrap();
+        gw.add_flow("h2", spec(&[2, 3], 100, 30)).unwrap();
+        gw.add_flow("l1", spec(&[4, 5], 100, 80)).unwrap();
+        gw.add_flow("l2", spec(&[6, 7], 100, 90)).unwrap();
+        // the newcomer sorts between h2 and l1, so l1/l2 must re-place —
+        // and their current placements sit at the very start of the
+        // timeline (deep prefix invalidation). The watermark check must
+        // route this admission to a full run instead of paying prefix
+        // snapshot + replay for a suffix that redoes almost everything.
+        let r = gw.add_flow("mid", spec(&[8, 9], 100, 60)).unwrap();
+        assert_eq!(gw.flow_names(), vec!["h1", "h2", "mid", "l1", "l2"]);
+        assert_eq!(r.path, DeltaPath::Full);
         assert_oracle(&gw);
     }
 

@@ -71,6 +71,7 @@ pub mod render;
 pub mod repair;
 mod schedule;
 mod scheduler;
+pub mod shard;
 mod transmission;
 pub mod validate;
 

@@ -29,6 +29,16 @@ impl NetworkModel {
         NetworkModel { hops, lambda_r, channels, node_count: reuse.node_count() }
     }
 
+    /// Builds the model from an externally computed hop matrix — e.g.
+    /// whole-plant reuse distances restricted to one shard's nodes, where
+    /// building the matrix from an induced subgraph would *overstate*
+    /// distances (paths through other shards are invisible) and make reuse
+    /// decisions unsound.
+    pub fn from_hops(hops: HopMatrix, node_count: usize, channels: usize) -> Self {
+        let lambda_r = hops.diameter();
+        NetworkModel { hops, lambda_r, channels, node_count }
+    }
+
     /// All-pairs hop distances on the channel reuse graph.
     pub fn hops(&self) -> &HopMatrix {
         &self.hops

@@ -24,6 +24,7 @@ pub const NAMES: &[&str] = &[
     "detection",
     "faults",
     "churn",
+    "scale",
 ];
 
 /// Scale knobs shared by every catalog campaign (mirrors the figure
@@ -98,6 +99,7 @@ pub fn run_named(
         "detection" => outcome(detection_runs(opts, cfg)?),
         "faults" => outcome(faults(opts, cfg)?),
         "churn" => outcome(churn(opts, cfg)?),
+        "scale" => outcome(scale(opts, cfg)?),
         other => Err(CampaignError::UnknownCampaign { name: other.to_string() }),
     }
 }
@@ -601,6 +603,68 @@ pub fn faults(
         },
     )?;
     Ok((results, summary))
+}
+
+/// One city-scale sharded scheduling measurement: a generated plant of
+/// `nodes` nodes partitioned into `shards` gateways.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRecord {
+    /// Target plant size the generator was asked for.
+    pub target_nodes: usize,
+    /// Shards the plant was partitioned into.
+    pub shards: usize,
+    /// Algorithm used inside every shard.
+    pub algorithm: String,
+    /// The sharded run's shape and timings.
+    pub report: crate::sharding::ShardedReport,
+}
+
+/// City-scale sweep: plant size × shard count, each point generating a
+/// plant, scheduling it shard-parallel-free (shards are scheduled
+/// sequentially inside the point — the campaign pool already parallelizes
+/// across points), stitching, and validating the whole network. The
+/// stitched-schedule digest in each record pins determinism across runs
+/// and job counts.
+pub fn scale(
+    opts: &SweepOptions,
+    cfg: &CampaignConfig,
+) -> Result<(Vec<ScaleRecord>, CampaignSummary), CampaignError> {
+    let node_targets: &[usize] = if opts.quick { &[120, 240] } else { &[300, 600, 1200] };
+    let shard_counts: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let algo = Algorithm::Rc { rho_t: 2 };
+    let mut points = Vec::new();
+    for &nodes in node_targets {
+        for &shards in shard_counts {
+            points.push(PointSpec::new(format!("n{nodes}/k{shards}"), (nodes, shards)));
+        }
+    }
+    let mut out = Vec::new();
+    let summary = run(
+        "scale",
+        &points,
+        cfg,
+        |p| {
+            let (nodes, shards) = p.input;
+            let plant_cfg = wsan_net::plants::PlantConfig::city(format!("city-{nodes}"), nodes);
+            let plant = wsan_net::plants::generate(&plant_cfg, opts.seed);
+            let shard_cfg = wsan_core::shard::ShardConfig {
+                flows_per_shard: if opts.quick { 3 } else { 6 },
+                ..wsan_core::shard::ShardConfig::new(shards, opts.seed, 0)
+            };
+            let channels = ChannelId::all();
+            let outcome =
+                crate::sharding::schedule_sharded(&plant, &channels, &shard_cfg, &algo, 1)
+                    .map_err(|e| e.to_string())?;
+            Ok(ScaleRecord {
+                target_nodes: nodes,
+                shards,
+                algorithm: algo.to_string(),
+                report: outcome.report,
+            })
+        },
+        |_, r| out.push(r),
+    )?;
+    Ok((out, summary))
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub mod parallel;
 pub mod recovery;
 pub mod reliability;
 pub mod schedulable;
+pub mod sharding;
 pub mod table;
 
 pub use algo::Algorithm;

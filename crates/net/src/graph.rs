@@ -89,6 +89,21 @@ impl HopMatrix {
         HopMatrix { n, dist }
     }
 
+    /// Builds a matrix from row-major distances (`dist[a · n + b]`).
+    ///
+    /// Use this to carry externally computed distances — e.g. the global
+    /// reuse-graph distances of a whole plant restricted to one shard's
+    /// nodes, which per-shard scheduling must use so its reuse decisions
+    /// stay conservative with respect to paths through *other* shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.len() != n * n`.
+    pub fn from_rows(n: usize, dist: Vec<u32>) -> Self {
+        assert_eq!(dist.len(), n * n, "hop matrix needs n² entries");
+        HopMatrix { n, dist }
+    }
+
     /// Hop distance between `a` and `b`; [`UNREACHABLE`] when disconnected.
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
         self.dist[a.index() * self.n + b.index()]

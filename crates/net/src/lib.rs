@@ -45,6 +45,7 @@ mod error;
 mod graph;
 mod link;
 mod node;
+pub mod plants;
 pub mod propagation;
 pub mod routing;
 pub mod selection;

@@ -82,12 +82,26 @@ impl Position {
         (dx * dx + dy * dy + dz * dz).sqrt()
     }
 
-    /// Number of floors between this position and `other`, assuming
-    /// `floor_height` meters per floor.
+    /// The floor this position sits on, bucketing by floor *base*: floor
+    /// `k` spans `[k·floor_height, (k+1)·floor_height)`.
+    ///
+    /// Generators place nodes relative to floor bases, so metrics must
+    /// bucket the same way. `div_euclid`-style flooring keeps positions
+    /// below ground (negative `z`) on well-defined negative floors.
+    pub fn floor_index(&self, floor_height: f64) -> i64 {
+        (self.z / floor_height).floor() as i64
+    }
+
+    /// Number of floor slabs separating this position from `other`,
+    /// assuming `floor_height` meters per floor.
     ///
     /// Used by the propagation model to charge floor-penetration loss.
+    /// Both positions are bucketed to their floor base via
+    /// [`Position::floor_index`]; the previous `round()` formulation put a
+    /// node exactly halfway between floors on the *upper* floor
+    /// (round-half-away), disagreeing with how generators place nodes.
     pub fn floors_between(&self, other: &Position, floor_height: f64) -> u32 {
-        ((self.z - other.z).abs() / floor_height).round() as u32
+        self.floor_index(floor_height).abs_diff(other.floor_index(floor_height)) as u32
     }
 }
 
@@ -135,6 +149,32 @@ mod tests {
         let b = Position::new(0.0, 0.0, 8.0);
         assert_eq!(a.floors_between(&b, 4.0), 2);
         assert_eq!(a.floors_between(&a, 4.0), 0);
+    }
+
+    #[test]
+    fn floors_between_buckets_by_floor_base_not_round_half_away() {
+        // z = 6.0 with 4 m floors is halfway between floor bases 4.0 and
+        // 8.0, but it physically sits *on* floor 1 ([4, 8)). round() used
+        // to bucket it upward to two slabs away from the ground floor.
+        let ground = Position::new(0.0, 0.0, 0.0);
+        let halfway = Position::new(0.0, 0.0, 6.0);
+        assert_eq!(ground.floors_between(&halfway, 4.0), 1);
+        // the method stays symmetric
+        assert_eq!(halfway.floors_between(&ground, 4.0), 1);
+        // just below the next base is still the same floor …
+        let below = Position::new(0.0, 0.0, 7.999);
+        assert_eq!(ground.floors_between(&below, 4.0), 1);
+        // … and exactly on the base belongs to the upper floor
+        let on_base = Position::new(0.0, 0.0, 8.0);
+        assert_eq!(ground.floors_between(&on_base, 4.0), 2);
+    }
+
+    #[test]
+    fn floor_index_handles_negative_elevation() {
+        let basement = Position::new(0.0, 0.0, -0.5);
+        assert_eq!(basement.floor_index(4.0), -1);
+        let ground = Position::new(0.0, 0.0, 0.0);
+        assert_eq!(ground.floors_between(&basement, 4.0), 1);
     }
 
     #[test]

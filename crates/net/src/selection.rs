@@ -54,21 +54,31 @@ impl ChannelSelection {
     }
 }
 
-/// Mean directed PRR over all node pairs on one channel.
+/// Mean directed PRR over the *measured* links of one channel (links with
+/// `PRR > 0`; sparse plant-scale topologies leave most pairs unmeasured).
+///
+/// A channel with no measured links scores `0.0` — the naive `sum / count`
+/// would be `0/0 = NaN` there, and a NaN score poisons the total order the
+/// ranking sort relies on.
 fn mean_prr(topology: &Topology, channel: ChannelId) -> f64 {
     let n = topology.node_count();
-    if n < 2 {
-        return 0.0;
-    }
     let mut sum = 0.0;
+    let mut measured = 0usize;
     for a in 0..n {
         for b in 0..n {
             if a != b {
-                sum += topology.prr(NodeId::new(a), NodeId::new(b), channel).value();
+                let prr = topology.prr(NodeId::new(a), NodeId::new(b), channel).value();
+                if prr > 0.0 {
+                    sum += prr;
+                    measured += 1;
+                }
             }
         }
     }
-    sum / (n * (n - 1)) as f64
+    if measured == 0 {
+        return 0.0;
+    }
+    sum / measured as f64
 }
 
 /// Number of unordered pairs with both directions ≥ `prr_t` on `channel`.
@@ -90,10 +100,13 @@ fn reliable_link_count(topology: &Topology, channel: ChannelId, prr_t: Prr) -> u
 
 /// Takes the top `m` by score (desc), ties toward the lower channel, and
 /// returns them in channel order.
+///
+/// Sorts with [`f64::total_cmp`] so the ranking is a total order even if a
+/// scoring function ever leaks a NaN — the old `partial_cmp().expect()`
+/// panicked there — and the ChannelId tiebreak keeps the result
+/// deterministic.
 fn rank_and_take(scored: &mut [(f64, ChannelId)], m: usize) -> ChannelSet {
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("scores are finite").then(a.1.number().cmp(&b.1.number()))
-    });
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.number().cmp(&b.1.number())));
     let mut picked: Vec<ChannelId> = scored[..m].iter().map(|(_, ch)| *ch).collect();
     picked.sort_by_key(|c| c.number());
     ChannelSet::new(picked)
@@ -181,6 +194,39 @@ mod tests {
             edges_best + 10 >= edges_first,
             "best-link selection should roughly preserve comm edges: {edges_best} vs {edges_first}"
         );
+    }
+
+    #[test]
+    fn sparse_topology_scores_measured_links_only() {
+        // A plant-scale (sparse) topology: most pairs are unmeasured, and
+        // whole channels can carry zero measured links. Channel 20 has two
+        // perfect links; channel 11 has six mediocre ones; the rest are
+        // empty. Mean-over-measured must prefer the perfect channel — the
+        // old dense mean averaged over every pair, so the channel with
+        // *more* (worse) links won and empty channels depended on a
+        // 0-over-0 guard that sparse scoring no longer trips.
+        let positions: Vec<Position> =
+            (0..8).map(|i| Position::new(5.0 * f64::from(i), 0.0, 0.0)).collect();
+        let mut topo = Topology::new("sparse", positions);
+        let c20 = ChannelId::new(20).unwrap();
+        let c11 = ChannelId::new(11).unwrap();
+        for (a, b) in [(0usize, 1usize), (1, 2)] {
+            topo.set_prr(NodeId::new(a), NodeId::new(b), c20, Prr::ONE).unwrap();
+        }
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)] {
+            topo.set_prr(NodeId::new(a), NodeId::new(b), c11, Prr::new(0.5).unwrap()).unwrap();
+        }
+        let set = ChannelSelection::BestMeanPrr.select(&topo, 2);
+        assert_eq!(set.at(0), c11, "result stays ordered by channel number");
+        assert_eq!(set.at(1), c20);
+        let top = ChannelSelection::BestMeanPrr.select(&topo, 1);
+        assert_eq!(top.at(0), c20, "few perfect links must beat many mediocre ones");
+        // selection over a topology where *every* channel is empty stays
+        // deterministic and total-ordered (ties toward the band prefix)
+        let empty = Topology::new("void", vec![Position::default(), Position::new(5.0, 0.0, 0.0)]);
+        let set = ChannelSelection::BestMeanPrr.select(&empty, 3);
+        let nums: Vec<u8> = set.iter().map(ChannelId::number).collect();
+        assert_eq!(nums, vec![11, 12, 13]);
     }
 
     #[test]
