@@ -16,8 +16,13 @@ echo "==> cargo test (tier 1)"
 cargo test -q --workspace
 
 echo "==> hot-path equivalence suite runs in the default pass"
-cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_hot_path_primitives_match_reference"
-cargo test -q --test proptest_invariants -- --list | grep -q "equivalence_schedulers_byte_identical_to_reference"
+eq_prop="$(cargo test -q --test proptest_invariants -- --list)"
+echo "$eq_prop" | grep -q "equivalence_hot_path_primitives_match_reference"
+echo "$eq_prop" | grep -q "equivalence_schedulers_byte_identical_to_reference"
+echo "$eq_prop" | grep -q "equivalence_capped_hops_conservative_for_every_rho"
+echo "$eq_prop" | grep -q "equivalence_exact_hops_matches_dense"
+echo "$eq_prop" | grep -q "equivalence_parallel_capped_build_is_byte_identical"
+echo "$eq_prop" | grep -q "equivalence_restricted_extraction_matches_dense"
 
 echo "==> event-vs-oracle sim equivalence suite runs in the default pass"
 eq_list="$(cargo test -q -p wsan-sim --test engine_equivalence -- --list)"
@@ -85,6 +90,20 @@ grep -q '"schema": "wsan.shard_bench/1"' BENCH_shard.json
 cp "$shb_dir/BENCH_shard.json" "$fresh_bench_dir/"
 rm -rf "$shb_dir"
 
+echo "==> graph bench smoke (graph_bench schema + committed snapshot)"
+gb_dir="$(mktemp -d)"
+WSAN_RESULTS_DIR="$gb_dir" ./target/release/graph_bench --quick
+test -s "$gb_dir/BENCH_graph.json"
+grep -q '"schema": "wsan.graph_bench/1"' "$gb_dir/BENCH_graph.json"
+grep -q '"speedup_parallel_vs_dense"' "$gb_dir/BENCH_graph.json"
+grep -q '"median_dense_build_ns"' "$gb_dir/BENCH_graph.json"
+grep -q '"queries_equivalent": true' "$gb_dir/BENCH_graph.json"
+grep -q '"parallel_identical": true' "$gb_dir/BENCH_graph.json"
+# the committed snapshot must track the same schema
+grep -q '"schema": "wsan.graph_bench/1"' BENCH_graph.json
+cp "$gb_dir/BENCH_graph.json" "$fresh_bench_dir/"
+rm -rf "$gb_dir"
+
 echo "==> multi-gateway shard smoke (small plant, stitched validation)"
 shard_dir="$(mktemp -d)"
 cargo run --release -q -p wsan-cli --bin wsan -- shard --nodes 120 --shards 2 \
@@ -93,6 +112,20 @@ cat "$shard_dir/shard.log"
 grep -q "validated" "$shard_dir/shard.log"
 grep -q '"shards": 2' "$shard_dir/shard.json"
 rm -rf "$shard_dir"
+
+echo "==> large-plant shard smoke (5k nodes on the capped-distance path, wall-clock guard)"
+big_dir="$(mktemp -d)"
+big_start="$(date +%s)"
+./target/release/wsan shard --nodes 5000 --shards 8 \
+    --flows-per-shard 3 --seed 42 --out "$big_dir/shard.json" > "$big_dir/shard.log"
+big_elapsed="$(( $(date +%s) - big_start ))"
+cat "$big_dir/shard.log"
+grep -q "validated" "$big_dir/shard.log"
+grep -q '"shards": 8' "$big_dir/shard.json"
+# the whole plan+schedule+stitch+validate pipeline must stay interactive;
+# a dense n² hop matrix sneaking back in would blow this budget wide open
+test "$big_elapsed" -le 120
+rm -rf "$big_dir"
 
 echo "==> bench regression gate (advisory: quick-mode timings are noisy)"
 cargo run --release -q -p wsan-bench --bin bench_check -- \

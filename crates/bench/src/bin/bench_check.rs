@@ -29,8 +29,13 @@ use std::process::ExitCode;
 use wsan_bench::{run_main, BenchError};
 
 /// The tracked reports the gate knows about.
-const REPORTS: &[&str] =
-    &["BENCH_scheduler.json", "BENCH_sim.json", "BENCH_gateway.json", "BENCH_shard.json"];
+const REPORTS: &[&str] = &[
+    "BENCH_scheduler.json",
+    "BENCH_sim.json",
+    "BENCH_gateway.json",
+    "BENCH_shard.json",
+    "BENCH_graph.json",
+];
 
 struct Options {
     fresh: std::path::PathBuf,

@@ -61,6 +61,34 @@ struct ScenarioResult {
     speedup_vs_single: f64,
 }
 
+/// One point of the large-plant scale sweep: the full pipeline at a node
+/// count far beyond the scenario plant, pinning that the capped-distance
+/// path keeps the 5k/10k-node runs schedulable and deterministic.
+#[derive(Debug, Serialize)]
+struct ScalePoint {
+    /// Target plant size requested from the generator.
+    target_nodes: u64,
+    /// Nodes in the generated plant.
+    nodes: u64,
+    /// Shards (= gateways).
+    shards: u64,
+    /// Spectrum colors the shard conflict graph needed.
+    colors: u64,
+    /// Flows scheduled (summed over shards).
+    flows: u64,
+    /// Entries in the stitched whole-network schedule.
+    entries: u64,
+    /// Stitched-schedule digest — identical for every iteration and for
+    /// `jobs = 1` vs the full pool.
+    digest: String,
+    /// Median wall-clock of partition + parallel per-shard scheduling.
+    median_schedule_ns: u64,
+    /// Median wall-clock of stitching the shard schedules.
+    median_stitch_ns: u64,
+    /// Median wall-clock of whole-network validation.
+    median_validate_ns: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: String,
@@ -72,6 +100,9 @@ struct Report {
     channels: u64,
     algorithm: String,
     scenarios: Vec<ScenarioResult>,
+    /// 5k/10k-node pipeline points (fewer iterations — plant generation
+    /// and the runs themselves dominate wall-clock at this scale).
+    scale: Vec<ScalePoint>,
 }
 
 struct Options {
@@ -157,6 +188,7 @@ fn main() -> ExitCode {
             channels: channels.len() as u64,
             algorithm: algo.to_string(),
             scenarios: Vec::new(),
+            scale: Vec::new(),
         };
 
         let mut single_gateway_ns = None;
@@ -217,6 +249,73 @@ fn main() -> ExitCode {
                         median_stitch_ns,
                         median_validate_ns,
                         speedup_vs_single: speedup,
+                    });
+                }
+            }
+        }
+
+        // Scale sweep: the same pipeline at 5k and 10k nodes — the sizes
+        // the dense n² u32 matrix priced out before the capped rebuild.
+        // Fewer iterations: one plant generation alone is O(n²) and
+        // dominates at 10k, and the scenario section above already pins
+        // the fine-grained timing trajectory.
+        let scale_iters = opts.iters.min(2);
+        for target in [5_000usize, 10_000] {
+            let scale_cfg = PlantConfig::city(format!("city-{target}"), target);
+            let scale_plant = generate(&scale_cfg, opts.seed);
+            let shards = 8usize;
+            let cfg = ShardConfig {
+                flows_per_shard: TOTAL_FLOWS / shards,
+                ..ShardConfig::new(shards, opts.seed, 0)
+            };
+            let mut schedule_samples = Vec::with_capacity(scale_iters);
+            let mut stitch_samples = Vec::with_capacity(scale_iters);
+            let mut validate_samples = Vec::with_capacity(scale_iters);
+            let mut last = None;
+            for _ in 0..scale_iters {
+                let outcome = schedule_sharded(&scale_plant, &channels, &cfg, &algo, 0)
+                    .map_err(|e| BenchError::Run(format!("{target} nodes: {e}")))?;
+                if let Some(prev) = &last {
+                    if *prev != outcome.report.digest {
+                        return Err(BenchError::Run(format!(
+                            "{target} nodes: digest changed between iterations"
+                        )));
+                    }
+                }
+                last = Some(outcome.report.digest);
+                schedule_samples.push(outcome.report.schedule_ns.max(1));
+                stitch_samples.push(outcome.report.stitch_ns.max(1));
+                validate_samples.push(outcome.report.validate_ns.max(1));
+                if schedule_samples.len() == scale_iters {
+                    let seq = schedule_sharded(&scale_plant, &channels, &cfg, &algo, 1)
+                        .map_err(|e| BenchError::Run(format!("{target} nodes seq: {e}")))?;
+                    if seq.report.digest != outcome.report.digest {
+                        return Err(BenchError::Run(format!(
+                            "{target} nodes: jobs=1 digest diverged from pool digest"
+                        )));
+                    }
+                    let median_schedule_ns = median(&mut schedule_samples);
+                    let median_stitch_ns = median(&mut stitch_samples);
+                    let median_validate_ns = median(&mut validate_samples);
+                    println!(
+                        "  n={target}: schedule {:>8.2} ms  stitch {:>6.2} ms  \
+                         validate {:>6.2} ms  {} colors",
+                        median_schedule_ns as f64 / 1e6,
+                        median_stitch_ns as f64 / 1e6,
+                        median_validate_ns as f64 / 1e6,
+                        outcome.report.colors,
+                    );
+                    report.scale.push(ScalePoint {
+                        target_nodes: target as u64,
+                        nodes: outcome.report.nodes as u64,
+                        shards: shards as u64,
+                        colors: outcome.report.colors as u64,
+                        flows: outcome.report.flows as u64,
+                        entries: outcome.report.entries as u64,
+                        digest: format!("{:016x}", outcome.report.digest),
+                        median_schedule_ns,
+                        median_stitch_ns,
+                        median_validate_ns,
                     });
                 }
             }

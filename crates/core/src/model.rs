@@ -1,15 +1,18 @@
 //! The network-side inputs a scheduler needs, precomputed once.
 
-use wsan_net::{ChannelSet, HopMatrix, ReuseGraph, Topology};
+use wsan_net::{CappedHops, ChannelSet, HopMatrix, ReuseGraph, Topology};
 
 /// Precomputed network model handed to schedulers: the channel reuse graph's
 /// all-pairs hop distances, its diameter `λ_R`, and the channel count `|M|`.
 ///
 /// Building this once per (topology, channel set) amortizes the BFS work the
-/// channel constraints query on every candidate slot.
+/// channel constraints query on every candidate slot. Distances are stored
+/// as a [`CappedHops`] table built in exact mode (`cap ≥ λ_R + 1`), so every
+/// query the schedulers, validator, and metrics layer make answers exactly
+/// as the dense matrix would, at a quarter of the memory (DESIGN.md §16).
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
-    hops: HopMatrix,
+    hops: CappedHops,
     lambda_r: u32,
     channels: usize,
     node_count: usize,
@@ -24,7 +27,14 @@ impl NetworkModel {
 
     /// Derives the model from an already-built reuse graph.
     pub fn from_reuse_graph(reuse: &ReuseGraph, channels: usize) -> Self {
-        let hops = reuse.hop_matrix();
+        Self::from_reuse_graph_jobs(reuse, channels, 1)
+    }
+
+    /// [`from_reuse_graph`](Self::from_reuse_graph) with the all-pairs BFS
+    /// fanned out over up to `jobs` workers (`0` = all cores). The result
+    /// is byte-identical for any `jobs`.
+    pub fn from_reuse_graph_jobs(reuse: &ReuseGraph, channels: usize, jobs: usize) -> Self {
+        let hops = reuse.exact_hops(jobs);
         let lambda_r = hops.diameter();
         NetworkModel { hops, lambda_r, channels, node_count: reuse.node_count() }
     }
@@ -35,12 +45,21 @@ impl NetworkModel {
     /// distances (paths through other shards are invisible) and make reuse
     /// decisions unsound.
     pub fn from_hops(hops: HopMatrix, node_count: usize, channels: usize) -> Self {
+        Self::from_capped(CappedHops::from_dense(&hops), node_count, channels)
+    }
+
+    /// [`from_hops`](Self::from_hops) for distances already in capped form.
+    /// `λ_R` is taken from [`CappedHops::diameter`], so the table should be
+    /// exact (unsaturated, or saturated only beyond every finite distance
+    /// of interest) for the model to match the dense path.
+    pub fn from_capped(hops: CappedHops, node_count: usize, channels: usize) -> Self {
         let lambda_r = hops.diameter();
         NetworkModel { hops, lambda_r, channels, node_count }
     }
 
-    /// All-pairs hop distances on the channel reuse graph.
-    pub fn hops(&self) -> &HopMatrix {
+    /// All-pairs hop distances on the channel reuse graph, saturated at the
+    /// table's cap (exact for every distance the schedulers query).
+    pub fn hops(&self) -> &CappedHops {
         &self.hops
     }
 
@@ -93,5 +112,33 @@ mod tests {
         let m2 = m.with_channels(8);
         assert_eq!(m2.channels(), 8);
         assert_eq!(m2.lambda_r(), m.lambda_r());
+    }
+
+    #[test]
+    fn parallel_model_build_matches_sequential() {
+        let edges: Vec<_> = (0..99).map(|i| (n(i), n(i + 1))).collect();
+        let reuse = ReuseGraph::from_edges(100, &edges);
+        let seq = NetworkModel::from_reuse_graph_jobs(&reuse, 4, 1);
+        let par = NetworkModel::from_reuse_graph_jobs(&reuse, 4, 4);
+        assert_eq!(seq.lambda_r(), par.lambda_r());
+        assert_eq!(seq.hops(), par.hops());
+    }
+
+    #[test]
+    fn dense_shim_matches_capped_queries() {
+        let reuse = ReuseGraph::from_edges(4, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))]);
+        let dense = NetworkModel::from_hops(reuse.hop_matrix(), 4, 3);
+        let capped = NetworkModel::from_reuse_graph(&reuse, 3);
+        assert_eq!(dense.lambda_r(), capped.lambda_r());
+        for a in 0..4 {
+            for b in 0..4 {
+                for rho in 0..5 {
+                    assert_eq!(
+                        dense.hops().at_least(n(a), n(b), rho),
+                        capped.hops().at_least(n(a), n(b), rho)
+                    );
+                }
+            }
+        }
     }
 }

@@ -40,8 +40,9 @@ use crate::{NetworkModel, Schedule, ScheduleError, ScheduledTx, Scheduler, Sched
 use wsan_flow::{
     FlowError, FlowId, FlowSet, FlowSetConfig, FlowSetGenerator, PeriodRange, TrafficPattern,
 };
+use wsan_net::parallel::parallel_map_with;
 use wsan_net::plants::Plant;
-use wsan_net::{ChannelSet, CommGraph, HopMatrix, NodeId, Prr, UNREACHABLE};
+use wsan_net::{ChannelSet, CommGraph, NodeId, Prr, UNREACHABLE};
 
 /// Knobs of a sharded scheduling run.
 #[derive(Debug, Clone)]
@@ -161,6 +162,13 @@ pub struct Shard {
     pub offset_base: usize,
     /// Width of the shard's channel block.
     pub offsets: usize,
+    /// Maximum communication-graph hop distance from a member to the
+    /// shard's gateway (on the *whole-plant* comm graph). Any two members
+    /// `a, b` satisfy `d_reuse(a, b) ≤ d_comm(a, gw) + d_comm(gw, b) ≤
+    /// 2 · comm_radius` (every comm edge is a reuse edge), so a capped
+    /// distance extraction with `cap = 2 · comm_radius + 1` is provably
+    /// exact for every intra-shard pair (DESIGN.md §16).
+    pub comm_radius: u32,
 }
 
 /// A partition of a plant into per-gateway shards with a conflict-free
@@ -202,30 +210,11 @@ fn mix(seed: u64, salt: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Multi-source BFS over a neighbor function; returns hop distances.
-fn multi_bfs(n: usize, sources: &[NodeId], neighbors: impl Fn(NodeId) -> Vec<NodeId>) -> Vec<u32> {
-    let mut dist = vec![UNREACHABLE; n];
-    let mut queue = std::collections::VecDeque::new();
-    for &s in sources {
-        if dist[s.index()] == UNREACHABLE {
-            dist[s.index()] = 0;
-            queue.push_back(s);
-        }
-    }
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u.index()];
-        for v in neighbors(u) {
-            if dist[v.index()] == UNREACHABLE {
-                dist[v.index()] = du + 1;
-                queue.push_back(v);
-            }
-        }
-    }
-    dist
-}
-
 /// Partitions `plant` into `cfg.shards` per-gateway shards and colors the
 /// shard conflict graph into channel-offset blocks.
+///
+/// The per-gateway Voronoi sweeps fan out over up to `jobs` workers
+/// (`0` = all cores); the plan is byte-identical for any `jobs`.
 ///
 /// # Errors
 ///
@@ -236,6 +225,7 @@ pub fn plan(
     plant: &Plant,
     channels: &ChannelSet,
     cfg: &ShardConfig,
+    jobs: usize,
 ) -> Result<ShardPlan, ShardError> {
     let n = plant.node_count();
     if cfg.shards == 0 {
@@ -254,23 +244,29 @@ pub fn plan(
     }
 
     // Seeded farthest-point gateway selection on the communication graph.
+    // The comm graph is connected, so a cap of n never truncates a wave.
     let mut gateways = vec![NodeId::new((mix(cfg.seed, 0x67617465) % n as u64) as usize)];
     while gateways.len() < cfg.shards {
-        let dist = multi_bfs(n, &gateways, |u| comm.neighbors(u).to_vec());
+        let dist = comm.multi_bfs_capped(&gateways, n as u32);
         let far = (0..n).max_by_key(|&i| (dist[i], std::cmp::Reverse(i))).expect("plant has nodes");
         gateways.push(NodeId::new(far));
     }
 
     // Graph-Voronoi assignment: nearest gateway by hops, ties toward the
-    // lower gateway index. Regions grown this way are connected.
-    let per_gateway: Vec<Vec<u32>> = gateways.iter().map(|&g| comm.bfs_from(g)).collect();
+    // lower gateway index. Regions grown this way are connected. The
+    // per-gateway sweeps are independent, so they fan out over the pool;
+    // assignment consumes the rows in gateway order either way.
+    let per_gateway: Vec<Vec<u32>> =
+        parallel_map_with(gateways.len(), jobs, |s| comm.bfs_from(gateways[s]));
     let mut shard_of = vec![0u32; n];
     let mut nodes: Vec<Vec<NodeId>> = vec![Vec::new(); cfg.shards];
+    let mut comm_radius = vec![0u32; cfg.shards];
     for v in 0..n {
         let best =
             (0..cfg.shards).min_by_key(|&s| (per_gateway[s][v], s)).expect("at least one shard");
         shard_of[v] = best as u32;
         nodes[best].push(NodeId::new(v));
+        comm_radius[best] = comm_radius[best].max(per_gateway[best][v]);
     }
 
     // Shard conflict graph: shards whose node sets come closer than the
@@ -287,8 +283,11 @@ pub fn plan(
             }
         }
         Some(rho) if rho > 0 => {
+            // The test only asks `dist < rho`, so the wave is truncated at
+            // depth rho — it never visits nodes beyond the shard's
+            // rho-neighborhood (distances ≥ rho read back as rho).
             for s in 0..cfg.shards {
-                let dist = multi_bfs(n, &nodes[s], |u| reuse.neighbors(u).to_vec());
+                let dist = reuse.multi_bfs_capped(&nodes[s], rho);
                 for v in 0..n {
                     let t = shard_of[v] as usize;
                     if t != s && dist[v] < rho {
@@ -332,6 +331,7 @@ pub fn plan(
             color: colors[index],
             offset_base: colors[index] * width,
             offsets: width,
+            comm_radius: comm_radius[index],
         })
         .collect();
     Ok(ShardPlan { shards, shard_of, color_count, channels: m, reuse_floor: cfg.reuse_floor })
@@ -354,10 +354,11 @@ pub struct ShardProblem {
 }
 
 /// Builds shard `index`'s scheduling problem: local communication graph,
-/// globally-derived hop matrix, and a seeded flow set.
+/// globally-derived hop distances, and a seeded flow set.
 ///
 /// Deterministic in `(plant, plan, cfg, index)` — safe to run on any
-/// worker of a parallel pool.
+/// worker of a parallel pool. `jobs` bounds the workers of the internal
+/// distance extraction (`0` = all cores) and never changes the result.
 ///
 /// # Errors
 ///
@@ -369,6 +370,7 @@ pub fn build_problem(
     plan: &ShardPlan,
     cfg: &ShardConfig,
     index: usize,
+    jobs: usize,
 ) -> Result<ShardProblem, ShardError> {
     let shard = &plan.shards[index];
     let locals = &shard.nodes;
@@ -396,17 +398,22 @@ pub fn build_problem(
     }
     let comm = CommGraph::from_edges(n_local, &comm_edges);
 
-    // Hop matrix: *global* reuse distances restricted to the shard. An
+    // Hop distances: *global* reuse distances restricted to the shard. An
     // induced-subgraph matrix would overstate distances (paths through
-    // neighboring shards are invisible) and let RC/RA reuse un-conservatively.
+    // neighboring shards are invisible) and let RC/RA reuse
+    // un-conservatively. The capped extraction with `cap = 2·comm_radius
+    // + 1` is provably exact for every intra-shard pair (see
+    // [`Shard::comm_radius`]), so the resulting schedule is byte-identical
+    // to one built from unbounded whole-plant BFS — at a fraction of the
+    // cost, since each wave stops at the shard's reuse neighborhood.
     let reuse = plant.reuse_graph(channels);
-    let mut dist = Vec::with_capacity(n_local * n_local);
-    for &src in locals {
-        let all = reuse.bfs_from(src);
-        dist.extend(locals.iter().map(|g| all[g.index()]));
-    }
-    let hops = HopMatrix::from_rows(n_local, dist);
-    let model = NetworkModel::from_hops(hops, n_local, shard.offsets);
+    let cap = shard.comm_radius.saturating_mul(2).saturating_add(1);
+    let hops = reuse.capped_hops_restricted(locals, cap, jobs);
+    debug_assert!(
+        hops.diameter() < cap,
+        "intra-shard distance reached the cap, violating the radius bound"
+    );
+    let model = NetworkModel::from_capped(hops, n_local, shard.offsets);
 
     let mut generator = FlowSetGenerator::new(mix(cfg.seed, 0x666c_6f77 ^ index as u64));
     let flow_cfg = FlowSetConfig {
@@ -601,7 +608,10 @@ pub fn validate_stitched(
     // §V-A: shared cells must keep every cross pair at or beyond the
     // reuse floor on the whole-plant reuse graph. Distances are computed
     // by BFS from each distinct transmitter that appears in a shared
-    // cell — no quadratic whole-plant hop matrix is needed.
+    // cell, *truncated at the reuse floor* — the test only asks
+    // `dist < rho`, and a rho-capped wave (distances ≥ rho saturate to
+    // rho) answers it exactly while visiting only each transmitter's
+    // rho-neighborhood. No quadratic whole-plant hop matrix is needed.
     let reuse = plant.reuse_graph(channels);
     let mut dist_from: std::collections::BTreeMap<NodeId, Vec<u32>> =
         std::collections::BTreeMap::new();
@@ -617,7 +627,8 @@ pub fn validate_stitched(
         for (i, a) in cell.iter().enumerate() {
             for b in &cell[i + 1..] {
                 for (src, dst) in [(a.link.tx, b.link.rx), (b.link.tx, a.link.rx)] {
-                    let dist = dist_from.entry(src).or_insert_with(|| reuse.bfs_from(src));
+                    let dist =
+                        dist_from.entry(src).or_insert_with(|| reuse.multi_bfs_capped(&[src], rho));
                     worst = worst.min(dist[dst.index()]);
                 }
             }
@@ -663,12 +674,12 @@ mod tests {
         channels: &ChannelSet,
         cfg: &ShardConfig,
     ) -> (ShardPlan, Schedule) {
-        let plan = plan(plant, channels, cfg).unwrap();
+        let plan = plan(plant, channels, cfg, 1).unwrap();
         let scheduler = ReuseConservatively::new(cfg.reuse_floor.unwrap_or(2));
         let sched_cfg = SchedulerConfig::default();
         let parts: Vec<ShardPart> = (0..cfg.shards)
             .map(|i| {
-                let problem = build_problem(plant, channels, &plan, cfg, i).unwrap();
+                let problem = build_problem(plant, channels, &plan, cfg, i, 1).unwrap();
                 let schedule = schedule_shard(&problem, &scheduler, &sched_cfg).unwrap();
                 ShardPart {
                     shard: i,
@@ -688,7 +699,7 @@ mod tests {
         let plant = test_plant();
         let channels = ChannelId::all();
         let cfg = ShardConfig::new(4, 7, 4);
-        let plan = plan(&plant, &channels, &cfg).unwrap();
+        let plan = plan(&plant, &channels, &cfg, 1).unwrap();
         let mut seen = vec![0usize; plant.node_count()];
         for shard in plan.shards() {
             assert!(!shard.nodes.is_empty(), "shard {} is empty", shard.index);
@@ -705,7 +716,7 @@ mod tests {
         let plant = test_plant();
         let channels = ChannelId::all();
         let cfg = ShardConfig::new(4, 3, 4);
-        let plan = plan(&plant, &channels, &cfg).unwrap();
+        let plan = plan(&plant, &channels, &cfg, 1).unwrap();
         for a in plan.shards() {
             for b in plan.shards() {
                 if a.index != b.index && a.color != b.color {
@@ -725,7 +736,7 @@ mod tests {
         let channels = ChannelId::all();
         let mut cfg = ShardConfig::new(4, 3, 4);
         cfg.reuse_floor = None;
-        let plan = plan(&plant, &channels, &cfg).unwrap();
+        let plan = plan(&plant, &channels, &cfg, 1).unwrap();
         assert_eq!(plan.color_count, 4);
         assert!(plan.shards().iter().all(|s| s.offsets == 4));
     }
@@ -777,7 +788,7 @@ mod tests {
         let channels = ChannelId::range(11, 12).unwrap();
         let mut cfg = ShardConfig::new(3, 1, 2);
         cfg.reuse_floor = None;
-        match plan(&plant, &channels, &cfg) {
+        match plan(&plant, &channels, &cfg, 1) {
             Err(ShardError::Channels { colors, channels }) => {
                 assert_eq!(colors, 3);
                 assert_eq!(channels, 2);
@@ -791,6 +802,9 @@ mod tests {
         let plant = test_plant();
         let channels = ChannelId::all();
         let cfg = ShardConfig::new(4, 9, 4);
-        assert_eq!(plan(&plant, &channels, &cfg).unwrap(), plan(&plant, &channels, &cfg).unwrap());
+        assert_eq!(
+            plan(&plant, &channels, &cfg, 1).unwrap(),
+            plan(&plant, &channels, &cfg, 4).unwrap()
+        );
     }
 }

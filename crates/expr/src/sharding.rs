@@ -119,20 +119,30 @@ pub fn schedule_sharded(
     jobs: usize,
 ) -> Result<ShardedOutcome, ShardedError> {
     let started = Instant::now();
-    let plan = plan(plant, channels, cfg)?;
+    let plan = plan(plant, channels, cfg, jobs)?;
     let scheduler = algorithm.build();
     let sched_cfg = SchedulerConfig::default();
     let points: Vec<PointSpec<usize>> =
         (0..cfg.shards).map(|i| PointSpec::new(format!("shard{i}"), i)).collect();
     let pool_cfg = CampaignConfig { jobs, ..CampaignConfig::default() };
+    // The shard points already spread over the pool; give each point's
+    // internal distance extraction the workers left over so a one-shard
+    // run on a big plant still uses every core without oversubscribing a
+    // many-shard run.
+    let effective = if jobs == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        jobs
+    };
+    let inner_jobs = (effective / cfg.shards.max(1)).max(1);
     let mut parts: Vec<ShardPart> = Vec::with_capacity(cfg.shards);
     run(
         "shard",
         &points,
         &pool_cfg,
         |p| {
-            let problem =
-                build_problem(plant, channels, &plan, cfg, p.input).map_err(|e| e.to_string())?;
+            let problem = build_problem(plant, channels, &plan, cfg, p.input, inner_jobs)
+                .map_err(|e| e.to_string())?;
             let schedule = schedule_shard(&problem, scheduler.as_ref(), &sched_cfg)
                 .map_err(|e| e.to_string())?;
             Ok(ShardPart {

@@ -1,44 +1,82 @@
 //! The two graphs the network manager derives from PRR measurements:
 //! the *communication graph* (for routing) and the *channel reuse graph*
 //! (for interference estimation), plus all-pairs hop distances.
+//!
+//! # Scale notes (DESIGN.md §16)
+//!
+//! Adjacency is stored in CSR form (flat `offsets` + `targets`), built once
+//! by sort/dedup — no per-insert duplicate scans. Hop distances come in two
+//! flavors: the dense [`HopMatrix`] (`u32` per cell, kept as the small-graph
+//! oracle) and [`CappedHops`], which stores distances *saturated at a cap*
+//! in one or two bytes per cell. §V-A only ever asks `hops(a,b) ≥ ρ`, so a
+//! saturated distance is exact below the cap and conservative (reuse
+//! denied) at or above it. Both are filled by a bit-parallel multi-source
+//! BFS that advances 64 sources per sweep and fans blocks out over a worker
+//! pool; block results are concatenated in index order, so the output is
+//! byte-identical for any worker count.
 
+use crate::parallel::parallel_map_with;
 use crate::{ChannelSet, DirectedLink, NodeId, Prr, Topology};
-use serde::{Deserialize, Serialize};
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 /// Hop distance that stands for "unreachable".
 pub const UNREACHABLE: u32 = u32::MAX;
 
-/// Undirected adjacency shared by both graph flavors.
+/// Undirected adjacency shared by both graph flavors, in CSR form:
+/// the neighbors of node `v` are `targets[offsets[v]..offsets[v + 1]]`,
+/// sorted ascending.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Adjacency {
     n: usize,
-    neighbors: Vec<Vec<NodeId>>,
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
 }
 
 impl Adjacency {
-    fn new(n: usize) -> Self {
-        Adjacency { n, neighbors: vec![Vec::new(); n] }
+    /// Builds the CSR layout from an iterator of undirected edges.
+    /// Duplicates (including reversed duplicates) collapse in the dedup.
+    fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        // NodeId is u16, so a directed pair packs into one u32 key; sorting
+        // the key vector orders by source then target, which is exactly the
+        // CSR layout.
+        let mut keys: Vec<u32> = Vec::new();
+        for (a, b) in pairs {
+            debug_assert!(a != b, "self loops are not meaningful");
+            let (ai, bi) = (a.index() as u32, b.index() as u32);
+            keys.push(ai << 16 | bi);
+            keys.push(bi << 16 | ai);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        let mut offsets = vec![0u32; n + 1];
+        for &k in &keys {
+            offsets[(k >> 16) as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = keys.iter().map(|&k| NodeId::new((k & 0xffff) as usize)).collect();
+        Adjacency { n, offsets, targets }
     }
 
-    fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        debug_assert!(a != b, "self loops are not meaningful");
-        if !self.neighbors[a.index()].contains(&b) {
-            self.neighbors[a.index()].push(b);
-            self.neighbors[b.index()].push(a);
-        }
+    fn neighbors(&self, a: NodeId) -> &[NodeId] {
+        let i = a.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.neighbors[a.index()].contains(&b)
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     fn degree(&self, a: NodeId) -> usize {
-        self.neighbors[a.index()].len()
+        self.neighbors(a).len()
     }
 
     fn edge_count(&self) -> usize {
-        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+        self.targets.len() / 2
     }
 
     /// Single-source BFS hop distances.
@@ -49,7 +87,7 @@ impl Adjacency {
         q.push_back(src);
         while let Some(u) = q.pop_front() {
             let du = dist[u.index()];
-            for &v in &self.neighbors[u.index()] {
+            for &v in self.neighbors(u) {
                 if dist[v.index()] == UNREACHABLE {
                     dist[v.index()] = du + 1;
                     q.push_back(v);
@@ -57,6 +95,125 @@ impl Adjacency {
             }
         }
         dist
+    }
+
+    /// Multi-source BFS truncated at `cap` hops: `dist[v]` is the hop
+    /// distance from `v` to the *nearest* source, with every distance `≥
+    /// cap` (including unreachable) saturated to `cap`. The wave stops
+    /// expanding at depth `cap`, so the cost is bounded by the
+    /// `cap`-neighborhood of the sources, not the whole graph.
+    fn multi_bfs_capped(&self, sources: &[NodeId], cap: u32) -> Vec<u32> {
+        let mut dist = vec![cap; self.n];
+        if cap == 0 {
+            return dist;
+        }
+        let mut q = VecDeque::new();
+        for &s in sources {
+            if dist[s.index()] != 0 {
+                dist[s.index()] = 0;
+                q.push_back(s);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.index()];
+            if du + 1 >= cap {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                if dist[v.index()] == cap {
+                    dist[v.index()] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Bit-parallel BFS from up to 64 sources at once: each source owns a
+    /// bit lane in per-node `u64` masks, and one level-synchronous sweep
+    /// over the CSR arrays advances all lanes together — `levels × E` word
+    /// operations per block instead of `64 × E` scalar visits. `record` is
+    /// called once per `(lane, node, level)` the first time a lane reaches
+    /// a node (sources at level 0); propagation stops after level `cap`.
+    ///
+    /// Returns `reached_at_cap`: whether any node was first reached at
+    /// level exactly `cap`, i.e. whether nodes *beyond* the cap may exist.
+    fn multi_bfs_block<F: FnMut(usize, usize, u32)>(
+        &self,
+        sources: &[NodeId],
+        cap: u32,
+        mut record: F,
+    ) -> bool {
+        debug_assert!(sources.len() <= 64, "one bit lane per source");
+        debug_assert!(cap >= 1, "cap 0 cannot store even the sources");
+        let n = self.n;
+        let mut seen = vec![0u64; n];
+        let mut frontier = vec![0u64; n];
+        let mut next = vec![0u64; n];
+        for (lane, s) in sources.iter().enumerate() {
+            let mask = 1u64 << lane;
+            seen[s.index()] |= mask;
+            frontier[s.index()] |= mask;
+            record(lane, s.index(), 0);
+        }
+        let mut level = 0u32;
+        let mut active = true;
+        let mut reached_at_cap = false;
+        while active && level < cap {
+            level += 1;
+            for (v, &fm) in frontier.iter().enumerate() {
+                if fm != 0 {
+                    let (start, end) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+                    for &w in &self.targets[start..end] {
+                        next[w.index()] |= fm;
+                    }
+                }
+            }
+            active = false;
+            for v in 0..n {
+                let new = next[v] & !seen[v];
+                next[v] = 0;
+                frontier[v] = new;
+                if new != 0 {
+                    seen[v] |= new;
+                    active = true;
+                    let mut lanes = new;
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        lanes &= lanes - 1;
+                        record(lane, v, level);
+                    }
+                }
+            }
+            if active && level == cap {
+                reached_at_cap = true;
+            }
+        }
+        reached_at_cap
+    }
+
+    /// Matrix-free diameter: the maximum finite eccentricity, computed by
+    /// running the bit-parallel kernel over all sources without storing any
+    /// rows. O(n/64 · diam · E) time, O(n) extra space.
+    fn diameter_scan(&self) -> u32 {
+        if self.n < 2 {
+            return 0;
+        }
+        // Distances are < n, so a cap of n can never truncate a level.
+        let cap = self.n as u32;
+        let blocks = self.n.div_ceil(64);
+        let mut max = 0u32;
+        for blk in 0..blocks {
+            let lo = blk * 64;
+            let hi = (lo + 64).min(self.n);
+            let sources: Vec<NodeId> = (lo..hi).map(NodeId::new).collect();
+            self.multi_bfs_block(&sources, cap, |_, _, level| {
+                if level > max {
+                    max = level;
+                }
+            });
+        }
+        max
     }
 
     fn is_connected(&self) -> bool {
@@ -73,6 +230,11 @@ impl Adjacency {
 /// The channel reuse constraint (§V-A) asks, for every candidate concurrent
 /// transmission pair, whether two nodes are at least `ρ` hops apart; the
 /// schedulers query this matrix on their innermost loop.
+///
+/// This is the *dense* representation — `u32` per cell, `UNREACHABLE` for
+/// disconnected pairs. It remains the reference oracle for tests and small
+/// graphs; city-scale paths use [`CappedHops`], which answers the same
+/// queries from a quarter of the memory (DESIGN.md §16).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopMatrix {
     n: usize,
@@ -125,6 +287,305 @@ impl HopMatrix {
     }
 }
 
+/// One cell of a [`CappedHops`] table.
+trait Cell: Copy + Send + 'static {
+    /// Largest cap this cell width can store.
+    const LIMIT: u32;
+    fn encode(level: u32) -> Self;
+    fn decode(self) -> u32;
+}
+
+impl Cell for u8 {
+    const LIMIT: u32 = u8::MAX as u32;
+    fn encode(level: u32) -> Self {
+        level as u8
+    }
+    fn decode(self) -> u32 {
+        u32::from(self)
+    }
+}
+
+impl Cell for u16 {
+    const LIMIT: u32 = u16::MAX as u32;
+    fn encode(level: u32) -> Self {
+        level as u16
+    }
+    fn decode(self) -> u32 {
+        u32::from(self)
+    }
+}
+
+/// The cell storage of a [`CappedHops`]: one byte per pair when the cap
+/// fits in `u8`, two otherwise — 4×/2× smaller than the dense `u32` matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum CappedCells {
+    /// Caps up to 255.
+    U8(Vec<u8>),
+    /// Caps up to 65 535.
+    U16(Vec<u16>),
+}
+
+/// All-pairs hop distances *saturated at a cap*: every stored distance is
+/// `min(d, cap)`, with unreachable pairs stored as `cap`.
+///
+/// # Conservative saturation (DESIGN.md §16)
+///
+/// The reuse test (§V-A) only ever asks `hops(a, b) ≥ ρ`. For any queried
+/// `ρ ≤ cap` the saturated answer is **exact**: if the true distance is
+/// below the cap it is stored verbatim, and if it is at or above the cap
+/// (or infinite) the stored `cap ≥ ρ` still answers `true`, exactly as the
+/// true distance would. For `ρ > cap` the answer degrades *conservatively*
+/// — `at_least` returns `false`, denying reuse that the true distance might
+/// have allowed, never granting reuse the true distance would deny.
+///
+/// When built through the exact-mode constructors (`exact_hops`, or a
+/// restricted build whose cap provably exceeds every finite distance of
+/// interest), `cap ≥ diameter + 1` holds, which additionally makes
+/// `hops()` interchangeable with the dense matrix under any clamp
+/// `≤ cap` (the metrics layer clamps at `λ_R + 1`) — schedules computed
+/// against a `CappedHops` are byte-identical to the dense path, not merely
+/// valid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CappedHops {
+    n: usize,
+    cap: u32,
+    max_finite: u32,
+    saturated: bool,
+    cells: CappedCells,
+}
+
+impl CappedHops {
+    fn from_cells<C: Cell>(
+        n: usize,
+        cap: u32,
+        max_finite: u32,
+        saturated: bool,
+        cells: Vec<C>,
+        wrap: fn(Vec<C>) -> CappedCells,
+    ) -> Self {
+        debug_assert_eq!(cells.len(), n * n);
+        CappedHops { n, cap, max_finite, saturated, cells: wrap(cells) }
+    }
+
+    fn build_with<C: Cell>(
+        adj: &Adjacency,
+        cap: u32,
+        jobs: usize,
+        wrap: fn(Vec<C>) -> CappedCells,
+    ) -> Self {
+        assert!(cap >= 1 && cap <= C::LIMIT, "cap {cap} does not fit the cell width");
+        let n = adj.n;
+        if n == 0 {
+            return Self::from_cells(0, cap, 0, false, Vec::new(), wrap);
+        }
+        let blocks = n.div_ceil(64);
+        // Each block computes its own saturated rows; index-ordered
+        // concatenation makes the result identical for any `jobs`.
+        let per: Vec<(Vec<C>, u32, bool)> = parallel_map_with(blocks, jobs, |blk| {
+            let lo = blk * 64;
+            let hi = (lo + 64).min(n);
+            let sources: Vec<NodeId> = (lo..hi).map(NodeId::new).collect();
+            let mut rows = vec![C::encode(cap); (hi - lo) * n];
+            let mut max = 0u32;
+            let reached_at_cap = adj.multi_bfs_block(&sources, cap, |lane, node, level| {
+                rows[lane * n + node] = C::encode(level);
+                if level > max {
+                    max = level;
+                }
+            });
+            (rows, max, reached_at_cap)
+        });
+        let mut cells = Vec::with_capacity(n * n);
+        let mut max_finite = 0u32;
+        let mut saturated = false;
+        for (rows, max, reached) in per {
+            cells.extend_from_slice(&rows);
+            max_finite = max_finite.max(max);
+            saturated |= reached;
+        }
+        Self::from_cells(n, cap, max_finite, saturated, cells, wrap)
+    }
+
+    fn from_adjacency(adj: &Adjacency, cap: u32, jobs: usize) -> Self {
+        if cap <= u8::MAX as u32 {
+            Self::build_with::<u8>(adj, cap, jobs, CappedCells::U8)
+        } else {
+            Self::build_with::<u16>(adj, cap, jobs, CappedCells::U16)
+        }
+    }
+
+    /// Exact-mode build: tries `u8` with the maximum cap (255); if any node
+    /// sits at or beyond that cap, rebuilds as `u16` with cap 65 535, which
+    /// no 65 536-node graph can saturate below its true diameter. The
+    /// result always satisfies `cap ≥ diameter + 1` (schedule-identical to
+    /// the dense matrix) unless the graph's diameter is ≥ 65 535, which the
+    /// `NodeId` space cannot quite express anyway.
+    fn exact_from_adjacency(adj: &Adjacency, jobs: usize) -> Self {
+        let first = Self::build_with::<u8>(adj, u8::MAX as u32, jobs, CappedCells::U8);
+        if !first.saturated {
+            return first;
+        }
+        Self::build_with::<u16>(adj, u16::MAX as u32, jobs, CappedCells::U16)
+    }
+
+    fn restricted_with<C: Cell>(
+        adj: &Adjacency,
+        nodes: &[NodeId],
+        cap: u32,
+        jobs: usize,
+        wrap: fn(Vec<C>) -> CappedCells,
+    ) -> Self {
+        assert!(cap >= 1 && cap <= C::LIMIT, "cap {cap} does not fit the cell width");
+        let width = nodes.len();
+        if width == 0 {
+            return Self::from_cells(0, cap, 0, false, Vec::new(), wrap);
+        }
+        // Global node index → restricted column, u32::MAX for non-members.
+        let mut col_of = vec![u32::MAX; adj.n];
+        for (c, node) in nodes.iter().enumerate() {
+            col_of[node.index()] = c as u32;
+        }
+        let blocks = width.div_ceil(64);
+        let per: Vec<(Vec<C>, u32, bool)> = parallel_map_with(blocks, jobs, |blk| {
+            let lo = blk * 64;
+            let hi = (lo + 64).min(width);
+            let sources = &nodes[lo..hi];
+            let mut rows = vec![C::encode(cap); (hi - lo) * width];
+            let mut max = 0u32;
+            let reached_at_cap = adj.multi_bfs_block(sources, cap, |lane, node, level| {
+                let col = col_of[node];
+                if col != u32::MAX {
+                    rows[lane * width + col as usize] = C::encode(level);
+                    if level > max {
+                        max = level;
+                    }
+                }
+            });
+            (rows, max, reached_at_cap)
+        });
+        let mut cells = Vec::with_capacity(width * width);
+        let mut max_finite = 0u32;
+        let mut saturated = false;
+        for (rows, max, reached) in per {
+            cells.extend_from_slice(&rows);
+            max_finite = max_finite.max(max);
+            saturated |= reached;
+        }
+        Self::from_cells(width, cap, max_finite, saturated, cells, wrap)
+    }
+
+    fn restricted_from_adjacency(adj: &Adjacency, nodes: &[NodeId], cap: u32, jobs: usize) -> Self {
+        if cap <= u8::MAX as u32 {
+            Self::restricted_with::<u8>(adj, nodes, cap, jobs, CappedCells::U8)
+        } else {
+            Self::restricted_with::<u16>(adj, nodes, cap, jobs, CappedCells::U16)
+        }
+    }
+
+    /// Saturates a dense matrix into capped form with `cap = diameter + 1`
+    /// (so the result is schedule-identical to its source; see the type
+    /// docs). Caps beyond 65 535 are clamped to 65 535.
+    pub fn from_dense(dense: &HopMatrix) -> Self {
+        let diam = dense.diameter();
+        let cap = (diam + 1).min(u16::MAX as u32);
+        let n = dense.n;
+        let encode = |d: u32| if d >= cap { cap } else { d };
+        let mut max_finite = 0u32;
+        let mut saturated = false;
+        for &d in &dense.dist {
+            if d != UNREACHABLE {
+                max_finite = max_finite.max(d.min(cap));
+                saturated |= d >= cap;
+            }
+        }
+        let cells = if cap <= u8::MAX as u32 {
+            CappedCells::U8(dense.dist.iter().map(|&d| encode(d) as u8).collect())
+        } else {
+            CappedCells::U16(dense.dist.iter().map(|&d| encode(d) as u16).collect())
+        };
+        CappedHops { n, cap, max_finite, saturated, cells }
+    }
+
+    /// Number of nodes (rows/columns).
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The saturation cap: every stored distance is `min(d, cap)`.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Saturated hop distance between `a` and `b`: the true distance when
+    /// it is below [`cap`](Self::cap), else `cap` (unreachable included).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let i = a.index() * self.n + b.index();
+        match &self.cells {
+            CappedCells::U8(cells) => cells[i].decode(),
+            CappedCells::U16(cells) => cells[i].decode(),
+        }
+    }
+
+    /// Whether `a` and `b` are at least `rho` hops apart.
+    ///
+    /// Exact for every `rho ≤ cap` (see the conservative-saturation
+    /// argument in the type docs); for `rho > cap` this is conservative —
+    /// always `false`, denying reuse.
+    pub fn at_least(&self, a: NodeId, b: NodeId, rho: u32) -> bool {
+        self.hops(a, b) >= rho
+    }
+
+    /// Maximum finite distance *observed below the cap* — equal to the true
+    /// graph diameter (`λ_R`) whenever [`saturated`](Self::saturated) is
+    /// `false`, a lower bound otherwise.
+    pub fn diameter(&self) -> u32 {
+        self.max_finite
+    }
+
+    /// Whether any distance may have been truncated: some node was first
+    /// reached at exactly `cap` hops, so pairs beyond the cap may exist.
+    /// When `false`, `cap ≥ diameter + 1` and every finite distance is
+    /// stored exactly.
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Bytes used by the cell storage.
+    pub fn bytes(&self) -> usize {
+        match &self.cells {
+            CappedCells::U8(cells) => cells.len(),
+            CappedCells::U16(cells) => cells.len() * 2,
+        }
+    }
+}
+
+/// Lazily computed, cached graph diameter. Transparent to comparison,
+/// hashing-by-value, and serde (serializes as null, deserializes empty) so
+/// the graphs stay plain value types; sound to cache because the graphs are
+/// immutable after construction.
+#[derive(Debug, Default, Clone)]
+struct DiamCache(OnceLock<u32>);
+
+impl PartialEq for DiamCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for DiamCache {}
+
+impl Serialize for DiamCache {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for DiamCache {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(DiamCache::default())
+    }
+}
+
 macro_rules! graph_common {
     ($ty:ident) => {
         impl $ty {
@@ -143,9 +604,9 @@ macro_rules! graph_common {
                 self.adj.has_edge(a, b)
             }
 
-            /// Neighbors of `a`.
+            /// Neighbors of `a`, sorted ascending.
             pub fn neighbors(&self, a: NodeId) -> &[NodeId] {
-                &self.adj.neighbors[a.index()]
+                self.adj.neighbors(a)
             }
 
             /// Degree (neighbor count) of `a`.
@@ -158,20 +619,62 @@ macro_rules! graph_common {
                 self.adj.is_connected()
             }
 
-            /// All-pairs hop distances.
+            /// All-pairs hop distances, dense (`u32` per cell). The
+            /// small-graph oracle; city-scale callers should prefer
+            /// [`capped_hops`](Self::capped_hops) or
+            /// [`exact_hops`](Self::exact_hops).
             pub fn hop_matrix(&self) -> HopMatrix {
                 HopMatrix::from_adjacency(&self.adj)
             }
 
+            /// All-pairs distances saturated at `cap` (see [`CappedHops`]),
+            /// built by the bit-parallel multi-source BFS on up to `jobs`
+            /// workers (`0` = all cores). Byte-identical for any `jobs`.
+            pub fn capped_hops(&self, cap: u32, jobs: usize) -> CappedHops {
+                CappedHops::from_adjacency(&self.adj, cap, jobs)
+            }
+
+            /// All-pairs distances with an automatically chosen cap that
+            /// provably exceeds the diameter, making the result
+            /// schedule-identical to the dense matrix at a quarter (u8) or
+            /// half (u16) the memory. `jobs = 0` uses all cores.
+            pub fn exact_hops(&self, jobs: usize) -> CappedHops {
+                CappedHops::exact_from_adjacency(&self.adj, jobs)
+            }
+
+            /// Distances measured on the *whole* graph but recorded only
+            /// between the given `nodes` (row/column `i` is `nodes[i]`),
+            /// saturated at `cap`. This is the shard-extraction primitive:
+            /// per-shard scheduling needs global reuse distances restricted
+            /// to the shard's members.
+            pub fn capped_hops_restricted(
+                &self,
+                nodes: &[NodeId],
+                cap: u32,
+                jobs: usize,
+            ) -> CappedHops {
+                CappedHops::restricted_from_adjacency(&self.adj, nodes, cap, jobs)
+            }
+
             /// Graph diameter: the maximum finite shortest-path length.
+            /// Matrix-free (eccentricity scan) and cached — the graphs are
+            /// immutable, so the first call pays and the rest are loads.
             pub fn diameter(&self) -> u32 {
-                self.hop_matrix().diameter()
+                *self.diam.0.get_or_init(|| self.adj.diameter_scan())
             }
 
             /// Single-source BFS hop distances from `src`
             /// ([`UNREACHABLE`] marks unreachable nodes).
             pub fn bfs_from(&self, src: NodeId) -> Vec<u32> {
                 self.adj.bfs(src)
+            }
+
+            /// Hop distance from every node to its nearest node in
+            /// `sources`, saturated at `cap` (distances `≥ cap` and
+            /// unreachable both read `cap`). The search is truncated at
+            /// depth `cap`, so it only visits the sources' neighborhood.
+            pub fn multi_bfs_capped(&self, sources: &[NodeId], cap: u32) -> Vec<u32> {
+                self.adj.multi_bfs_capped(sources, cap)
             }
         }
     };
@@ -186,6 +689,7 @@ macro_rules! graph_common {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommGraph {
     adj: Adjacency,
+    diam: DiamCache,
 }
 
 graph_common!(CommGraph);
@@ -193,28 +697,27 @@ graph_common!(CommGraph);
 impl CommGraph {
     pub(crate) fn from_topology(topo: &Topology, channels: &ChannelSet, prr_t: Prr) -> Self {
         let n = topo.node_count();
-        let mut adj = Adjacency::new(n);
+        let mut pairs = Vec::new();
         for a in 0..n {
             for b in (a + 1)..n {
                 let (na, nb) = (NodeId::new(a), NodeId::new(b));
                 let fwd = topo.min_prr_over(DirectedLink::new(na, nb), channels);
                 let rev = topo.min_prr_over(DirectedLink::new(nb, na), channels);
                 if fwd.value() >= prr_t.value() && rev.value() >= prr_t.value() {
-                    adj.add_edge(na, nb);
+                    pairs.push((na, nb));
                 }
             }
         }
-        CommGraph { adj }
+        CommGraph { adj: Adjacency::from_pairs(n, pairs), diam: DiamCache::default() }
     }
 
     /// Builds a communication graph directly from an undirected edge list
     /// (for hand-crafted test networks).
     pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut adj = Adjacency::new(node_count);
-        for &(a, b) in edges {
-            adj.add_edge(a, b);
+        CommGraph {
+            adj: Adjacency::from_pairs(node_count, edges.iter().copied()),
+            diam: DiamCache::default(),
         }
-        CommGraph { adj }
     }
 
     /// Selects `k` access points: well-connected nodes ("nodes with a high
@@ -226,6 +729,9 @@ impl CommGraph {
     /// highest-degree node at least `⌈diameter/2⌉` hops from every previous
     /// pick, relaxing the distance requirement one hop at a time when no
     /// node qualifies. Ties break toward lower node ids for determinism.
+    ///
+    /// Matrix-free: only the picked nodes' BFS rows are materialized (at
+    /// most `k` rows), never the full n² matrix.
     pub fn select_access_points(&self, k: usize) -> Vec<NodeId> {
         let mut by_degree: Vec<NodeId> = (0..self.node_count()).map(NodeId::new).collect();
         by_degree.sort_by_key(|&id| (std::cmp::Reverse(self.degree(id)), id.index()));
@@ -233,15 +739,20 @@ impl CommGraph {
             by_degree.truncate(k);
             return by_degree;
         }
-        let hops = self.hop_matrix();
         let mut picked = vec![by_degree[0]];
-        let mut min_sep = hops.diameter().div_ceil(2).max(1);
+        // dist_rows[i] is the BFS row of picked[i]; distances are symmetric,
+        // so row[candidate] == hops(candidate, picked[i]).
+        let mut dist_rows = vec![self.bfs_from(by_degree[0])];
+        let mut min_sep = self.diameter().div_ceil(2).max(1);
         while picked.len() < k {
             let candidate = by_degree.iter().copied().find(|&id| {
-                !picked.contains(&id) && picked.iter().all(|&p| hops.at_least(id, p, min_sep))
+                !picked.contains(&id) && dist_rows.iter().all(|row| row[id.index()] >= min_sep)
             });
             match candidate {
-                Some(id) => picked.push(id),
+                Some(id) => {
+                    picked.push(id);
+                    dist_rows.push(self.bfs_from(id));
+                }
                 None if min_sep > 1 => min_sep -= 1,
                 None => {
                     // fully relaxed: fall back to plain degree order
@@ -251,6 +762,7 @@ impl CommGraph {
                         .find(|id| !picked.contains(id))
                         .expect("k < node_count");
                     picked.push(next);
+                    dist_rows.push(self.bfs_from(next));
                 }
             }
         }
@@ -267,6 +779,7 @@ impl CommGraph {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReuseGraph {
     adj: Adjacency,
+    diam: DiamCache,
 }
 
 graph_common!(ReuseGraph);
@@ -274,26 +787,25 @@ graph_common!(ReuseGraph);
 impl ReuseGraph {
     pub(crate) fn from_topology(topo: &Topology, channels: &ChannelSet) -> Self {
         let n = topo.node_count();
-        let mut adj = Adjacency::new(n);
+        let mut pairs = Vec::new();
         for a in 0..n {
             for b in (a + 1)..n {
                 let (na, nb) = (NodeId::new(a), NodeId::new(b));
                 if topo.max_pair_prr_over(na, nb, channels).is_positive() {
-                    adj.add_edge(na, nb);
+                    pairs.push((na, nb));
                 }
             }
         }
-        ReuseGraph { adj }
+        ReuseGraph { adj: Adjacency::from_pairs(n, pairs), diam: DiamCache::default() }
     }
 
     /// Builds a reuse graph directly from an undirected edge list (for
     /// hand-crafted test networks).
     pub fn from_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut adj = Adjacency::new(node_count);
-        for &(a, b) in edges {
-            adj.add_edge(a, b);
+        ReuseGraph {
+            adj: Adjacency::from_pairs(node_count, edges.iter().copied()),
+            diam: DiamCache::default(),
         }
-        ReuseGraph { adj }
     }
 }
 
@@ -341,6 +853,7 @@ mod tests {
         assert!(!g.is_connected());
         // diameter ignores unreachable pairs
         assert_eq!(hm.diameter(), 1);
+        assert_eq!(g.diameter(), 1);
     }
 
     #[test]
@@ -358,6 +871,129 @@ mod tests {
         let g = ReuseGraph::from_edges(2, &[(n(0), n(1)), (n(1), n(0)), (n(0), n(1))]);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.degree(n(0)), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_csr_consistent() {
+        let g =
+            ReuseGraph::from_edges(5, &[(n(3), n(0)), (n(3), n(4)), (n(3), n(1)), (n(0), n(4))]);
+        assert_eq!(g.neighbors(n(3)), &[n(0), n(1), n(4)]);
+        assert_eq!(g.neighbors(n(0)), &[n(3), n(4)]);
+        assert_eq!(g.neighbors(n(2)), &[] as &[NodeId]);
+        assert!(g.has_edge(n(4), n(0)));
+        assert!(!g.has_edge(n(1), n(4)));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn capped_hops_exact_matches_dense_on_a_path() {
+        let g = path4();
+        let dense = g.hop_matrix();
+        let capped = g.exact_hops(1);
+        assert_eq!(capped.cap(), 255);
+        assert!(!capped.saturated());
+        assert_eq!(capped.diameter(), dense.diameter());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(capped.hops(n(a), n(b)), dense.hops(n(a), n(b)));
+                for rho in 0..6 {
+                    assert_eq!(
+                        capped.at_least(n(a), n(b), rho),
+                        dense.at_least(n(a), n(b), rho),
+                        "({a},{b}) rho={rho}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_hops_saturates_conservatively() {
+        // path of 8 nodes, cap 3: distances >= 3 all read 3
+        let edges: Vec<_> = (0..7).map(|i| (n(i), n(i + 1))).collect();
+        let g = ReuseGraph::from_edges(8, &edges);
+        let capped = g.capped_hops(3, 1);
+        assert!(capped.saturated());
+        assert_eq!(capped.hops(n(0), n(2)), 2); // exact below cap
+        assert_eq!(capped.hops(n(0), n(3)), 3); // at cap: exact
+        assert_eq!(capped.hops(n(0), n(7)), 3); // beyond cap: saturated
+                                                // rho <= cap stays exact
+        assert!(capped.at_least(n(0), n(3), 3));
+        assert!(!capped.at_least(n(0), n(2), 3));
+        // rho > cap: conservative false (reuse denied) even though the
+        // true distance (7) would have allowed it
+        assert!(!capped.at_least(n(0), n(7), 4));
+    }
+
+    #[test]
+    fn capped_hops_treats_unreachable_as_cap() {
+        let g = ReuseGraph::from_edges(4, &[(n(0), n(1)), (n(2), n(3))]);
+        let capped = g.exact_hops(1);
+        assert_eq!(capped.hops(n(0), n(2)), capped.cap());
+        assert!(capped.at_least(n(0), n(2), capped.cap()));
+        assert_eq!(capped.diameter(), 1);
+        assert!(!capped.saturated());
+    }
+
+    #[test]
+    fn capped_hops_from_dense_round_trips() {
+        let g = path4();
+        let dense = g.hop_matrix();
+        let via_dense = CappedHops::from_dense(&dense);
+        let direct = g.exact_hops(1);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(
+                    via_dense.hops(n(a), n(b)).min(via_dense.cap()),
+                    direct.hops(n(a), n(b)).min(via_dense.cap())
+                );
+            }
+        }
+        assert_eq!(via_dense.diameter(), direct.diameter());
+    }
+
+    #[test]
+    fn restricted_extraction_matches_dense_restriction() {
+        // star + chain so the subset's pairwise paths run through
+        // non-member nodes
+        let g = ReuseGraph::from_edges(
+            6,
+            &[(n(2), n(0)), (n(2), n(1)), (n(2), n(3)), (n(2), n(4)), (n(4), n(5))],
+        );
+        let dense = g.hop_matrix();
+        let subset = [n(0), n(3), n(5)];
+        let capped = g.capped_hops_restricted(&subset, 10, 1);
+        assert_eq!(capped.node_count(), 3);
+        for (i, &a) in subset.iter().enumerate() {
+            for (j, &b) in subset.iter().enumerate() {
+                assert_eq!(capped.hops(n(i), n(j)), dense.hops(a, b), "{a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bfs_capped_truncates_at_depth() {
+        let edges: Vec<_> = (0..7).map(|i| (n(i), n(i + 1))).collect();
+        let g = ReuseGraph::from_edges(8, &edges);
+        let dist = g.multi_bfs_capped(&[n(0), n(7)], 3);
+        assert_eq!(dist[n(0).index()], 0);
+        assert_eq!(dist[n(2).index()], 2);
+        assert_eq!(dist[n(5).index()], 2); // nearest source is 7
+        assert_eq!(dist[n(3).index()], 3); // at cap
+        assert_eq!(dist[n(4).index()], 3); // true distance 3 from node 7
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical() {
+        // 130 nodes -> 3 source blocks, enough to exercise block stitching
+        let edges: Vec<_> = (0..129).map(|i| (n(i), n(i + 1))).collect();
+        let g = ReuseGraph::from_edges(130, &edges);
+        let seq = g.capped_hops(9, 1);
+        let par = g.capped_hops(9, 4);
+        assert_eq!(seq, par);
+        let seq_exact = g.exact_hops(1);
+        let par_exact = g.exact_hops(4);
+        assert_eq!(seq_exact, par_exact);
     }
 
     #[test]
@@ -463,5 +1099,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn graph_serde_round_trips_without_the_cache() {
+        let g = path4();
+        let _ = g.diameter(); // warm the cache before serializing
+        let v = g.to_value();
+        let back = ReuseGraph::from_value(&v).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(back.diameter(), 3); // recomputed lazily
     }
 }

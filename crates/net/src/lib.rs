@@ -45,6 +45,7 @@ mod error;
 mod graph;
 mod link;
 mod node;
+pub mod parallel;
 pub mod plants;
 pub mod propagation;
 pub mod routing;
@@ -56,7 +57,7 @@ pub mod testbeds;
 
 pub use channel::{ChannelId, ChannelSet};
 pub use error::NetError;
-pub use graph::{CommGraph, HopMatrix, ReuseGraph, UNREACHABLE};
+pub use graph::{CappedHops, CommGraph, HopMatrix, ReuseGraph, UNREACHABLE};
 pub use link::{DirectedLink, LinkPrr, Prr};
 pub use node::{NodeId, NodeRole, Position};
 pub use routing::Route;

@@ -357,3 +357,103 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The capped hop table is *schedule-identical* to the dense matrix
+    /// (DESIGN.md §16): `hops` stores `min(d, cap)` with unreachable pairs
+    /// at the cap, `at_least` agrees exactly for every `ρ ≤ cap`, and for
+    /// `ρ > cap` it only ever errs on the side of denying reuse.
+    #[test]
+    fn equivalence_capped_hops_conservative_for_every_rho(
+        graph in arb_reuse_graph(24),
+        cap in 1u32..12,
+    ) {
+        let dense = graph.hop_matrix();
+        let capped = graph.capped_hops(cap, 1);
+        let n = graph.node_count();
+        for a in (0..n).map(NodeId::new) {
+            for b in (0..n).map(NodeId::new) {
+                let d = dense.hops(a, b);
+                let want = if d == wsan::net::UNREACHABLE { cap } else { d.min(cap) };
+                prop_assert_eq!(capped.hops(a, b), want);
+                for rho in 0..=cap {
+                    prop_assert_eq!(
+                        capped.at_least(a, b, rho),
+                        dense.at_least(a, b, rho),
+                        "exactness broken at rho {} <= cap {}", rho, cap
+                    );
+                }
+                for rho in cap + 1..cap + 4 {
+                    prop_assert!(
+                        !capped.at_least(a, b, rho),
+                        "rho {} beyond cap {} must deny reuse", rho, cap
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact-mode build picks a cap large enough that every query the
+    /// schedulers make (`ρ ≤ λ_R + 1`) matches the dense matrix, and its
+    /// diameter is the true `λ_R`.
+    #[test]
+    fn equivalence_exact_hops_matches_dense(graph in arb_reuse_graph(24)) {
+        let dense = graph.hop_matrix();
+        let exact = graph.exact_hops(1);
+        prop_assert!(!exact.saturated());
+        prop_assert_eq!(exact.diameter(), dense.diameter());
+        let n = graph.node_count();
+        for a in (0..n).map(NodeId::new) {
+            for b in (0..n).map(NodeId::new) {
+                for rho in 0..=exact.cap() {
+                    prop_assert_eq!(exact.at_least(a, b, rho), dense.at_least(a, b, rho));
+                }
+            }
+        }
+    }
+
+    /// The parallel bit-parallel BFS build is byte-identical to the
+    /// sequential one for any worker count, capped and exact modes alike.
+    #[test]
+    fn equivalence_parallel_capped_build_is_byte_identical(
+        graph in arb_reuse_graph(24),
+        cap in 1u32..12,
+        jobs in 2usize..6,
+    ) {
+        prop_assert_eq!(graph.capped_hops(cap, 1), graph.capped_hops(cap, jobs));
+        prop_assert_eq!(graph.exact_hops(1), graph.exact_hops(jobs));
+    }
+
+    /// Restricted extraction (the per-shard path) agrees with restricting
+    /// the dense whole-graph matrix to the member rows/columns — member
+    /// pair distances keep seeing paths through non-member nodes.
+    #[test]
+    fn equivalence_restricted_extraction_matches_dense(
+        graph in arb_reuse_graph(24),
+        picks in proptest::collection::vec(0usize..64, 1..10),
+        cap in 1u32..12,
+        jobs in 1usize..5,
+    ) {
+        let n = graph.node_count();
+        let mut members: Vec<usize> = picks.into_iter().map(|p| p % n).collect();
+        members.sort_unstable();
+        members.dedup();
+        let members: Vec<NodeId> = members.into_iter().map(NodeId::new).collect();
+        let dense = graph.hop_matrix();
+        let restricted = graph.capped_hops_restricted(&members, cap, jobs);
+        prop_assert_eq!(restricted.node_count(), members.len());
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate() {
+                let d = dense.hops(a, b);
+                let want = if d == wsan::net::UNREACHABLE { cap } else { d.min(cap) };
+                prop_assert_eq!(
+                    restricted.hops(NodeId::new(i), NodeId::new(j)),
+                    want,
+                    "member pair {:?}->{:?}", a, b
+                );
+            }
+        }
+    }
+}

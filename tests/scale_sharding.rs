@@ -59,7 +59,7 @@ proptest! {
         shards in 1usize..=3,
     ) {
         let plant = generate(&config, seed);
-        let plan = shard::plan(&plant, &ChannelId::all(), &ShardConfig::new(shards, seed, 2))
+        let plan = shard::plan(&plant, &ChannelId::all(), &ShardConfig::new(shards, seed, 2), 1)
             .expect("planning a small connected plant");
         let mut owners = vec![0usize; plant.node_count()];
         for s in plan.shards() {
@@ -82,9 +82,9 @@ proptest! {
         let plant = generate(&config, seed);
         let channels = ChannelId::all();
         let cfg = ShardConfig::new(shards, seed, 2);
-        let plan = shard::plan(&plant, &channels, &cfg).expect("planning");
+        let plan = shard::plan(&plant, &channels, &cfg, 1).expect("planning");
         for index in 0..shards {
-            let problem = shard::build_problem(&plant, &channels, &plan, &cfg, index)
+            let problem = shard::build_problem(&plant, &channels, &plan, &cfg, index, 1)
                 .expect("building the shard problem");
             for flow in problem.flows.iter() {
                 for route in flow.segments() {
